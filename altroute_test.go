@@ -1,0 +1,309 @@
+package altroute_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"altroute"
+)
+
+// TestEndToEndAttackThroughFacade exercises the public API the way the
+// README quickstart does: build a city, pick a hospital, force the 5th
+// shortest path, commit the cut, and verify the victim now drives p*.
+func TestEndToEndAttackThroughFacade(t *testing.T) {
+	net, err := altroute.BuildCity(altroute.Chicago, 0.015, 7)
+	if err != nil {
+		t.Fatalf("BuildCity: %v", err)
+	}
+	hospitals := net.POIsOfKind(altroute.KindHospital)
+	if len(hospitals) != 4 {
+		t.Fatalf("hospitals = %d", len(hospitals))
+	}
+	dest := hospitals[0].Node
+	w := net.Weight(altroute.WeightTime)
+
+	var problem altroute.Problem
+	found := false
+	for n := 0; n < net.NumIntersections() && !found; n++ {
+		src := altroute.NodeID(n)
+		if src == dest {
+			continue
+		}
+		if p, err := altroute.NewProblem(net, src, dest, 5, altroute.WeightTime, altroute.CostLanes, 0); err == nil {
+			problem, found = p, true
+		}
+	}
+	if !found {
+		t.Fatal("no viable source")
+	}
+
+	res, err := altroute.Attack(altroute.AlgGreedyPathCover, problem, altroute.Options{})
+	if err != nil {
+		t.Fatalf("Attack: %v", err)
+	}
+	altroute.Apply(net.Graph(), res.Removed)
+	defer altroute.Restore(net.Graph(), res.Removed)
+
+	r := altroute.NewRouter(net.Graph())
+	sp, ok := r.ShortestPath(problem.Source, problem.Dest, w)
+	if !ok || !sp.SameEdges(problem.PStar) {
+		t.Fatalf("victim path after attack = %v, want p*", sp)
+	}
+}
+
+func TestFacadeParsersAndEnumerations(t *testing.T) {
+	if got, err := altroute.ParseAlgorithm("GreedyEig"); err != nil || got != altroute.AlgGreedyEig {
+		t.Errorf("ParseAlgorithm = %v, %v", got, err)
+	}
+	if got, err := altroute.ParseWeightType("time"); err != nil || got != altroute.WeightTime {
+		t.Errorf("ParseWeightType = %v, %v", got, err)
+	}
+	if got, err := altroute.ParseCostType("width"); err != nil || got != altroute.CostWidth {
+		t.Errorf("ParseCostType = %v, %v", got, err)
+	}
+	if got, err := altroute.ParseCity("los angeles"); err != nil || got != altroute.LosAngeles {
+		t.Errorf("ParseCity = %v, %v", got, err)
+	}
+	if len(altroute.Cities()) != 4 || len(altroute.Algorithms()) != 4 {
+		t.Error("enumerations wrong")
+	}
+	if names := altroute.HospitalNames(altroute.Boston); len(names) != 4 {
+		t.Errorf("hospitals = %v", names)
+	}
+}
+
+func TestFacadeOSMAndSummary(t *testing.T) {
+	net, err := altroute.BuildCity(altroute.Boston, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := altroute.WriteOSM(&buf, net); err != nil {
+		t.Fatalf("WriteOSM: %v", err)
+	}
+	back, err := altroute.ParseOSM(&buf, altroute.OSMOptions{Name: "boston-copy"})
+	if err != nil {
+		t.Fatalf("ParseOSM: %v", err)
+	}
+	s1, s2 := altroute.Summarize(net), altroute.Summarize(back)
+	if s1.Edges != s2.Edges {
+		t.Errorf("round trip edges %d != %d", s1.Edges, s2.Edges)
+	}
+	if l := altroute.Latticeness(net); l < 0 || l > 1 {
+		t.Errorf("latticeness = %v", l)
+	}
+}
+
+func TestFacadeIsolationAndSim(t *testing.T) {
+	net, err := altroute.BuildCity(altroute.Chicago, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph()
+	h := net.POIsOfKind(altroute.KindHospital)[0]
+	w := net.Weight(altroute.WeightTime)
+
+	area := altroute.AreaAround(g, h.Node, 25, w)
+	if len(area) < 2 {
+		t.Skip("area too small at this scale")
+	}
+	iso, err := altroute.IsolateArea(g, area, net.Cost(altroute.CostUniform), altroute.Inbound)
+	if err != nil {
+		t.Fatalf("IsolateArea: %v", err)
+	}
+	if len(iso.Cut) == 0 {
+		t.Fatal("empty isolation cut")
+	}
+
+	var blocks []altroute.Blockage
+	for _, e := range iso.Cut {
+		blocks = append(blocks, altroute.Blockage{Edge: e, AtS: 0})
+	}
+	src := altroute.NodeID(0)
+	if src == h.Node {
+		src = 1
+	}
+	baseline, attacked, _, err := altroute.CompareAttack(altroute.SimConfig{
+		Net:       net,
+		Vehicles:  []altroute.Vehicle{{ID: 1, Source: src, Dest: h.Node}},
+		Blockages: blocks,
+	})
+	if err != nil {
+		t.Fatalf("CompareAttack: %v", err)
+	}
+	if !baseline.Vehicles[0].Arrived {
+		t.Fatal("baseline vehicle did not arrive")
+	}
+	// The area is isolated inbound: the attacked vehicle cannot arrive
+	// (unless it started inside the area).
+	inside := false
+	for _, a := range area {
+		if a == src {
+			inside = true
+		}
+	}
+	if !inside && attacked.Vehicles[0].Arrived {
+		t.Error("vehicle arrived despite inbound isolation")
+	}
+
+	if top := altroute.CriticalRoads(net, w, 3, 40); len(top) != 3 {
+		t.Errorf("critical roads = %d, want 3", len(top))
+	}
+}
+
+func TestFacadeViz(t *testing.T) {
+	net, err := altroute.BuildCity(altroute.Boston, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := net.POIsOfKind(altroute.KindHospital)[0]
+	w := net.Weight(altroute.WeightTime)
+	var pstar altroute.Path
+	var src altroute.NodeID
+	found := false
+	for n := 0; n < net.NumIntersections() && !found; n++ {
+		if altroute.NodeID(n) == h.Node {
+			continue
+		}
+		if p, err := altroute.PStarByRank(net.Graph(), altroute.NodeID(n), h.Node, 2, w); err == nil {
+			src, pstar, found = altroute.NodeID(n), p, true
+		}
+	}
+	if !found {
+		t.Skip("no viable source")
+	}
+	var buf bytes.Buffer
+	err = altroute.WriteSVG(&buf, altroute.Scene{
+		Net: net, Source: src, Dest: h.Node, PStar: pstar, Title: "facade",
+	})
+	if err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("not an SVG")
+	}
+}
+
+func TestFacadeViaPath(t *testing.T) {
+	net := altroute.NewNetwork("via")
+	a := net.AddIntersection(altroute.Point{Lat: 42, Lon: -71})
+	b := net.AddIntersection(altroute.Point{Lat: 42.001, Lon: -71})
+	c := net.AddIntersection(altroute.Point{Lat: 42.002, Lon: -71})
+	if _, _, err := net.AddTwoWayRoad(a, b, altroute.Road{}); err != nil {
+		t.Fatal(err)
+	}
+	toll, _, err := net.AddTwoWayRoad(b, c, altroute.Road{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := net.Weight(altroute.WeightLength)
+	p, err := altroute.BuildViaPath(net.Graph(), a, c, toll, w)
+	if err != nil {
+		t.Fatalf("BuildViaPath: %v", err)
+	}
+	if !p.HasEdge(toll) {
+		t.Error("via path misses the toll edge")
+	}
+}
+
+func TestFacadeMultiVictim(t *testing.T) {
+	net, err := altroute.BuildCity(altroute.Chicago, 0.01, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph()
+	w := net.Weight(altroute.WeightTime)
+	pois := net.POIsOfKind(altroute.KindHospital)
+	// Disjoint trips (1->0, 2->3) keep the two forced routes from
+	// protecting each other's competitors.
+	var victims []altroute.VictimSpec
+	for _, trip := range [][2]int{{1, 0}, {2, 3}} {
+		p, err := altroute.PStarByRank(g, pois[trip[0]].Node, pois[trip[1]].Node, 3, w)
+		if err != nil {
+			t.Skipf("rank unavailable: %v", err)
+		}
+		victims = append(victims, altroute.VictimSpec{Source: pois[trip[0]].Node, Dest: pois[trip[1]].Node, PStar: p})
+	}
+	res, err := altroute.AttackMulti(altroute.AlgGreedyPathCover, altroute.MultiProblem{
+		G: g, Victims: victims, Weight: w, Cost: net.Cost(altroute.CostUniform),
+	}, altroute.Options{})
+	if err != nil {
+		// Forced routes can genuinely conflict (one victim's p* may shield
+		// another victim's faster route); that is correct infeasibility.
+		t.Skipf("victims conflict on this instance: %v", err)
+	}
+	altroute.Apply(g, res.Removed)
+	defer altroute.Restore(g, res.Removed)
+	r := altroute.NewRouter(g)
+	for i, v := range victims {
+		sp, ok := r.ShortestPath(v.Source, v.Dest, w)
+		if !ok || !sp.SameEdges(v.PStar) {
+			t.Errorf("victim %d not forced", i)
+		}
+	}
+}
+
+func TestFacadeDefense(t *testing.T) {
+	net, err := altroute.BuildCity(altroute.Boston, 0.01, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := net.POIsOfKind(altroute.KindHospital)[0]
+	src := altroute.NodeID(0)
+	if src == h.Node {
+		src = 1
+	}
+	k, err := altroute.EdgeDisjointPaths(net.Graph(), src, h.Node)
+	if err != nil {
+		t.Fatalf("EdgeDisjointPaths: %v", err)
+	}
+	if k <= 0 {
+		t.Errorf("disjoint paths = %d", k)
+	}
+	plan, err := altroute.Harden(net.Graph(), src, h.Node, net.Cost(altroute.CostUniform), 2)
+	if err != nil {
+		t.Fatalf("Harden: %v", err)
+	}
+	if len(plan.Protect) == 0 {
+		t.Error("no protection recommended")
+	}
+	exp, err := altroute.SurveyExposure(net, [][2]altroute.NodeID{{src, h.Node}}, 4, altroute.WeightTime, altroute.CostUniform)
+	if err != nil || len(exp) != 1 {
+		t.Fatalf("SurveyExposure: %v, %d", err, len(exp))
+	}
+	if _, err := altroute.AttackCost(net, src, h.Node, 4, altroute.WeightTime, altroute.CostUniform); err != nil {
+		t.Logf("AttackCost (rank may be unavailable): %v", err)
+	}
+}
+
+func TestFacadeTraffic(t *testing.T) {
+	net, err := altroute.BuildCity(altroute.Chicago, 0.01, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois := net.POIsOfKind(altroute.KindHospital)
+	demands := []altroute.TrafficDemand{
+		{Source: pois[1].Node, Dest: pois[0].Node, VehiclesPerHour: 900},
+	}
+	a, err := altroute.AssignTraffic(net, demands, 3)
+	if err != nil {
+		t.Fatalf("AssignTraffic: %v", err)
+	}
+	loaded := 0
+	for _, v := range a.Volumes {
+		if v > 0 {
+			loaded++
+		}
+	}
+	if loaded == 0 {
+		t.Fatal("no edges loaded")
+	}
+	_, _, extra, _, err := altroute.TrafficAttackImpact(net, demands, nil, 3)
+	if err != nil {
+		t.Fatalf("TrafficAttackImpact: %v", err)
+	}
+	if extra != 0 {
+		t.Errorf("empty cut changed system time by %v", extra)
+	}
+}

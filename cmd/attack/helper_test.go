@@ -1,0 +1,36 @@
+package main
+
+import (
+	"altroute/internal/citygen"
+	"altroute/internal/geo"
+	"altroute/internal/osm"
+	"altroute/internal/roadnet"
+)
+
+// writeTestCity generates a small synthetic city and saves it as OSM XML,
+// exercising the -osm load path end to end.
+func writeTestCity(path string) error {
+	net, err := citygen.Build(citygen.Chicago, 0.02, 2)
+	if err != nil {
+		return err
+	}
+	return osm.WriteFile(path, net)
+}
+
+// writeLineCity writes a 10-node two-way line street with a hospital: the
+// unique-path worst case for alternative-route attacks.
+func writeLineCity(path string) error {
+	net := roadnet.NewNetwork("line")
+	prev := net.AddIntersection(geo.Point{Lat: 42, Lon: -71})
+	for i := 1; i < 10; i++ {
+		cur := net.AddIntersection(geo.Point{Lat: 42 + float64(i)*0.001, Lon: -71})
+		if _, _, err := net.AddTwoWayRoad(prev, cur, roadnet.Road{}); err != nil {
+			return err
+		}
+		prev = cur
+	}
+	if _, err := net.AttachPOI("Line General", "hospital", geo.Point{Lat: 42.0051, Lon: -71.0002}); err != nil {
+		return err
+	}
+	return osm.WriteFile(path, net)
+}

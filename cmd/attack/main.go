@@ -1,0 +1,157 @@
+// Command attack runs a single alternative route-based attack end to end:
+// build (or load) a city, pick a source and a hospital destination, choose
+// the alternative route p* by path rank, compute the minimum-cost edge cut
+// with the chosen algorithm, and report (optionally rendering the paper's
+// figure style as SVG).
+//
+// Examples:
+//
+//	attack -city boston -alg GreedyPathCover -rank 50 -weight TIME -cost WIDTH
+//	attack -city chicago -scale 0.1 -svg out.svg
+//	attack -osm extract.osm -alg LP-PathCover
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"altroute"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	var (
+		cityName  = fs.String("city", "boston", "city preset: boston, sanfrancisco, chicago, losangeles")
+		osmPath   = fs.String("osm", "", "load an OSM XML extract instead of a synthetic city")
+		scale     = fs.Float64("scale", 0.05, "synthetic city scale (1 = full Table I size)")
+		seed      = fs.Int64("seed", 1, "random seed (city generation and source choice)")
+		source    = fs.Int("source", -1, "source node ID (-1 = random)")
+		hospital  = fs.Int("hospital", 0, "hospital index 0-3")
+		rank      = fs.Int("rank", 100, "path rank of the alternative route p*")
+		weightStr = fs.String("weight", "TIME", "attacker objective: LENGTH or TIME")
+		costStr   = fs.String("cost", "UNIFORM", "removal cost model: UNIFORM, LANES, or WIDTH")
+		algStr    = fs.String("alg", "GreedyPathCover", "algorithm: LP-PathCover, GreedyPathCover, GreedyEdge, GreedyEig")
+		budget    = fs.Float64("budget", 0, "removal budget (0 = unlimited)")
+		svgPath   = fs.String("svg", "", "write a Figures 1-4 style SVG to this path")
+		maxTries  = fs.Int("tries", 200, "attempts to find a random source with the requested rank")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	wt, err := altroute.ParseWeightType(*weightStr)
+	if err != nil {
+		return err
+	}
+	ct, err := altroute.ParseCostType(*costStr)
+	if err != nil {
+		return err
+	}
+	alg, err := altroute.ParseAlgorithm(*algStr)
+	if err != nil {
+		return err
+	}
+
+	var net *altroute.Network
+	if *osmPath != "" {
+		f, err := os.Open(*osmPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		net, err = altroute.ParseOSM(f, altroute.OSMOptions{
+			Name: *osmPath, AttachHospitals: true, LargestComponent: true,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		city, err := altroute.ParseCity(*cityName)
+		if err != nil {
+			return err
+		}
+		net, err = altroute.BuildCity(city, *scale, *seed)
+		if err != nil {
+			return err
+		}
+	}
+	s := altroute.Summarize(net)
+	fmt.Printf("network: %s (%d nodes, %d edges, avg degree %.2f, latticeness %.2f)\n",
+		s.Name, s.Nodes, s.Edges, s.AvgNodeDegree, altroute.Latticeness(net))
+
+	hospitals := net.POIsOfKind(altroute.KindHospital)
+	if len(hospitals) == 0 {
+		return fmt.Errorf("network has no hospitals")
+	}
+	if *hospital < 0 || *hospital >= len(hospitals) {
+		return fmt.Errorf("hospital index %d out of range [0, %d)", *hospital, len(hospitals))
+	}
+	dest := hospitals[*hospital]
+	fmt.Printf("destination: %s (node %d)\n", dest.Name, dest.Node)
+
+	var problem altroute.Problem
+	if *source >= 0 {
+		problem, err = altroute.NewProblem(net, altroute.NodeID(*source), dest.Node, *rank, wt, ct, *budget)
+		if err != nil {
+			return err
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		found := false
+		for i := 0; i < *maxTries && !found; i++ {
+			src := altroute.NodeID(rng.Intn(net.NumIntersections()))
+			if src == dest.Node {
+				continue
+			}
+			if p, err := altroute.NewProblem(net, src, dest.Node, *rank, wt, ct, *budget); err == nil {
+				problem, found = p, true
+			}
+		}
+		if !found {
+			return fmt.Errorf("no source with %d simple paths to %s found in %d tries (lower -rank or raise -scale)",
+				*rank, dest.Name, *maxTries)
+		}
+	}
+	fmt.Printf("source: node %d\n", problem.Source)
+	fmt.Printf("p*: rank %d, %d hops, length %.2f (%s)\n", *rank, problem.PStar.Hops(), problem.PStar.Length, wt)
+
+	res, err := altroute.Attack(alg, problem, altroute.Options{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm: %s\n", res.Algorithm)
+	fmt.Printf("removed %d edges, total cost %.2f (%s), %d constraint paths, runtime %s\n",
+		len(res.Removed), res.TotalCost, ct, res.ConstraintPaths, res.Runtime)
+	for _, e := range res.Removed {
+		arc := net.Graph().Arc(e)
+		r := net.Road(e)
+		fmt.Printf("  cut edge %6d  %6d -> %-6d  %-12s %-24q length %7.1fm cost %.2f\n",
+			e, arc.From, arc.To, r.Class, r.Name, r.LengthM, net.Cost(ct)(e))
+	}
+
+	if *svgPath != "" {
+		scene := altroute.Scene{
+			Net:     net,
+			Source:  problem.Source,
+			Dest:    problem.Dest,
+			PStar:   problem.PStar,
+			Removed: res.Removed,
+			Title: fmt.Sprintf("%s -> %s | %s | weight %s cost %s | %d cuts",
+				s.Name, dest.Name, res.Algorithm, wt, ct, len(res.Removed)),
+		}
+		if err := altroute.WriteSVGFile(*svgPath, scene); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f while capturing stdout.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunSyntheticCity(t *testing.T) {
+	svg := filepath.Join(t.TempDir(), "out.svg")
+	out, err := capture(t, func() error {
+		return run([]string{
+			"-city", "chicago", "-scale", "0.02", "-seed", "3",
+			"-rank", "8", "-alg", "GreedyPathCover", "-cost", "LANES",
+			"-svg", svg,
+		})
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"network: Chicago", "destination:", "p*: rank 8", "removed", "wrote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(svg); err != nil {
+		t.Errorf("SVG not written: %v", err)
+	}
+}
+
+func TestRunExplicitSource(t *testing.T) {
+	// Source 0 may or may not have rank-6 paths; accept either a clean run
+	// or a rank-unavailable error, but never a panic or flag error.
+	_, err := capture(t, func() error {
+		return run([]string{
+			"-city", "boston", "-scale", "0.02", "-seed", "3",
+			"-rank", "6", "-source", "0",
+		})
+	})
+	if err != nil && !strings.Contains(err.Error(), "rank") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad city", []string{"-city", "gotham"}},
+		{"bad weight", []string{"-weight", "FUEL"}},
+		{"bad cost", []string{"-cost", "GOLD"}},
+		{"bad algorithm", []string{"-alg", "quantum"}},
+		{"bad hospital index", []string{"-city", "boston", "-scale", "0.02", "-hospital", "99"}},
+		{"unknown flag", []string{"-bogus"}},
+		{"missing osm file", []string{"-osm", "/nonexistent.osm"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestRunImpossibleRankFailsCleanly(t *testing.T) {
+	// A line network has exactly one simple path per pair, so rank > 1 is
+	// unavailable and every sampling attempt exhausts instantly. (A grid
+	// city would instead make Yen enumerate all requested paths.)
+	path := filepath.Join(t.TempDir(), "line.osm")
+	if err := writeLineCity(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err := capture(t, func() error {
+		return run([]string{"-osm", path, "-rank", "50", "-tries", "5"})
+	})
+	if err == nil || !strings.Contains(err.Error(), "no source") {
+		t.Fatalf("err = %v, want sampling failure", err)
+	}
+}
+
+func TestRunFromOSMFile(t *testing.T) {
+	// Generate a city, write it as OSM, and attack it through -osm.
+	dir := t.TempDir()
+	osmPath := filepath.Join(dir, "city.osm")
+	if err := writeTestCity(osmPath); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"-osm", osmPath, "-rank", "5", "-seed", "2"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "removed") {
+		t.Errorf("output missing attack result:\n%s", out)
+	}
+}

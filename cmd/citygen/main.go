@@ -1,0 +1,90 @@
+// Command citygen generates a synthetic city street network, prints its
+// Table I summary, and optionally writes it out as OSM XML for use with
+// other tooling (or for re-loading via attack -osm).
+//
+// Examples:
+//
+//	citygen -city chicago -scale 0.1 -out chicago.osm
+//	citygen -city boston -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"altroute"
+	"altroute/internal/citygen"
+	"altroute/internal/metrics"
+	"altroute/internal/osm"
+	"altroute/internal/roadnet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "citygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("citygen", flag.ContinueOnError)
+	var (
+		cityName = fs.String("city", "boston", "city preset: boston, sanfrancisco, chicago, losangeles")
+		scale    = fs.Float64("scale", 0.05, "scale (1 = full Table I size)")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		outPath  = fs.String("out", "", "write the network as OSM XML to this path")
+		stats    = fs.Bool("stats", false, "print extended topology statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	city, err := altroute.ParseCity(*cityName)
+	if err != nil {
+		return err
+	}
+	net, err := altroute.BuildCity(city, *scale, *seed)
+	if err != nil {
+		return err
+	}
+
+	s := metrics.Summarize(net)
+	fmt.Printf("%-15s nodes %d, edges %d, avg node degree %.2f\n", s.Name, s.Nodes, s.Edges, s.AvgNodeDegree)
+	target := citygen.TableI(city)
+	fmt.Printf("paper target (scale %.3f): nodes %.0f, edges %.0f, avg degree %.2f\n",
+		*scale, float64(target.Nodes)**scale, float64(target.Edges)**scale, target.AvgDegree)
+
+	if *stats {
+		fmt.Printf("latticeness: %.3f (orientation entropy %.3f nats)\n",
+			metrics.Latticeness(net), metrics.OrientationEntropy(net, 36))
+		classCount := map[roadnet.RoadClass]int{}
+		for e := 0; e < net.NumSegments(); e++ {
+			id := altroute.EdgeID(e)
+			if !net.Graph().EdgeDisabled(id) {
+				classCount[net.Road(id).Class]++
+			}
+		}
+		fmt.Println("segments by class:")
+		for _, c := range []roadnet.RoadClass{
+			roadnet.ClassMotorway, roadnet.ClassTrunk, roadnet.ClassPrimary,
+			roadnet.ClassSecondary, roadnet.ClassTertiary, roadnet.ClassResidential,
+			roadnet.ClassService, roadnet.ClassUnclassified,
+		} {
+			if classCount[c] > 0 {
+				fmt.Printf("  %-13s %7d\n", c, classCount[c])
+			}
+		}
+		fmt.Println("hospitals:")
+		for _, h := range net.POIsOfKind(citygen.KindHospital) {
+			fmt.Printf("  %-40s node %d at %v\n", h.Name, h.Node, h.Loc)
+		}
+	}
+
+	if *outPath != "" {
+		if err := osm.WriteFile(*outPath, net); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *outPath)
+	}
+	return nil
+}

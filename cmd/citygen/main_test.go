@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"altroute/internal/osm"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunStatsAndExport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "city.osm")
+	text, err := capture(t, func() error {
+		return run([]string{"-city", "sanfrancisco", "-scale", "0.02", "-stats", "-out", out})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"San Francisco", "latticeness", "segments by class", "hospitals", "wrote"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// The exported file must re-parse.
+	net, err := osm.ParseFile(out, osm.ParseOptions{})
+	if err != nil {
+		t.Fatalf("exported OSM does not parse: %v", err)
+	}
+	if net.NumSegments() == 0 {
+		t.Error("exported OSM has no segments")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad city", []string{"-city", "metropolis"}},
+		{"unknown flag", []string{"-whatever"}},
+		{"bad out path", []string{"-city", "boston", "-scale", "0.02", "-out", "/nonexistent/dir/x.osm"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan struct{})
+	var out []byte
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		close(done)
+	}()
+	runErr := f()
+	w.Close()
+	<-done
+	os.Stdout = old
+	return string(out), runErr
+}
+
+func TestRunTableI(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-table", "1", "-scale", "0.01", "-sources", "1"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"TABLE I", "Boston", "San Francisco", "Chicago", "Los Angeles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleAttackTable(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-table", "3", "-scale", "0.02", "-sources", "2", "-rank", "6"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"TABLE III", "Boston, WEIGHT TYPE: TIME", "LP-PathCover", "GreedyEig", "UNIFORM", "WIDTH"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTableX(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-table", "10", "-scale", "0.02", "-sources", "2", "-rank", "6"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "THRESHOLD TABLE") {
+		t.Errorf("output missing threshold table:\n%s", out)
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "figs")
+	out, err := capture(t, func() error {
+		return run([]string{"-figures", dir, "-scale", "0.02", "-sources", "1", "-rank", "6"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for i := 1; i <= 4; i++ {
+		p := filepath.Join(dir, "figure"+string(rune('0'+i))+".svg")
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("missing %s", p)
+		}
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no-op invocation should error with usage")
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRoman(t *testing.T) {
+	tests := map[int]string{1: "I", 4: "IV", 9: "IX", 10: "X", 42: "42"}
+	for n, want := range tests {
+		if got := roman(n); got != want {
+			t.Errorf("roman(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

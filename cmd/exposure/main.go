@@ -1,0 +1,94 @@
+// Command exposure analyzes a city from the defender's perspective: for
+// each hospital it samples inbound trips and reports how many simultaneous
+// blockages full denial needs (edge-disjoint paths), how cheap the
+// cheapest denial is, how cheap the strongest route-forcing attack is, and
+// which road segments greedy min-cut hardening would protect first.
+//
+//	exposure -city boston -scale 0.05 -trips 3 -harden 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"altroute"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "exposure:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("exposure", flag.ContinueOnError)
+	var (
+		cityName = fs.String("city", "boston", "city preset: boston, sanfrancisco, chicago, losangeles")
+		scale    = fs.Float64("scale", 0.05, "synthetic city scale")
+		seed     = fs.Int64("seed", 1, "random seed")
+		trips    = fs.Int("trips", 3, "sampled trips per hospital")
+		rank     = fs.Int("rank", 10, "path rank for the forcing-cost probe")
+		costStr  = fs.String("cost", "LANES", "capability model: UNIFORM, LANES, or WIDTH")
+		harden   = fs.Int("harden", 0, "rounds of greedy min-cut hardening to recommend (0 = skip)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	city, err := altroute.ParseCity(*cityName)
+	if err != nil {
+		return err
+	}
+	ct, err := altroute.ParseCostType(*costStr)
+	if err != nil {
+		return err
+	}
+	net, err := altroute.BuildCity(city, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	s := altroute.Summarize(net)
+	fmt.Printf("defender survey: %s (%d nodes, %d segments), capability model %s\n",
+		s.Name, s.Nodes, s.Edges, ct)
+
+	rng := rand.New(rand.NewSource(*seed))
+	for _, h := range net.POIsOfKind(altroute.KindHospital) {
+		var pairs [][2]altroute.NodeID
+		for len(pairs) < *trips {
+			src := altroute.NodeID(rng.Intn(net.NumIntersections()))
+			if src != h.Node {
+				pairs = append(pairs, [2]altroute.NodeID{src, h.Node})
+			}
+		}
+		exposures, err := altroute.SurveyExposure(net, pairs, *rank, altroute.WeightTime, ct)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s (node %d)\n", h.Name, h.Node)
+		fmt.Printf("  %-18s %8s %10s %10s\n", "trip", "disjoint", "deny-cost", "force-cost")
+		for _, e := range exposures {
+			force := "n/a"
+			if !math.IsNaN(e.ForceCost) {
+				force = fmt.Sprintf("%.1f", e.ForceCost)
+			}
+			fmt.Printf("  %6d -> %-8d %8d %10.1f %10s\n", e.Source, e.Dest, e.DisjointPaths, e.DenyCost, force)
+		}
+		if *harden > 0 {
+			plan, err := altroute.Harden(net.Graph(), pairs[0][0], h.Node, net.Cost(ct), *harden)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  hardening trip %d -> %d: protect %d segments; denial cost %.1f -> ",
+				pairs[0][0], h.Node, len(plan.Protect), plan.CostBefore)
+			if plan.Disconnectable {
+				fmt.Printf("%.1f\n", plan.CostAfter)
+			} else {
+				fmt.Printf("impossible\n")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunSurvey(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-city", "chicago", "-scale", "0.015", "-trips", "1", "-rank", "4", "-harden", "1"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"defender survey: Chicago", "disjoint", "deny-cost", "force-cost", "hardening"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad city", []string{"-city", "springfield"}},
+		{"bad cost", []string{"-cost", "DIAMONDS"}},
+		{"unknown flag", []string{"-zzz"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("run succeeded, want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package altroute_test
+
+import (
+	"fmt"
+	"log"
+
+	"altroute"
+)
+
+// ExampleAttack forces an alternative route on a hand-built street grid:
+// the victim drives from one corner to the other, and two blockages make
+// the attacker's chosen 3rd-shortest route the only optimal one.
+func ExampleAttack() {
+	net := altroute.NewNetwork("demo")
+	var nodes [2][3]altroute.NodeID
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			nodes[r][c] = net.AddIntersection(altroute.Point{
+				Lat: 42.36 + 0.001*float64(r),
+				Lon: -71.06 + 0.001*float64(c),
+			})
+		}
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			if c+1 < 3 {
+				if _, _, err := net.AddTwoWayRoad(nodes[r][c], nodes[r][c+1], altroute.Road{}); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if r+1 < 2 {
+				if _, _, err := net.AddTwoWayRoad(nodes[r][c], nodes[r+1][c], altroute.Road{}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	problem, err := altroute.NewProblem(net, nodes[0][0], nodes[1][2], 3,
+		altroute.WeightTime, altroute.CostUniform, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := altroute.Attack(altroute.AlgGreedyPathCover, problem, altroute.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	altroute.Apply(net.Graph(), result.Removed)
+	victim, _ := altroute.NewRouter(net.Graph()).ShortestPath(
+		problem.Source, problem.Dest, net.Weight(altroute.WeightTime))
+	fmt.Println("victim forced onto p*:", victim.SameEdges(problem.PStar))
+	fmt.Println("blocked any segments:", len(result.Removed) > 0)
+	// Output:
+	// victim forced onto p*: true
+	// blocked any segments: true
+}
+
+// ExampleBuildCity generates the paper's Chicago at 2% scale and prints
+// its Table I style summary shape.
+func ExampleBuildCity() {
+	net, err := altroute.BuildCity(altroute.Chicago, 0.02, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := altroute.Summarize(net)
+	fmt.Println("hospitals:", len(net.POIsOfKind(altroute.KindHospital)))
+	fmt.Println("grid-like:", altroute.Latticeness(net) > 0.8)
+	fmt.Println("has intersections:", s.Nodes > 100)
+	// Output:
+	// hospitals: 4
+	// grid-like: true
+	// has intersections: true
+}
+
+// ExampleParseAlgorithm shows the accepted algorithm spellings.
+func ExampleParseAlgorithm() {
+	for _, s := range []string{"LP-PathCover", "greedypathcover", "GreedyEdge", "greedyeig"} {
+		alg, err := altroute.ParseAlgorithm(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(alg)
+	}
+	// Output:
+	// LP-PathCover
+	// GreedyPathCover
+	// GreedyEdge
+	// GreedyEig
+}

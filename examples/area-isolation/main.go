@@ -1,0 +1,83 @@
+// Area isolation (paper §II-A): disconnect the neighborhood around a
+// hospital from the rest of the city with a minimum-cost set of road
+// blockages (min-cut with removal costs as capacities), then demonstrate
+// with the victim simulator that ambulances can no longer reach the
+// hospital.
+//
+//	go run ./examples/area-isolation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"altroute"
+)
+
+func main() {
+	const seed = 13
+	net, err := altroute.BuildCity(altroute.SanFrancisco, 0.04, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := net.Graph()
+	w := net.Weight(altroute.WeightTime)
+	hospital := net.POIsOfKind(altroute.KindHospital)[0]
+	fmt.Printf("%s: %d intersections; target: %s\n",
+		net.Name(), net.NumIntersections(), hospital.Name)
+
+	// Reconnaissance: the most critical roads by betweenness centrality.
+	fmt.Println("\nmost critical road segments (edge betweenness):")
+	for i, e := range altroute.CriticalRoads(net, w, 5, 120) {
+		arc := g.Arc(e)
+		fmt.Printf("  %d. edge %d (%d -> %d, %s)\n", i+1, e, arc.From, arc.To, net.Road(e).Class)
+	}
+
+	// Target area: everything within 45 driving seconds of the hospital.
+	area := altroute.AreaAround(g, hospital.Node, 45, w)
+	fmt.Printf("\ntarget area: %d intersections within 45 s of the hospital\n", len(area))
+
+	// Minimum-cost inbound cut under the LANES capability model.
+	iso, err := altroute.IsolateArea(g, area, net.Cost(altroute.CostLanes), altroute.Inbound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isolation plan: block %d segments, total cost %.0f lane-blockages\n",
+		len(iso.Cut), iso.TotalCost)
+
+	// Simulate 15 ambulances dispatched from random intersections.
+	rng := rand.New(rand.NewSource(seed))
+	inArea := map[altroute.NodeID]bool{}
+	for _, a := range area {
+		inArea[a] = true
+	}
+	var fleet []altroute.Vehicle
+	for i := 0; len(fleet) < 15; i++ {
+		src := altroute.NodeID(rng.Intn(net.NumIntersections()))
+		if src == hospital.Node || inArea[src] {
+			continue
+		}
+		fleet = append(fleet, altroute.Vehicle{ID: i, Source: src, Dest: hospital.Node})
+	}
+	var blocks []altroute.Blockage
+	for _, e := range iso.Cut {
+		blocks = append(blocks, altroute.Blockage{Edge: e, AtS: 0})
+	}
+	baseline, attacked, _, err := altroute.CompareAttack(altroute.SimConfig{
+		Net: net, Vehicles: fleet, Blockages: blocks,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stranded := 0
+	for _, v := range attacked.Vehicles {
+		if v.Stranded {
+			stranded++
+		}
+	}
+	fmt.Printf("\nambulance fleet: %d/%d reached the hospital before the attack\n",
+		baseline.ArrivedCount, len(fleet))
+	fmt.Printf("after the attack: %d arrived, %d stranded with no route\n",
+		attacked.ArrivedCount, stranded)
+}

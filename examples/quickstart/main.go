@@ -1,0 +1,76 @@
+// Quickstart: build a small street network by hand, choose an alternative
+// route, and compute the minimum set of road blockages that forces every
+// optimally-routing driver onto it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"altroute"
+)
+
+func main() {
+	// A 3x3 grid of two-way streets around downtown.
+	net := altroute.NewNetwork("toytown")
+	var nodes [3][3]altroute.NodeID
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			nodes[r][c] = net.AddIntersection(altroute.Point{
+				Lat: 42.3600 + 0.001*float64(r),
+				Lon: -71.0600 + 0.001*float64(c),
+			})
+		}
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			street := altroute.Road{Class: altroute.Road{}.Class, Lanes: 1 + (r+c)%2}
+			if c+1 < 3 {
+				if _, _, err := net.AddTwoWayRoad(nodes[r][c], nodes[r][c+1], street); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if r+1 < 3 {
+				if _, _, err := net.AddTwoWayRoad(nodes[r][c], nodes[r+1][c], street); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	source := nodes[0][0] // south-west corner
+	dest := nodes[2][2]   // north-east corner
+
+	// The victim normally drives the shortest TIME path. The attacker
+	// wants them on the 4th-shortest path instead.
+	problem, err := altroute.NewProblem(net, source, dest, 4,
+		altroute.WeightTime, altroute.CostLanes, 0 /* unlimited budget */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim trip: node %d -> node %d\n", source, dest)
+	fmt.Printf("forced alternative route p*: %d hops, %.1f s at the speed limits\n",
+		problem.PStar.Hops(), problem.PStar.Length)
+
+	result, err := altroute.Attack(altroute.AlgGreedyPathCover, problem, altroute.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attack plan: block %d road segments (total cost %.1f lanes) in %s\n",
+		len(result.Removed), result.TotalCost, result.Runtime)
+	for _, e := range result.Removed {
+		arc := net.Graph().Arc(e)
+		fmt.Printf("  block segment %d (%d -> %d)\n", e, arc.From, arc.To)
+	}
+
+	// Commit the attack and verify the victim's navigation now picks p*.
+	altroute.Apply(net.Graph(), result.Removed)
+	victim := altroute.NewRouter(net.Graph())
+	path, ok := victim.ShortestPath(source, dest, net.Weight(altroute.WeightTime))
+	if !ok {
+		log.Fatal("victim disconnected (should not happen: p* stays intact)")
+	}
+	fmt.Printf("victim's new best route equals p*: %v\n", path.SameEdges(problem.PStar))
+}

@@ -1,0 +1,3 @@
+module altroute
+
+go 1.24

@@ -1,0 +1,495 @@
+// Package citygen generates synthetic metropolitan street networks. The
+// paper runs on OpenStreetMap extracts of Boston, San Francisco, Chicago,
+// and Los Angeles; those extracts cannot ship with an offline module, so
+// citygen synthesizes seeded stand-ins calibrated per city to Table I
+// (node count, edge count, average node degree) and to each city's
+// qualitative "latticeness", the topological property the paper's analysis
+// hinges on:
+//
+//   - Lattice style (Chicago-like): a jittered rectangular grid with
+//     arterial rows/columns, one-way conversions, and block deletions.
+//     Many near-equal alternative routes exist between any two points.
+//   - Organic style (Boston-like): heavily jittered points connected to
+//     their nearest neighbors with random thinning. Few alternative routes
+//     exist and they detour substantially.
+//   - Mixed style (Los Angeles-like): several lattice districts at
+//     different orientations stitched together by motorway spines.
+//
+// All generation is deterministic for a fixed Config (including Seed).
+package citygen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+// Style selects the generator family.
+type Style int
+
+// Generator styles.
+const (
+	StyleLattice Style = iota + 1
+	StyleOrganic
+	StyleMixed
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case StyleLattice:
+		return "lattice"
+	case StyleOrganic:
+		return "organic"
+	case StyleMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// Config describes a synthetic city.
+type Config struct {
+	// Name labels the network.
+	Name string
+	// Style picks the generator family.
+	Style Style
+	// Rows and Cols size lattice (and per-district mixed) grids.
+	Rows, Cols int
+	// Districts is the number of grid districts for StyleMixed (minimum 2).
+	Districts int
+	// BlockM is the nominal block edge length in meters.
+	BlockM float64
+	// JitterFrac displaces intersections by up to this fraction of BlockM
+	// in each axis. Small for lattices, large for organic cities.
+	JitterFrac float64
+	// OneWayFrac converts this fraction of two-way streets to one-way.
+	OneWayFrac float64
+	// DeleteFrac removes this fraction of street segments (parks, rivers,
+	// dead ends) before the largest-SCC cleanup.
+	DeleteFrac float64
+	// ArterialEvery promotes every k-th row/column to a multi-lane
+	// arterial (0 disables).
+	ArterialEvery int
+	// StreetSpeedMS overrides the speed limit of ordinary (non-arterial)
+	// streets; 0 keeps the residential class default. Chicago-style grids
+	// post 30 mph on most streets, which narrows the arterial speed
+	// advantage and multiplies near-tie fast routes — the property behind
+	// the paper's "naive algorithms work well on lattice cities" finding.
+	StreetSpeedMS float64
+	// NeighborLinks is the nearest-neighbor count for StyleOrganic.
+	NeighborLinks int
+	// Center is the geographic center of the city.
+	Center geo.Point
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Config) fill() error {
+	if c.BlockM <= 0 {
+		c.BlockM = 100
+	}
+	if c.NeighborLinks <= 0 {
+		c.NeighborLinks = 3
+	}
+	if c.Districts < 2 {
+		c.Districts = 4
+	}
+	switch c.Style {
+	case StyleLattice, StyleMixed:
+		if c.Rows < 2 || c.Cols < 2 {
+			return fmt.Errorf("citygen: %v style needs Rows, Cols >= 2 (got %d, %d)", c.Style, c.Rows, c.Cols)
+		}
+	case StyleOrganic:
+		if c.Rows < 2 || c.Cols < 2 {
+			return fmt.Errorf("citygen: organic style needs Rows, Cols >= 2 for its point field (got %d, %d)", c.Rows, c.Cols)
+		}
+	default:
+		return fmt.Errorf("citygen: unknown style %d", int(c.Style))
+	}
+	return nil
+}
+
+// Scale returns a copy of the config with linear dimensions scaled by
+// sqrt(f), so the node count scales by approximately f. Scale(1) is the
+// identity.
+func (c Config) Scale(f float64) Config {
+	if f <= 0 || f == 1 {
+		return c
+	}
+	lin := math.Sqrt(f)
+	scaleDim := func(v int) int {
+		s := int(math.Round(float64(v) * lin))
+		if s < 2 {
+			s = 2
+		}
+		return s
+	}
+	c.Rows = scaleDim(c.Rows)
+	c.Cols = scaleDim(c.Cols)
+	return c
+}
+
+// Generate builds the street network described by cfg, restricted to its
+// largest strongly connected component.
+func Generate(cfg Config) (*roadnet.Network, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var net *roadnet.Network
+	switch cfg.Style {
+	case StyleLattice:
+		net = genLattice(cfg, rng)
+	case StyleOrganic:
+		net = genOrganic(cfg, rng)
+	case StyleMixed:
+		net = genMixed(cfg, rng)
+	}
+	if net.NumIntersections() == 0 {
+		return nil, fmt.Errorf("citygen: %q generated an empty network", cfg.Name)
+	}
+	// One-way conversions and deletions strand parts of the mesh. Rather
+	// than discarding them (which would distort the calibrated density),
+	// stitch stranded components back with two-way connector streets, then
+	// drop whatever still is not strongly connected (isolated slivers).
+	repairConnectivity(net)
+	clean, _ := net.LargestComponent()
+	if clean.NumIntersections() == 0 {
+		return nil, fmt.Errorf("citygen: %q generated an empty network (over-aggressive DeleteFrac?)", cfg.Name)
+	}
+	return clean, nil
+}
+
+// repairConnectivity adds two-way residential connectors from each
+// non-largest strongly connected component to the geometrically nearest
+// node of the largest component, iterating until the graph is strongly
+// connected (or a safety bound trips).
+func repairConnectivity(net *roadnet.Network) {
+	g := net.Graph()
+	proj := net.Projection()
+	for iter := 0; iter < 24; iter++ {
+		comp, count := graph.StronglyConnectedComponents(g)
+		if count <= 1 {
+			return
+		}
+		sizes := make([]int, count)
+		for _, c := range comp {
+			sizes[c]++
+		}
+		largest := 0
+		for c, sz := range sizes {
+			if sz > sizes[largest] {
+				largest = c
+			}
+		}
+		// Representative (first) node per component and the node list of
+		// the largest component.
+		rep := make([]graph.NodeID, count)
+		for i := range rep {
+			rep[i] = graph.InvalidNode
+		}
+		var anchor []graph.NodeID
+		for n, c := range comp {
+			if rep[c] == graph.InvalidNode {
+				rep[c] = graph.NodeID(n)
+			}
+			if c == largest {
+				anchor = append(anchor, graph.NodeID(n))
+			}
+		}
+		for c, r := range rep {
+			if c == largest || r == graph.InvalidNode {
+				continue
+			}
+			from := proj.ToXY(net.Point(r))
+			best := anchor[0]
+			bestD := math.Inf(1)
+			for _, a := range anchor {
+				if d := geo.Dist(from, proj.ToXY(net.Point(a))); d < bestD {
+					bestD = d
+					best = a
+				}
+			}
+			connector := roadnet.Road{Class: roadnet.ClassResidential, Lanes: 1}
+			if _, _, err := net.AddTwoWayRoad(r, best, connector); err != nil {
+				panic("citygen: " + err.Error())
+			}
+		}
+	}
+}
+
+// builder accumulates nodes on a local planar canvas before converting to
+// geographic coordinates around cfg.Center.
+type builder struct {
+	net  *roadnet.Network
+	proj geo.Projection
+	rng  *rand.Rand
+	cfg  Config
+}
+
+func newBuilder(cfg Config, rng *rand.Rand) *builder {
+	return &builder{
+		net:  roadnet.NewNetwork(cfg.Name),
+		proj: geo.NewProjection(cfg.Center),
+		rng:  rng,
+		cfg:  cfg,
+	}
+}
+
+func (b *builder) addNode(xy geo.XY) graph.NodeID {
+	return b.net.AddIntersection(b.proj.ToPoint(xy))
+}
+
+// jitter returns xy displaced by up to JitterFrac*BlockM per axis.
+func (b *builder) jitter(xy geo.XY) geo.XY {
+	j := b.cfg.JitterFrac * b.cfg.BlockM
+	if j <= 0 {
+		return xy
+	}
+	return geo.XY{
+		X: xy.X + (b.rng.Float64()*2-1)*j,
+		Y: xy.Y + (b.rng.Float64()*2-1)*j,
+	}
+}
+
+// street adds a road between a and b: two-way with probability
+// 1-OneWayFrac, else one-way in a random direction. Deleted with
+// probability DeleteFrac.
+func (b *builder) street(from, to graph.NodeID, r roadnet.Road) {
+	if b.rng.Float64() < b.cfg.DeleteFrac {
+		return
+	}
+	if b.rng.Float64() < b.cfg.OneWayFrac {
+		if b.rng.Intn(2) == 0 {
+			from, to = to, from
+		}
+		if _, err := b.net.AddRoad(from, to, r); err != nil {
+			panic("citygen: " + err.Error())
+		}
+		return
+	}
+	if _, _, err := b.net.AddTwoWayRoad(from, to, r); err != nil {
+		panic("citygen: " + err.Error())
+	}
+}
+
+// genLattice produces the Chicago-style jittered grid.
+func genLattice(cfg Config, rng *rand.Rand) *roadnet.Network {
+	b := newBuilder(cfg, rng)
+	placeLatticeDistrict(b, latticeSpec{
+		rows: cfg.Rows, cols: cfg.Cols,
+		origin:  geo.XY{X: -float64(cfg.Cols-1) * cfg.BlockM / 2, Y: -float64(cfg.Rows-1) * cfg.BlockM / 2},
+		bearing: 0,
+	})
+	return b.net
+}
+
+// latticeSpec positions one rectangular grid district.
+type latticeSpec struct {
+	rows, cols int
+	origin     geo.XY  // south-west corner
+	bearing    float64 // rotation in radians
+}
+
+// placeLatticeDistrict lays down a grid and returns its node matrix.
+func placeLatticeDistrict(b *builder, spec latticeSpec) [][]graph.NodeID {
+	cfg := b.cfg
+	sin, cos := math.Sin(spec.bearing), math.Cos(spec.bearing)
+	place := func(r, c int) geo.XY {
+		x := float64(c) * cfg.BlockM
+		y := float64(r) * cfg.BlockM
+		rx := x*cos - y*sin
+		ry := x*sin + y*cos
+		return b.jitter(geo.XY{X: spec.origin.X + rx, Y: spec.origin.Y + ry})
+	}
+
+	nodes := make([][]graph.NodeID, spec.rows)
+	for r := range nodes {
+		nodes[r] = make([]graph.NodeID, spec.cols)
+		for c := range nodes[r] {
+			nodes[r][c] = b.addNode(place(r, c))
+		}
+	}
+
+	arterial := func(i int) bool {
+		return cfg.ArterialEvery > 0 && i%cfg.ArterialEvery == 0
+	}
+	roadFor := func(isArterial bool) roadnet.Road {
+		if isArterial {
+			return roadnet.Road{Class: roadnet.ClassPrimary, Lanes: 2 + b.rng.Intn(2)}
+		}
+		return roadnet.Road{
+			Class:   roadnet.ClassResidential,
+			Lanes:   1 + b.rng.Intn(2),
+			SpeedMS: cfg.StreetSpeedMS,
+		}
+	}
+	for r := 0; r < spec.rows; r++ {
+		for c := 0; c < spec.cols; c++ {
+			if c+1 < spec.cols {
+				b.street(nodes[r][c], nodes[r][c+1], roadFor(arterial(r)))
+			}
+			if r+1 < spec.rows {
+				b.street(nodes[r][c], nodes[r+1][c], roadFor(arterial(c)))
+			}
+		}
+	}
+	return nodes
+}
+
+// genOrganic produces the Boston-style irregular mesh: a heavily jittered
+// point field connected to nearest neighbors, with arterial rays from the
+// center.
+func genOrganic(cfg Config, rng *rand.Rand) *roadnet.Network {
+	b := newBuilder(cfg, rng)
+	rows, cols := cfg.Rows, cfg.Cols
+
+	// Point field: grid positions with heavy displacement, some dropped to
+	// vary local density.
+	type pt struct {
+		id graph.NodeID
+		xy geo.XY
+	}
+	var pts []pt
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < 0.12 { // density holes
+				continue
+			}
+			xy := b.jitter(geo.XY{
+				X: (float64(c) - float64(cols-1)/2) * cfg.BlockM,
+				Y: (float64(r) - float64(rows-1)/2) * cfg.BlockM,
+			})
+			pts = append(pts, pt{id: b.addNode(xy), xy: xy})
+		}
+	}
+
+	// Spatial hash for nearest-neighbor queries.
+	cell := cfg.BlockM * 1.5
+	buckets := make(map[[2]int][]int)
+	key := func(xy geo.XY) [2]int {
+		return [2]int{int(math.Floor(xy.X / cell)), int(math.Floor(xy.Y / cell))}
+	}
+	for i, p := range pts {
+		buckets[key(p.xy)] = append(buckets[key(p.xy)], i)
+	}
+
+	type edgeKey struct{ a, b graph.NodeID }
+	seen := make(map[edgeKey]bool)
+	link := func(i, j int) {
+		a, bb := pts[i].id, pts[j].id
+		if a > bb {
+			a, bb = bb, a
+		}
+		k := edgeKey{a, bb}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		class := roadnet.ClassResidential
+		lanes := 1 + rng.Intn(2)
+		if rng.Float64() < 0.15 {
+			class = roadnet.ClassSecondary
+			lanes = 2
+		}
+		b.street(pts[i].id, pts[j].id, roadnet.Road{Class: class, Lanes: lanes})
+	}
+
+	// Connect each point to its k nearest neighbors; k alternates between
+	// NeighborLinks and NeighborLinks-1 so the mesh density (and with it
+	// the average node degree) can be tuned at half-link granularity.
+	for i, p := range pts {
+		kc := key(p.xy)
+		type cand struct {
+			j int
+			d float64
+		}
+		var cands []cand
+		for dx := -2; dx <= 2; dx++ {
+			for dy := -2; dy <= 2; dy++ {
+				for _, j := range buckets[[2]int{kc[0] + dx, kc[1] + dy}] {
+					if j == i {
+						continue
+					}
+					cands = append(cands, cand{j: j, d: geo.Dist(p.xy, pts[j].xy)})
+				}
+			}
+		}
+		// Partial selection of the k nearest (ties by index for
+		// determinism).
+		k := cfg.NeighborLinks
+		if k > 1 && rng.Intn(2) == 0 {
+			k--
+		}
+		if k > len(cands) {
+			k = len(cands)
+		}
+		for n := 0; n < k; n++ {
+			best := n
+			for m := n + 1; m < len(cands); m++ {
+				if cands[m].d < cands[best].d ||
+					(cands[m].d == cands[best].d && cands[m].j < cands[best].j) {
+					best = m
+				}
+			}
+			cands[n], cands[best] = cands[best], cands[n]
+			link(i, cands[n].j)
+		}
+	}
+	return b.net
+}
+
+// genMixed produces the Los Angeles-style network: several lattice
+// districts at different orientations connected by motorway spines.
+func genMixed(cfg Config, rng *rand.Rand) *roadnet.Network {
+	b := newBuilder(cfg, rng)
+	d := cfg.Districts
+
+	// Lay districts on a ring around the center, each rotated differently.
+	perSide := int(math.Ceil(math.Sqrt(float64(d))))
+	spanX := float64(cfg.Cols) * cfg.BlockM * 1.25
+	spanY := float64(cfg.Rows) * cfg.BlockM * 1.25
+	var centers []geo.XY
+	var grids [][][]graph.NodeID
+	for i := 0; i < d; i++ {
+		gx := float64(i%perSide) - float64(perSide-1)/2
+		gy := float64(i/perSide) - float64(perSide-1)/2
+		origin := geo.XY{
+			X: gx*spanX - float64(cfg.Cols-1)*cfg.BlockM/2,
+			Y: gy*spanY - float64(cfg.Rows-1)*cfg.BlockM/2,
+		}
+		bearing := rng.Float64() * math.Pi / 6 // up to 30 degrees
+		grids = append(grids, placeLatticeDistrict(b, latticeSpec{
+			rows: cfg.Rows, cols: cfg.Cols, origin: origin, bearing: bearing,
+		}))
+		centers = append(centers, geo.XY{X: gx * spanX, Y: gy * spanY})
+	}
+
+	// Motorway spines: connect each district's edge midpoints to the next
+	// district (ring + one cross link), via corner nodes.
+	freeway := roadnet.Road{Class: roadnet.ClassMotorway, Lanes: 4}
+	connect := func(a, bIdx int) {
+		ga, gb := grids[a], grids[bIdx]
+		na := ga[len(ga)/2][len(ga[0])-1] // east midpoint of a
+		nb := gb[len(gb)/2][0]            // west midpoint of b
+		if _, _, err := b.net.AddTwoWayRoad(na, nb, freeway); err != nil {
+			panic("citygen: " + err.Error())
+		}
+		// Second ramp pair for redundancy.
+		na2 := ga[len(ga)-1][len(ga[0])/2]
+		nb2 := gb[0][len(gb[0])/2]
+		if _, _, err := b.net.AddTwoWayRoad(na2, nb2, freeway); err != nil {
+			panic("citygen: " + err.Error())
+		}
+	}
+	for i := 0; i < d; i++ {
+		connect(i, (i+1)%d)
+	}
+	_ = centers
+	return b.net
+}

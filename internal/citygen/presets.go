@@ -1,0 +1,232 @@
+package citygen
+
+import (
+	"fmt"
+	"strings"
+
+	"altroute/internal/geo"
+	"altroute/internal/roadnet"
+)
+
+// City enumerates the four metropolitan areas evaluated in the paper
+// (Table I).
+type City int
+
+// The paper's four cities.
+const (
+	Boston City = iota + 1
+	SanFrancisco
+	Chicago
+	LosAngeles
+)
+
+var cityNames = map[City]string{
+	Boston:       "Boston",
+	SanFrancisco: "San Francisco",
+	Chicago:      "Chicago",
+	LosAngeles:   "Los Angeles",
+}
+
+// String implements fmt.Stringer.
+func (c City) String() string {
+	if s, ok := cityNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("City(%d)", int(c))
+}
+
+// ParseCity parses a case-insensitive city name ("boston",
+// "san francisco" or "sanfrancisco", ...).
+func ParseCity(s string) (City, error) {
+	key := strings.ToLower(strings.ReplaceAll(strings.TrimSpace(s), " ", ""))
+	for c, name := range cityNames {
+		if key == strings.ToLower(strings.ReplaceAll(name, " ", "")) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("citygen: unknown city %q (want Boston, San Francisco, Chicago, or Los Angeles)", s)
+}
+
+// Cities lists the four cities in paper order.
+func Cities() []City { return []City{Boston, SanFrancisco, Chicago, LosAngeles} }
+
+// TableITarget records the paper's Table I row for a city. The San
+// Francisco edge count in the paper (269002) is inconsistent with its
+// reported average degree (5.57 ⇒ ≈26.9k edges); we treat it as a typo.
+type TableITarget struct {
+	Nodes     int
+	Edges     int
+	AvgDegree float64
+}
+
+// TableI returns the paper's reported graph summary for c.
+func TableI(c City) TableITarget {
+	switch c {
+	case Boston:
+		return TableITarget{Nodes: 11171, Edges: 25715, AvgDegree: 4.60}
+	case SanFrancisco:
+		return TableITarget{Nodes: 9659, Edges: 26900, AvgDegree: 5.57}
+	case Chicago:
+		return TableITarget{Nodes: 29299, Edges: 78046, AvgDegree: 5.33}
+	case LosAngeles:
+		return TableITarget{Nodes: 51716, Edges: 141992, AvgDegree: 5.08}
+	default:
+		return TableITarget{}
+	}
+}
+
+// Preset returns the full-size generator configuration for c, calibrated
+// so node counts, average degrees, and latticeness approximate Table I.
+// Use Config.Scale to shrink it for faster experiments.
+func Preset(c City) Config {
+	switch c {
+	case Boston:
+		// Organic, least lattice of the four: heavy jitter, nearest-
+		// neighbor mesh. 113x113 point field with ~12% holes ≈ 11.2k nodes.
+		return Config{
+			Name:          "Boston",
+			Style:         StyleOrganic,
+			Rows:          113,
+			Cols:          113,
+			BlockM:        95,
+			JitterFrac:    0.45,
+			OneWayFrac:    0.35,
+			DeleteFrac:    0.12,
+			NeighborLinks: 3,
+			Center:        geo.Point{Lat: 42.3601, Lon: -71.0589},
+			Seed:          42,
+		}
+	case SanFrancisco:
+		// Lattice with moderate jitter (hills bend the grid slightly).
+		return Config{
+			Name:          "San Francisco",
+			Style:         StyleLattice,
+			Rows:          98,
+			Cols:          99,
+			BlockM:        110,
+			JitterFrac:    0.09,
+			OneWayFrac:    0.35,
+			DeleteFrac:    0.15,
+			ArterialEvery: 8,
+			Center:        geo.Point{Lat: 37.7749, Lon: -122.4194},
+			Seed:          42,
+		}
+	case Chicago:
+		// The most lattice city: near-perfect grid, regular arterials.
+		return Config{
+			Name:          "Chicago",
+			Style:         StyleLattice,
+			Rows:          171,
+			Cols:          172,
+			BlockM:        100,
+			JitterFrac:    0.04,
+			OneWayFrac:    0.35,
+			DeleteFrac:    0.18,
+			ArterialEvery: 4,
+			StreetSpeedMS: 13.41, // 30 mph: Chicago's default limit
+			Center:        geo.Point{Lat: 41.8781, Lon: -87.6298},
+			Seed:          42,
+		}
+	case LosAngeles:
+		// Mixed: four large grid districts at different bearings stitched
+		// by motorways. 4 x 114x114 ≈ 52k nodes.
+		return Config{
+			Name:          "Los Angeles",
+			Style:         StyleMixed,
+			Rows:          114,
+			Cols:          114,
+			Districts:     4,
+			BlockM:        105,
+			JitterFrac:    0.07,
+			OneWayFrac:    0.32,
+			DeleteFrac:    0.18,
+			ArterialEvery: 10,
+			Center:        geo.Point{Lat: 34.0522, Lon: -118.2437},
+			Seed:          42,
+		}
+	default:
+		return Config{}
+	}
+}
+
+// hospitalSpec places one hospital at fractional bounding-box coordinates.
+type hospitalSpec struct {
+	name   string
+	fx, fy float64
+}
+
+// hospitals lists four major hospitals per city. The first entry of each
+// list is the hospital the paper's example figure uses.
+var hospitals = map[City][]hospitalSpec{
+	Boston: {
+		{"Brigham and Women's Hospital", 0.46, 0.38},
+		{"Massachusetts General Hospital", 0.55, 0.62},
+		{"Boston Medical Center", 0.58, 0.41},
+		{"Tufts Medical Center", 0.54, 0.54},
+	},
+	SanFrancisco: {
+		{"UCSF Medical Center at Mission Bay", 0.66, 0.46},
+		{"Zuckerberg San Francisco General", 0.58, 0.36},
+		{"CPMC Van Ness Campus", 0.48, 0.60},
+		{"Kaiser Permanente San Francisco", 0.38, 0.56},
+	},
+	Chicago: {
+		{"Northwestern Memorial Hospital", 0.57, 0.58},
+		{"Rush University Medical Center", 0.44, 0.50},
+		{"University of Chicago Medical Center", 0.55, 0.24},
+		{"Advocate Illinois Masonic", 0.49, 0.74},
+	},
+	LosAngeles: {
+		{"LA Downtown Medical Center", 0.52, 0.50},
+		{"Cedars-Sinai Medical Center", 0.30, 0.62},
+		{"LAC+USC Medical Center", 0.60, 0.52},
+		{"Kaiser Permanente Los Angeles", 0.48, 0.68},
+	},
+}
+
+// HospitalNames returns the four hospital names used for c.
+func HospitalNames(c City) []string {
+	specs := hospitals[c]
+	if len(specs) == 0 {
+		return nil
+	}
+	names := make([]string, len(specs))
+	for i, h := range specs {
+		names[i] = h.name
+	}
+	return names
+}
+
+// Build generates city c at the given scale (1 reproduces Table I sizes;
+// the experiment harness defaults to much smaller scales) with the given
+// seed, and attaches its four hospitals. Hospitals are intentionally placed
+// slightly off-network so the POI-snapping surgery from §III-A runs on
+// every build.
+func Build(c City, scale float64, seed int64) (*roadnet.Network, error) {
+	cfg := Preset(c)
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("citygen: unknown city %v", c)
+	}
+	cfg = cfg.Scale(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	net, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	box := net.BBox()
+	for _, h := range hospitals[c] {
+		loc := geo.Point{
+			Lat: box.MinLat + h.fy*(box.MaxLat-box.MinLat),
+			Lon: box.MinLon + h.fx*(box.MaxLon-box.MinLon),
+		}
+		if _, err := net.AttachPOI(h.name, KindHospital, loc); err != nil {
+			return nil, fmt.Errorf("citygen: build %v: %w", c, err)
+		}
+	}
+	return net, nil
+}
+
+// KindHospital is the POI kind used for attack destinations.
+const KindHospital = "hospital"

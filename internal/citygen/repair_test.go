@@ -1,0 +1,136 @@
+package citygen
+
+import (
+	"testing"
+
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+// TestRepairHarshParameters: even destructive deletion/one-way settings
+// must yield a strongly connected network with most nodes retained, thanks
+// to the connectivity repair pass.
+func TestRepairHarshParameters(t *testing.T) {
+	cfg := Config{
+		Name: "harsh", Style: StyleLattice,
+		Rows: 18, Cols: 18, BlockM: 100,
+		OneWayFrac: 0.6, DeleteFrac: 0.3, JitterFrac: 0.1, Seed: 9,
+	}
+	net, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if _, count := graph.StronglyConnectedComponents(net.Graph()); count != 1 {
+		t.Fatalf("harsh lattice has %d SCCs, want 1", count)
+	}
+	// Repair keeps the node count near the grid size instead of trimming
+	// half the city away.
+	if got := net.NumIntersections(); got < 18*18*7/10 {
+		t.Errorf("nodes = %d, want >= 70%% of %d", got, 18*18)
+	}
+}
+
+func TestRepairOrganicHarsh(t *testing.T) {
+	cfg := Config{
+		Name: "org-harsh", Style: StyleOrganic,
+		Rows: 20, Cols: 20, BlockM: 100,
+		OneWayFrac: 0.5, DeleteFrac: 0.25, JitterFrac: 0.45,
+		NeighborLinks: 3, Seed: 2,
+	}
+	net, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if _, count := graph.StronglyConnectedComponents(net.Graph()); count != 1 {
+		t.Fatalf("harsh organic has %d SCCs, want 1", count)
+	}
+}
+
+// TestStreetSpeedOverride verifies the StreetSpeedMS knob reaches
+// non-arterial lattice streets and leaves arterials at class speed.
+func TestStreetSpeedOverride(t *testing.T) {
+	cfg := Config{
+		Name: "speed", Style: StyleLattice,
+		Rows: 10, Cols: 10, BlockM: 100,
+		ArterialEvery: 5, StreetSpeedMS: 13.41, Seed: 4,
+	}
+	net, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overridden, arterials := 0, 0
+	for e := 0; e < net.NumSegments(); e++ {
+		id := graph.EdgeID(e)
+		if net.Graph().EdgeDisabled(id) {
+			continue
+		}
+		r := net.Road(id)
+		switch r.Class {
+		case roadnet.ClassResidential:
+			if r.SpeedMS == 13.41 {
+				overridden++
+			}
+		case roadnet.ClassPrimary:
+			arterials++
+			if r.SpeedMS == 13.41 {
+				t.Fatalf("arterial %d inherited the street override", e)
+			}
+		}
+	}
+	if overridden == 0 {
+		t.Error("no residential street got the speed override")
+	}
+	if arterials == 0 {
+		t.Error("no arterials generated")
+	}
+}
+
+// TestMixedDistrictCount: mixed cities honor the district count through
+// the motorway stitching.
+func TestMixedDistrictCount(t *testing.T) {
+	for _, d := range []int{2, 3, 6} {
+		cfg := Config{
+			Name: "mix", Style: StyleMixed, Rows: 7, Cols: 7,
+			Districts: d, BlockM: 100, Seed: 3,
+		}
+		net, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("districts=%d: %v", d, err)
+		}
+		want := d * 7 * 7
+		if got := net.NumIntersections(); got < want*8/10 || got > want {
+			t.Errorf("districts=%d: nodes = %d, want ~%d", d, got, want)
+		}
+	}
+}
+
+// TestBuildCustomSeedChangesLayout ensures the seed parameter reaches the
+// generator (same seed equal, different seed different).
+func TestBuildCustomSeedChangesLayout(t *testing.T) {
+	a, err := Build(Chicago, 0.01, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Chicago, 0.01, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSegments() != b.NumSegments() {
+		t.Error("same seed produced different networks")
+	}
+	c, err := Build(Chicago, 0.01, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSegments() == a.NumSegments() && c.NumIntersections() == a.NumIntersections() {
+		same := true
+		for e := 0; e < c.NumSegments() && same; e++ {
+			if c.Graph().Arc(graph.EdgeID(e)) != a.Graph().Arc(graph.EdgeID(e)) {
+				same = false
+			}
+		}
+		if same {
+			t.Error("different seed produced identical network")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"altroute/internal/graph"
+)
+
+// Algorithm identifies one of the paper's four Force Path Cut algorithms.
+type Algorithm int
+
+// The four algorithms evaluated in the paper, in its presentation order.
+const (
+	AlgLPPathCover Algorithm = iota + 1
+	AlgGreedyPathCover
+	AlgGreedyEdge
+	AlgGreedyEig
+)
+
+var algorithmNames = map[Algorithm]string{
+	AlgLPPathCover:     "LP-PathCover",
+	AlgGreedyPathCover: "GreedyPathCover",
+	AlgGreedyEdge:      "GreedyEdge",
+	AlgGreedyEig:       "GreedyEig",
+}
+
+// String implements fmt.Stringer using the paper's names.
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm parses a case-insensitive algorithm name, with or without
+// the hyphen in LP-PathCover.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	key := strings.ToLower(strings.ReplaceAll(strings.TrimSpace(s), "-", ""))
+	for a, name := range algorithmNames {
+		if key == strings.ToLower(strings.ReplaceAll(name, "-", "")) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q (want one of LP-PathCover, GreedyPathCover, GreedyEdge, GreedyEig)", s)
+}
+
+// Algorithms lists all algorithms in paper order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgLPPathCover, AlgGreedyPathCover, AlgGreedyEdge, AlgGreedyEig}
+}
+
+// Options tunes the algorithms. The zero value uses sensible defaults.
+type Options struct {
+	// MaxRounds bounds constraint-generation rounds (PathCover algorithms)
+	// and cuts (naive algorithms). Default 10000.
+	MaxRounds int
+	// LPRoundingTrials is the number of randomized rounding attempts per
+	// LP solve (LP-PathCover only). The deterministic threshold rounding
+	// always runs; trials can only improve it. Default 16.
+	LPRoundingTrials int
+	// Seed drives the randomized rounding. The default 0 is a valid seed
+	// (runs are always deterministic for a fixed seed).
+	Seed int64
+	// RecomputeEigen makes GreedyEig recompute centrality after every cut
+	// instead of scoring once on the intact graph. Slower; occasionally
+	// cheaper cuts. Default false, matching PATHATTACK.
+	RecomputeEigen bool
+}
+
+func (o *Options) fill() {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 10000
+	}
+	if o.LPRoundingTrials <= 0 {
+		o.LPRoundingTrials = 16
+	}
+}
+
+// Result reports a successful attack plan.
+type Result struct {
+	// Algorithm that produced the plan.
+	Algorithm Algorithm
+	// Removed is the edge cut, in the order chosen.
+	Removed []graph.EdgeID
+	// TotalCost is the summed removal cost of the cut (the paper's ACRE
+	// numerator).
+	TotalCost float64
+	// Rounds counts outer iterations: constraint-generation rounds for the
+	// PathCover algorithms, cuts for the naive algorithms.
+	Rounds int
+	// ConstraintPaths counts violating paths generated (PathCover
+	// algorithms; equals Rounds for the naive ones).
+	ConstraintPaths int
+	// Runtime is the wall-clock duration of the attack computation.
+	Runtime time.Duration
+}
+
+// Run executes the chosen algorithm on p. The input graph is left exactly
+// as it was found; apply the returned cut with Apply to commit the attack.
+func Run(alg Algorithm, p Problem, opts Options) (Result, error) {
+	opts.fill()
+	start := time.Now()
+	var (
+		res Result
+		err error
+	)
+	switch alg {
+	case AlgLPPathCover:
+		res, err = lpPathCover(p, opts)
+	case AlgGreedyPathCover:
+		res, err = greedyPathCover(p, opts)
+	case AlgGreedyEdge:
+		res, err = greedyEdge(p, opts)
+	case AlgGreedyEig:
+		res, err = greedyEig(p, opts)
+	default:
+		return Result{}, fmt.Errorf("%w: unknown algorithm %d", ErrInvalidProblem, alg)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Algorithm = alg
+	res.Runtime = time.Since(start)
+	return res, nil
+}

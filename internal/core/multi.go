@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"altroute/internal/graph"
+)
+
+// VictimSpec is one victim trip in a coordinated multi-victim attack.
+type VictimSpec struct {
+	Source graph.NodeID
+	Dest   graph.NodeID
+	// PStar is the alternative route forced on this victim.
+	PStar graph.Path
+}
+
+// MultiProblem is the coordinated version of the attack from §II-A: "a
+// motivated attacker could feasibly ... coerce multiple drivers to take a
+// chosen suboptimal alternative route". One edge cut must simultaneously
+// make every victim's p* the exclusive shortest path for that victim's
+// endpoints, without touching any victim's p*.
+type MultiProblem struct {
+	G       *graph.Graph
+	Victims []VictimSpec
+	Weight  graph.WeightFunc
+	Cost    graph.WeightFunc
+	// Budget caps the total removal cost; <= 0 means unlimited.
+	Budget float64
+}
+
+func (p *MultiProblem) validate() error {
+	if p.G == nil {
+		return fmt.Errorf("%w: nil graph", ErrInvalidProblem)
+	}
+	if p.Weight == nil || p.Cost == nil {
+		return fmt.Errorf("%w: nil weight or cost function", ErrInvalidProblem)
+	}
+	if len(p.Victims) == 0 {
+		return fmt.Errorf("%w: no victims", ErrInvalidProblem)
+	}
+	for i := range p.Victims {
+		v := &p.Victims[i]
+		sub := Problem{
+			G: p.G, Source: v.Source, Dest: v.Dest, PStar: v.PStar,
+			Weight: p.Weight, Cost: p.Cost,
+		}
+		if err := sub.validate(); err != nil {
+			return fmt.Errorf("victim %d: %w", i, err)
+		}
+		v.PStar = sub.PStar // normalized length
+	}
+	return nil
+}
+
+// unionPStarSet returns the union of all victims' p* edges — the protected
+// set no cut may touch.
+func (p *MultiProblem) unionPStarSet() map[graph.EdgeID]struct{} {
+	set := make(map[graph.EdgeID]struct{})
+	for _, v := range p.Victims {
+		for _, e := range v.PStar.Edges {
+			set[e] = struct{}{}
+		}
+	}
+	return set
+}
+
+// RunMulti computes one edge cut forcing every victim onto its alternative
+// route. Only the constraint-generation algorithms generalize to multiple
+// victims (their Set Cover pool simply accumulates constraints from every
+// victim); AlgGreedyEdge and AlgGreedyEig return ErrInvalidProblem.
+//
+// The graph is restored before returning; commit the cut with Apply.
+func RunMulti(alg Algorithm, p MultiProblem, opts Options) (Result, error) {
+	opts.fill()
+	var solve coverSolver
+	switch alg {
+	case AlgGreedyPathCover:
+		solve = greedyCover
+	case AlgLPPathCover:
+		solve = func(pool []graph.Path, pr *Problem, pstarSet map[graph.EdgeID]struct{}) ([]graph.EdgeID, error) {
+			return lpCover(pool, pr, pstarSet, opts)
+		}
+	default:
+		return Result{}, fmt.Errorf("%w: algorithm %v does not support multi-victim attacks (use GreedyPathCover or LP-PathCover)",
+			ErrInvalidProblem, alg)
+	}
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	res, err := multiCoverLoop(p, opts, solve)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Algorithm = alg
+	return res, nil
+}
+
+// multiCoverLoop is pathCoverLoop generalized over victims: every round
+// queries each victim's exclusivity oracle under the current cut, adds all
+// violations to the shared pool, and re-solves the cover.
+func multiCoverLoop(p MultiProblem, opts Options, solve coverSolver) (Result, error) {
+	r := graph.NewRouter(p.G)
+	protected := p.unionPStarSet()
+	budget := p.Budget
+	if budget <= 0 {
+		budget = inf()
+	}
+
+	// proxy is the Problem handed to the cover solvers: only G, Weight,
+	// and Cost are consulted there.
+	proxy := Problem{G: p.G, Weight: p.Weight, Cost: p.Cost}
+
+	var pool []graph.Path
+	var cut []graph.EdgeID
+	for round := 0; round < opts.MaxRounds; round++ {
+		tx := p.G.Begin()
+		for _, e := range cut {
+			tx.Disable(e)
+		}
+		violations := 0
+		for i := range p.Victims {
+			v := &p.Victims[i]
+			sub := Problem{
+				G: p.G, Source: v.Source, Dest: v.Dest, PStar: v.PStar,
+				Weight: p.Weight, Cost: p.Cost,
+			}
+			viol, violated := sub.violating(r)
+			if !violated {
+				continue
+			}
+			violations++
+			if !hasCuttableEdge(viol, &proxy, protected) {
+				tx.Rollback()
+				return Result{}, fmt.Errorf("%w: victim %d's violating path %v lies entirely on protected routes",
+					ErrInfeasible, i, viol)
+			}
+			pool = append(pool, viol)
+		}
+		tx.Rollback()
+
+		if violations == 0 {
+			sort.Slice(cut, func(i, j int) bool { return cut[i] < cut[j] })
+			return Result{
+				Removed:         cut,
+				TotalCost:       TotalCost(p.Cost, cut),
+				Rounds:          round,
+				ConstraintPaths: len(pool),
+			}, nil
+		}
+		var err error
+		cut, err = solve(pool, &proxy, protected)
+		if err != nil {
+			return Result{}, err
+		}
+		if c := TotalCost(p.Cost, cut); c > budget {
+			return Result{}, fmt.Errorf("%w: multi-victim cover costs %.3f > budget %.3f",
+				ErrBudgetExceeded, c, p.Budget)
+		}
+	}
+	return Result{}, fmt.Errorf("%w: no multi-victim solution within %d rounds", ErrInfeasible, opts.MaxRounds)
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"altroute/internal/graph"
+)
+
+// ladder builds a graph with k parallel two-hop routes from 0 to 1+k and a
+// long direct route, so forcing the direct route needs exactly k cuts.
+func ladder(t *testing.T, k int, cost func(i int) float64) (*weighted, graph.Path) {
+	t.Helper()
+	w := &weighted{g: graph.New(2 + k)}
+	dest := graph.NodeID(1)
+	direct := w.addEdge(t, 0, dest, 100, 1)
+	for i := 0; i < k; i++ {
+		mid := graph.NodeID(2 + i)
+		w.addEdge(t, 0, mid, 1, cost(i))
+		w.addEdge(t, mid, dest, 1, cost(i))
+	}
+	pstar := graph.Path{Nodes: []graph.NodeID{0, dest}, Edges: []graph.EdgeID{direct}, Length: 100}
+	return w, pstar
+}
+
+func TestPathCoverCutsOnePerParallelRoute(t *testing.T) {
+	for _, alg := range []Algorithm{AlgGreedyPathCover, AlgLPPathCover} {
+		t.Run(alg.String(), func(t *testing.T) {
+			w, pstar := ladder(t, 6, func(int) float64 { return 1 })
+			p := problemFor(w, pstar, 0)
+			res, err := Run(alg, p, Options{})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(res.Removed) != 6 {
+				t.Errorf("removed %d edges, want 6 (one per route)", len(res.Removed))
+			}
+			if res.ConstraintPaths < 6 {
+				t.Errorf("constraint paths = %d, want >= 6", res.ConstraintPaths)
+			}
+			assertAttackValid(t, p, res)
+		})
+	}
+}
+
+func TestPathCoverPicksCheapSideOfEachRoute(t *testing.T) {
+	// Each route has a cheap first hop (cost 1) and expensive second hop
+	// (cost 10): the cover must always pay 1 per route.
+	w := &weighted{g: graph.New(5)}
+	dest := graph.NodeID(1)
+	direct := w.addEdge(t, 0, dest, 100, 1)
+	for i := 0; i < 3; i++ {
+		mid := graph.NodeID(2 + i)
+		w.addEdge(t, 0, mid, 1, 1)
+		w.addEdge(t, mid, dest, 1, 10)
+	}
+	pstar := graph.Path{Nodes: []graph.NodeID{0, dest}, Edges: []graph.EdgeID{direct}, Length: 100}
+	p := problemFor(w, pstar, 0)
+	for _, alg := range []Algorithm{AlgGreedyPathCover, AlgLPPathCover} {
+		res, err := Run(alg, p, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.TotalCost != 3 {
+			t.Errorf("%v total cost = %v, want 3 (cheap hops only)", alg, res.TotalCost)
+		}
+	}
+}
+
+func TestLPRoundingTrialsOption(t *testing.T) {
+	// More rounding trials can only match or improve the deterministic
+	// threshold rounding; both must be valid.
+	w, pstar := ladder(t, 5, func(i int) float64 { return float64(1 + i) })
+	p := problemFor(w, pstar, 0)
+	base, err := Run(AlgLPPathCover, p, Options{LPRoundingTrials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := Run(AlgLPPathCover, p, Options{LPRoundingTrials: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more.TotalCost > base.TotalCost+1e-9 {
+		t.Errorf("64 trials (%v) worse than 1 trial (%v)", more.TotalCost, base.TotalCost)
+	}
+	assertAttackValid(t, p, base)
+	assertAttackValid(t, p, more)
+}
+
+func TestRecomputeEigenOption(t *testing.T) {
+	w, pstar := ladder(t, 4, func(int) float64 { return 1 })
+	p := problemFor(w, pstar, 0)
+	res, err := Run(AlgGreedyEig, p, Options{RecomputeEigen: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertAttackValid(t, p, res)
+}
+
+func TestPathCoverMaxRoundsBudgetsTheLoop(t *testing.T) {
+	w, pstar := ladder(t, 8, func(int) float64 { return 1 })
+	p := problemFor(w, pstar, 0)
+	if _, err := Run(AlgGreedyPathCover, p, Options{MaxRounds: 2}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible (loop budget)", err)
+	}
+	if w.g.NumEnabledEdges() != w.g.NumEdges() {
+		t.Error("failed run left graph mutated")
+	}
+}
+
+// TestBudgetBoundaryProperty: for random ladder instances, the attack
+// succeeds iff the budget is at least the (known) optimal cost.
+func TestBudgetBoundaryProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(5)
+		costs := make([]float64, k)
+		optimal := 0.0
+		for i := range costs {
+			costs[i] = float64(1 + rng.Intn(4))
+			optimal += costs[i] // one cut per route, cheap side == expensive side here
+		}
+		build := func() (*weighted, graph.Path) {
+			w := &weighted{g: graph.New(2 + k)}
+			dest := graph.NodeID(1)
+			direct := w.addEdge2(0, dest, 100, 1)
+			for i := 0; i < k; i++ {
+				mid := graph.NodeID(2 + i)
+				w.addEdge2(0, mid, 1, costs[i])
+				w.addEdge2(mid, dest, 1, costs[i])
+			}
+			return w, graph.Path{Nodes: []graph.NodeID{0, dest}, Edges: []graph.EdgeID{direct}, Length: 100}
+		}
+
+		// Budget exactly optimal: must succeed.
+		w, pstar := build()
+		p := problemFor(w, pstar, optimal)
+		if _, err := Run(AlgGreedyPathCover, p, Options{}); err != nil {
+			t.Logf("seed %d: exact budget failed: %v", seed, err)
+			return false
+		}
+		// Budget a hair below: must fail with ErrBudgetExceeded.
+		p.Budget = optimal - 0.5
+		if _, err := Run(AlgGreedyPathCover, p, Options{}); !errors.Is(err, ErrBudgetExceeded) {
+			t.Logf("seed %d: below-optimal budget err = %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// addEdge2 is addEdge without the testing.T (for property closures).
+func (w *weighted) addEdge2(from, to graph.NodeID, weight, cost float64) graph.EdgeID {
+	e, err := w.g.AddEdge(from, to)
+	if err != nil {
+		panic(err)
+	}
+	w.weight = append(w.weight, weight)
+	w.cost = append(w.cost, cost)
+	return e
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"altroute/internal/graph"
+)
+
+// viaGraph builds a 2x3 grid-ish graph with a toll edge off the shortest
+// route:
+//
+//	0 -> 1 -> 2
+//	|    |    |
+//	v    v    v
+//	3 -> 4 -> 5
+//
+// All edges weight 1 except the toll edge 3->4 (weight 5). Shortest 0->5 is
+// 0-1-2-5 (or ties); the toll route 0-3-4-5 costs 7.
+func viaGraph(t *testing.T) (*weighted, graph.EdgeID) {
+	t.Helper()
+	w := &weighted{g: graph.New(6)}
+	w.addEdge(t, 0, 1, 1, 1)
+	w.addEdge(t, 1, 2, 1, 1)
+	w.addEdge(t, 0, 3, 1, 1)
+	w.addEdge(t, 1, 4, 1, 1)
+	w.addEdge(t, 2, 5, 1, 1)
+	toll := w.addEdge(t, 3, 4, 5, 1)
+	w.addEdge(t, 4, 5, 1, 1)
+	return w, toll
+}
+
+func TestBuildViaPath(t *testing.T) {
+	w, toll := viaGraph(t)
+	p, err := BuildViaPath(w.g, 0, 5, toll, w.wf())
+	if err != nil {
+		t.Fatalf("BuildViaPath: %v", err)
+	}
+	if !p.HasEdge(toll) {
+		t.Fatalf("via path %v does not use the toll edge", p)
+	}
+	if !p.IsSimple() {
+		t.Fatalf("via path %v is not simple", p)
+	}
+	if p.Source() != 0 || p.Target() != 5 {
+		t.Fatalf("via path endpoints %d->%d", p.Source(), p.Target())
+	}
+	if p.Length != 7 {
+		t.Errorf("via path length = %v, want 7 (0-3-4(toll)-5)", p.Length)
+	}
+}
+
+func TestBuildViaPathThenForce(t *testing.T) {
+	w, toll := viaGraph(t)
+	pstar, err := BuildViaPath(w.g, 0, 5, toll, w.wf())
+	if err != nil {
+		t.Fatalf("BuildViaPath: %v", err)
+	}
+	p := Problem{G: w.g, Source: 0, Dest: 5, PStar: pstar, Weight: w.wf(), Cost: w.cf()}
+	res, err := Run(AlgGreedyPathCover, p, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertAttackValid(t, p, res)
+}
+
+func TestBuildViaPathErrors(t *testing.T) {
+	w, toll := viaGraph(t)
+
+	if _, err := BuildViaPath(w.g, 0, 5, graph.EdgeID(99), w.wf()); !errors.Is(err, ErrInvalidProblem) {
+		t.Errorf("bogus edge err = %v", err)
+	}
+	w.g.DisableEdge(toll)
+	if _, err := BuildViaPath(w.g, 0, 5, toll, w.wf()); !errors.Is(err, ErrInvalidProblem) {
+		t.Errorf("disabled edge err = %v", err)
+	}
+	w.g.EnableEdge(toll)
+
+	// Unreachable tail: node 5 has no outgoing edges, so a via edge
+	// starting after 5's only position cannot be reached from 5.
+	if _, err := BuildViaPath(w.g, 5, 0, toll, w.wf()); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("unreachable tail err = %v", err)
+	}
+}
+
+func TestBuildViaPathNoSimpleSuffix(t *testing.T) {
+	// 0 -> 1 -> 2 with via = 1->2 and destination 0: the suffix 2->0 does
+	// not exist, so the construction must fail.
+	w := &weighted{g: graph.New(3)}
+	w.addEdge(t, 0, 1, 1, 1)
+	via := w.addEdge(t, 1, 2, 1, 1)
+	if _, err := BuildViaPath(w.g, 0, 0, via, w.wf()); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package defense analyzes a road network from the defender's perspective
+// and quantifies its exposure to the paper's attacks. The paper's threat
+// analysis implies three defender questions:
+//
+//  1. How many simultaneous blockages does full denial of a trip require?
+//     (EdgeDisjointPaths — a pure topology measure.)
+//  2. How cheap is the cheapest route-forcing attack against a trip?
+//     (AttackCost — runs the strongest attacker, LP-PathCover.)
+//  3. Which road segments should be protected (patrolled, monitored,
+//     hardened) to drive the attacker's cost up the most?
+//     (Harden — iterated min-cut protection.)
+//
+// These are the building blocks for the mitigation studies the paper lists
+// as future work.
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"altroute/internal/core"
+	"altroute/internal/graph"
+	"altroute/internal/partition"
+	"altroute/internal/roadnet"
+)
+
+// ErrBadTrip is returned for invalid endpoint pairs.
+var ErrBadTrip = errors.New("defense: invalid trip endpoints")
+
+// EdgeDisjointPaths returns the maximum number of edge-disjoint s->d paths
+// over enabled edges: the number of distinct road blockages an attacker
+// needs to fully deny the trip (Menger's theorem via unit-capacity
+// max-flow).
+func EdgeDisjointPaths(g *graph.Graph, s, d graph.NodeID) (int, error) {
+	if s == d {
+		return 0, fmt.Errorf("%w: source equals destination", ErrBadTrip)
+	}
+	_, flow, err := partition.MinCutBetween(g, s, d, func(graph.EdgeID) float64 { return 1 })
+	if err != nil {
+		return 0, fmt.Errorf("defense: %w", err)
+	}
+	return int(math.Round(flow)), nil
+}
+
+// AttackCost returns the cheapest cost at which the strongest evaluated
+// attacker (LP-PathCover) can force the rank-th alternative route on the
+// trip, under the given weight and cost models. It answers "how exposed is
+// this trip"; lower is worse for the defender.
+func AttackCost(net *roadnet.Network, s, d graph.NodeID, rank int, wt roadnet.WeightType, ct roadnet.CostType) (float64, error) {
+	p, err := core.NewProblem(net, s, d, rank, wt, ct, 0)
+	if err != nil {
+		return 0, fmt.Errorf("defense: %w", err)
+	}
+	res, err := core.Run(core.AlgLPPathCover, p, core.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("defense: %w", err)
+	}
+	return res.TotalCost, nil
+}
+
+// HardeningPlan is the output of Harden.
+type HardeningPlan struct {
+	// Protect lists the road segments to protect, in recommendation order
+	// (earlier segments buy the biggest attacker-cost increase).
+	Protect []graph.EdgeID
+	// CostBefore is the attacker's full-denial cost with no protection.
+	CostBefore float64
+	// CostAfter is the attacker's full-denial cost when every recommended
+	// segment is unblockable.
+	CostAfter float64
+	// Disconnectable is false when, after protection, the attacker can no
+	// longer disconnect the trip at any finite cost (every s->d min cut
+	// contains a protected segment).
+	Disconnectable bool
+}
+
+// Harden recommends road segments to protect for the trip s->d: it
+// repeatedly computes the attacker's minimum-cost denial cut and protects
+// its segments (making them unblockable), for up to rounds iterations or
+// until the trip cannot be disconnected at all. This greedy interdiction
+// defense directly counters the paper's attacker model, whose cuts are
+// exactly these min cuts.
+func Harden(g *graph.Graph, s, d graph.NodeID, cost graph.WeightFunc, rounds int) (HardeningPlan, error) {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	protected := make(map[graph.EdgeID]struct{})
+	shielded := func(e graph.EdgeID) float64 {
+		if _, ok := protected[e]; ok {
+			return math.Inf(1)
+		}
+		return cost(e)
+	}
+
+	plan := HardeningPlan{Disconnectable: true}
+	for round := 0; round < rounds; round++ {
+		cut, flow, err := partition.MinCutBetween(g, s, d, shielded)
+		if err != nil {
+			return HardeningPlan{}, fmt.Errorf("defense: %w", err)
+		}
+		if round == 0 {
+			plan.CostBefore = flow
+		}
+		plan.CostAfter = flow
+		if math.IsInf(flow, 1) || len(cut) == 0 {
+			plan.Disconnectable = false
+			plan.CostAfter = math.Inf(1)
+			break
+		}
+		for _, e := range cut {
+			if _, dup := protected[e]; !dup {
+				protected[e] = struct{}{}
+				plan.Protect = append(plan.Protect, e)
+			}
+		}
+	}
+	if plan.Disconnectable {
+		// Report the post-protection denial cost.
+		_, flow, err := partition.MinCutBetween(g, s, d, shielded)
+		if err != nil {
+			return HardeningPlan{}, fmt.Errorf("defense: %w", err)
+		}
+		if math.IsInf(flow, 1) {
+			plan.Disconnectable = false
+		}
+		plan.CostAfter = flow
+	}
+	return plan, nil
+}
+
+// TripExposure summarizes one trip's vulnerability.
+type TripExposure struct {
+	Source        graph.NodeID
+	Dest          graph.NodeID
+	DisjointPaths int
+	// ForceCost is the cheapest route-forcing attack cost (see
+	// AttackCost); NaN when the requested rank is unavailable.
+	ForceCost float64
+	// DenyCost is the cheapest full-denial (disconnection) cost.
+	DenyCost float64
+}
+
+// Survey computes exposure for a set of trips under the given models,
+// using the paper's path rank for the forcing cost.
+func Survey(net *roadnet.Network, trips [][2]graph.NodeID, rank int, wt roadnet.WeightType, ct roadnet.CostType) ([]TripExposure, error) {
+	out := make([]TripExposure, 0, len(trips))
+	costFn := net.Cost(ct)
+	for _, trip := range trips {
+		s, d := trip[0], trip[1]
+		exp := TripExposure{Source: s, Dest: d, ForceCost: math.NaN()}
+		var err error
+		exp.DisjointPaths, err = EdgeDisjointPaths(net.Graph(), s, d)
+		if err != nil {
+			return nil, err
+		}
+		_, exp.DenyCost, err = partition.MinCutBetween(net.Graph(), s, d, costFn)
+		if err != nil {
+			return nil, err
+		}
+		if fc, err := AttackCost(net, s, d, rank, wt, ct); err == nil {
+			exp.ForceCost = fc
+		}
+		out = append(out, exp)
+	}
+	return out, nil
+}

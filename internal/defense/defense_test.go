@@ -1,0 +1,157 @@
+package defense
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"altroute/internal/citygen"
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+// diamondNet builds a 4-node network with two disjoint s->d routes plus a
+// direct edge: three edge-disjoint paths total.
+//
+//	0 -> 1 -> 3, 0 -> 2 -> 3, 0 -> 3
+func diamondNet(t *testing.T) *roadnet.Network {
+	t.Helper()
+	n := roadnet.NewNetwork("diamond")
+	pts := []geo.Point{
+		{Lat: 42.000, Lon: -71.000},
+		{Lat: 42.001, Lon: -71.001},
+		{Lat: 41.999, Lon: -71.001},
+		{Lat: 42.000, Lon: -71.002},
+	}
+	var ids []graph.NodeID
+	for _, p := range pts {
+		ids = append(ids, n.AddIntersection(p))
+	}
+	add := func(a, b int, lanes int) {
+		t.Helper()
+		if _, err := n.AddRoad(ids[a], ids[b], roadnet.Road{Lanes: lanes}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, 1, 1)
+	add(1, 3, 1)
+	add(0, 2, 2)
+	add(2, 3, 2)
+	add(0, 3, 3)
+	return n
+}
+
+func TestEdgeDisjointPaths(t *testing.T) {
+	n := diamondNet(t)
+	got, err := EdgeDisjointPaths(n.Graph(), 0, 3)
+	if err != nil {
+		t.Fatalf("EdgeDisjointPaths: %v", err)
+	}
+	if got != 3 {
+		t.Errorf("disjoint paths = %d, want 3", got)
+	}
+	// Direction matters: no 3->0 path exists.
+	got, err = EdgeDisjointPaths(n.Graph(), 3, 0)
+	if err != nil {
+		t.Fatalf("reverse: %v", err)
+	}
+	if got != 0 {
+		t.Errorf("reverse disjoint paths = %d, want 0", got)
+	}
+	if _, err := EdgeDisjointPaths(n.Graph(), 1, 1); !errors.Is(err, ErrBadTrip) {
+		t.Error("s == d accepted")
+	}
+}
+
+func TestAttackCost(t *testing.T) {
+	n := diamondNet(t)
+	// Force the 2nd shortest path: must cut the cheapest competitor.
+	cost, err := AttackCost(n, 0, 3, 2, roadnet.WeightLength, roadnet.CostUniform)
+	if err != nil {
+		t.Fatalf("AttackCost: %v", err)
+	}
+	if cost <= 0 || cost > 2 {
+		t.Errorf("attack cost = %v, want small positive", cost)
+	}
+	// Unavailable rank surfaces an error.
+	if _, err := AttackCost(n, 0, 3, 50, roadnet.WeightLength, roadnet.CostUniform); err == nil {
+		t.Error("impossible rank accepted")
+	}
+}
+
+func TestHardenRaisesAttackerCost(t *testing.T) {
+	n := diamondNet(t)
+	cost := n.Cost(roadnet.CostLanes)
+	plan, err := Harden(n.Graph(), 0, 3, cost, 1)
+	if err != nil {
+		t.Fatalf("Harden: %v", err)
+	}
+	if len(plan.Protect) == 0 {
+		t.Fatal("no protection recommended")
+	}
+	// Full-denial min cut of the diamond under LANES: the three first
+	// edges out of node 0 (1+2+3 = 6) or the three into 3 (1+2+3 = 6).
+	if plan.CostBefore != 6 {
+		t.Errorf("CostBefore = %v, want 6", plan.CostBefore)
+	}
+	if plan.Disconnectable && plan.CostAfter <= plan.CostBefore {
+		t.Errorf("protection did not raise cost: before %v after %v", plan.CostBefore, plan.CostAfter)
+	}
+}
+
+func TestHardenUntilUndisconnectable(t *testing.T) {
+	n := diamondNet(t)
+	cost := n.Cost(roadnet.CostUniform)
+	plan, err := Harden(n.Graph(), 0, 3, cost, 10)
+	if err != nil {
+		t.Fatalf("Harden: %v", err)
+	}
+	// With enough rounds every edge ends protected: the trip becomes
+	// undisconnectable.
+	if plan.Disconnectable {
+		t.Errorf("plan still disconnectable after 10 rounds: %+v", plan)
+	}
+	if !math.IsInf(plan.CostAfter, 1) {
+		t.Errorf("CostAfter = %v, want +Inf", plan.CostAfter)
+	}
+}
+
+func TestHardenDefaultRounds(t *testing.T) {
+	n := diamondNet(t)
+	if _, err := Harden(n.Graph(), 0, 3, n.Cost(roadnet.CostUniform), 0); err != nil {
+		t.Fatalf("Harden default rounds: %v", err)
+	}
+}
+
+func TestSurveyOnCity(t *testing.T) {
+	net, err := citygen.Build(citygen.Chicago, 0.015, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := net.POIsOfKind(citygen.KindHospital)
+	trips := [][2]graph.NodeID{
+		{0, h[0].Node},
+		{1, h[1].Node},
+	}
+	exposures, err := Survey(net, trips, 5, roadnet.WeightTime, roadnet.CostLanes)
+	if err != nil {
+		t.Fatalf("Survey: %v", err)
+	}
+	if len(exposures) != 2 {
+		t.Fatalf("exposures = %d", len(exposures))
+	}
+	for i, e := range exposures {
+		if e.DisjointPaths <= 0 {
+			t.Errorf("trip %d: disjoint paths = %d", i, e.DisjointPaths)
+		}
+		if e.DenyCost <= 0 {
+			t.Errorf("trip %d: deny cost = %v", i, e.DenyCost)
+		}
+		// Note: ForceCost may legitimately exceed DenyCost — denial may
+		// cut p* edges, forcing may not — so only sanity-check its sign.
+		if !math.IsNaN(e.ForceCost) && e.ForceCost < 0 {
+			t.Errorf("trip %d: negative force cost %v", i, e.ForceCost)
+		}
+	}
+}

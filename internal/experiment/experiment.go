@@ -1,0 +1,326 @@
+// Package experiment reproduces the paper's experimental methodology
+// (§III-A): for each city, pick the four hospitals as destinations and ten
+// random source intersections per hospital (40 runs per cell), set the
+// alternative route p* to the 100th-shortest path, and measure each
+// algorithm under each edge-removal cost model:
+//
+//   - Avg. Runtime — average attack computation time in seconds,
+//   - ANER — average number of edges removed,
+//   - ACRE — average cost of removed edges.
+//
+// RunTable regenerates one of Tables II-VIII; Aggregate builds Table IX;
+// RunThreshold builds Table X.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"altroute/internal/citygen"
+	"altroute/internal/core"
+	"altroute/internal/graph"
+	"altroute/internal/metrics"
+	"altroute/internal/roadnet"
+)
+
+// Spec configures one table's worth of experiments.
+type Spec struct {
+	// Net is the street network to attack. If nil, the network is built
+	// from City, Scale, and Seed.
+	Net *roadnet.Network
+	// City selects a synthetic city preset when Net is nil.
+	City citygen.City
+	// Scale shrinks the city preset (1 = full Table I size). Default 0.1.
+	Scale float64
+	// Seed drives city generation, source sampling, and LP rounding.
+	Seed int64
+	// WeightType is the attacker objective for the whole table.
+	WeightType roadnet.WeightType
+	// CostTypes are the edge-removal cost models (columns). Default: all
+	// three in paper order.
+	CostTypes []roadnet.CostType
+	// Algorithms are the table rows. Default: all four in paper order.
+	Algorithms []core.Algorithm
+	// PathRank selects p* (the paper uses 100). Default 100.
+	PathRank int
+	// SourcesPerHospital is the number of random sources per hospital
+	// (the paper uses 10). Default 10.
+	SourcesPerHospital int
+	// Budget caps removal cost per attack; 0 means unlimited (the paper's
+	// tables are unbudgeted).
+	Budget float64
+	// Options tunes the attack algorithms.
+	Options core.Options
+}
+
+func (s *Spec) fill() {
+	if s.Scale <= 0 {
+		s.Scale = 0.1
+	}
+	if s.PathRank <= 0 {
+		s.PathRank = 100
+	}
+	if s.SourcesPerHospital <= 0 {
+		s.SourcesPerHospital = 10
+	}
+	if len(s.CostTypes) == 0 {
+		s.CostTypes = roadnet.CostTypes()
+	}
+	if len(s.Algorithms) == 0 {
+		s.Algorithms = core.Algorithms()
+	}
+}
+
+// Unit is one prepared attack instance: a source, a hospital destination,
+// and the precomputed alternative route p* (shared by every algorithm and
+// cost model, exactly as in the paper).
+type Unit struct {
+	Source   graph.NodeID
+	Dest     graph.NodeID
+	Hospital string
+	PStar    graph.Path
+}
+
+// ErrNoHospitals is returned when the network has no hospital POIs.
+var ErrNoHospitals = errors.New("experiment: network has no hospital POIs")
+
+// ErrSampling is returned when not enough viable sources exist.
+var ErrSampling = errors.New("experiment: could not sample enough viable sources")
+
+// buildNetwork returns the spec's network, generating it if needed.
+func buildNetwork(spec *Spec) (*roadnet.Network, error) {
+	if spec.Net != nil {
+		return spec.Net, nil
+	}
+	return citygen.Build(spec.City, spec.Scale, spec.Seed)
+}
+
+// SampleUnits draws SourcesPerHospital random source intersections per
+// hospital and computes p* (the PathRank-th shortest path) for each,
+// resampling sources for which the rank is unavailable (too close or too
+// thinly connected).
+func SampleUnits(net *roadnet.Network, spec Spec) ([]Unit, error) {
+	spec.fill()
+	hospitals := net.POIsOfKind(citygen.KindHospital)
+	if len(hospitals) == 0 {
+		return nil, ErrNoHospitals
+	}
+	w := net.Weight(spec.WeightType)
+	n := net.NumIntersections()
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
+
+	var units []Unit
+	for _, h := range hospitals {
+		found := 0
+		for attempt := 0; found < spec.SourcesPerHospital; attempt++ {
+			if attempt > 80*spec.SourcesPerHospital {
+				return nil, fmt.Errorf("%w: hospital %q yielded %d/%d sources",
+					ErrSampling, h.Name, found, spec.SourcesPerHospital)
+			}
+			src := graph.NodeID(rng.Intn(n))
+			if src == h.Node {
+				continue
+			}
+			pstar, err := core.PStarByRank(net.Graph(), src, h.Node, spec.PathRank, w)
+			if err != nil {
+				continue
+			}
+			units = append(units, Unit{Source: src, Dest: h.Node, Hospital: h.Name, PStar: pstar})
+			found++
+		}
+	}
+	return units, nil
+}
+
+// Cell is one (algorithm, cost type) table cell averaged over all units.
+type Cell struct {
+	Algorithm core.Algorithm
+	CostType  roadnet.CostType
+	// AvgRuntimeS is the paper's "Avg. Runtime" column (seconds).
+	AvgRuntimeS float64
+	// ANER is the average number of edges removed.
+	ANER float64
+	// ACRE is the average cost of removed edges.
+	ACRE float64
+	// Runs is the number of successful attacks averaged.
+	Runs int
+	// Failures counts attacks that returned an error (budget exceeded or
+	// infeasible); they are excluded from the averages.
+	Failures int
+}
+
+// Table is one full experiment table (paper Tables II-VIII).
+type Table struct {
+	City       string
+	WeightType roadnet.WeightType
+	Cells      []Cell
+	Units      int
+	Summary    metrics.GraphSummary
+}
+
+// Cell returns the cell for (alg, ct), or nil.
+func (t *Table) Cell(alg core.Algorithm, ct roadnet.CostType) *Cell {
+	for i := range t.Cells {
+		if t.Cells[i].Algorithm == alg && t.Cells[i].CostType == ct {
+			return &t.Cells[i]
+		}
+	}
+	return nil
+}
+
+// RunTable executes the full grid for one city and weight type.
+func RunTable(spec Spec) (Table, error) {
+	spec.fill()
+	net, err := buildNetwork(&spec)
+	if err != nil {
+		return Table{}, err
+	}
+	units, err := SampleUnits(net, spec)
+	if err != nil {
+		return Table{}, err
+	}
+	return RunTableOnUnits(net, units, spec)
+}
+
+// RunTableOnUnits executes the algorithm x cost grid over prepared units.
+func RunTableOnUnits(net *roadnet.Network, units []Unit, spec Spec) (Table, error) {
+	spec.fill()
+	w := net.Weight(spec.WeightType)
+	table := Table{
+		City:       net.Name(),
+		WeightType: spec.WeightType,
+		Units:      len(units),
+		Summary:    metrics.Summarize(net),
+	}
+	for _, alg := range spec.Algorithms {
+		for _, ct := range spec.CostTypes {
+			cell := Cell{Algorithm: alg, CostType: ct}
+			cost := net.Cost(ct)
+			for _, u := range units {
+				p := core.Problem{
+					G:      net.Graph(),
+					Source: u.Source,
+					Dest:   u.Dest,
+					PStar:  u.PStar,
+					Weight: w,
+					Cost:   cost,
+					Budget: spec.Budget,
+				}
+				opts := spec.Options
+				opts.Seed = spec.Seed
+				res, err := core.Run(alg, p, opts)
+				if err != nil {
+					cell.Failures++
+					continue
+				}
+				cell.Runs++
+				cell.AvgRuntimeS += res.Runtime.Seconds()
+				cell.ANER += float64(len(res.Removed))
+				cell.ACRE += res.TotalCost
+			}
+			if cell.Runs > 0 {
+				cell.AvgRuntimeS /= float64(cell.Runs)
+				cell.ANER /= float64(cell.Runs)
+				cell.ACRE /= float64(cell.Runs)
+			}
+			table.Cells = append(table.Cells, cell)
+		}
+	}
+	return table, nil
+}
+
+// CityAverage is one Table IX row: ANER and ACRE averaged over every cost
+// type and algorithm for a (city, weight type) pair.
+type CityAverage struct {
+	City string
+	// ANER and ACRE per weight type.
+	ANER map[roadnet.WeightType]float64
+	ACRE map[roadnet.WeightType]float64
+}
+
+// Aggregate builds Table IX rows from per-weight-type tables of the same
+// city.
+func Aggregate(tables []Table) []CityAverage {
+	byCity := map[string]*CityAverage{}
+	counts := map[string]map[roadnet.WeightType]int{}
+	var order []string
+	for _, t := range tables {
+		ca := byCity[t.City]
+		if ca == nil {
+			ca = &CityAverage{
+				City: t.City,
+				ANER: map[roadnet.WeightType]float64{},
+				ACRE: map[roadnet.WeightType]float64{},
+			}
+			byCity[t.City] = ca
+			counts[t.City] = map[roadnet.WeightType]int{}
+			order = append(order, t.City)
+		}
+		for _, c := range t.Cells {
+			if c.Runs == 0 {
+				continue
+			}
+			ca.ANER[t.WeightType] += c.ANER
+			ca.ACRE[t.WeightType] += c.ACRE
+			counts[t.City][t.WeightType]++
+		}
+	}
+	out := make([]CityAverage, 0, len(order))
+	for _, city := range order {
+		ca := byCity[city]
+		for wt, cnt := range counts[city] {
+			if cnt > 0 {
+				ca.ANER[wt] /= float64(cnt)
+				ca.ACRE[wt] /= float64(cnt)
+			}
+		}
+		out = append(out, *ca)
+	}
+	return out
+}
+
+// ThresholdRow is one Table X row.
+type ThresholdRow struct {
+	City      string
+	AvgInc100 float64
+	AvgInc200 float64
+	Pairs     int
+}
+
+// RunThreshold reproduces Table X: the average percentage increase in TIME
+// length from the shortest path to the 100th and 200th shortest paths,
+// over the spec's sampled source/hospital pairs. Spec.PathRank scales the
+// two ranks (rank and 2*rank) so reduced-size runs stay feasible; the
+// paper's values are 100 and 200.
+func RunThreshold(spec Spec) (ThresholdRow, error) {
+	spec.fill()
+	net, err := buildNetwork(&spec)
+	if err != nil {
+		return ThresholdRow{}, err
+	}
+	hospitals := net.POIsOfKind(citygen.KindHospital)
+	if len(hospitals) == 0 {
+		return ThresholdRow{}, ErrNoHospitals
+	}
+	n := net.NumIntersections()
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x7ea))
+	var pairs []metrics.Endpoint
+	for _, h := range hospitals {
+		for i := 0; i < spec.SourcesPerHospital; i++ {
+			src := graph.NodeID(rng.Intn(n))
+			if src == h.Node {
+				continue
+			}
+			pairs = append(pairs, metrics.Endpoint{Source: src, Dest: h.Node})
+		}
+	}
+	rank1, rank2 := spec.PathRank, 2*spec.PathRank
+	res := metrics.PathRankGap(net, pairs, []int{rank1, rank2}, net.Weight(roadnet.WeightTime))
+	return ThresholdRow{
+		City:      net.Name(),
+		AvgInc100: res.AvgIncreasePct[rank1],
+		AvgInc200: res.AvgIncreasePct[rank2],
+		Pairs:     res.Pairs - res.Skipped,
+	}, nil
+}

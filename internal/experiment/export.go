@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the table as CSV with one row per (algorithm, cost
+// type) cell, for downstream analysis and plotting.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"city", "weight_type", "algorithm", "cost_type", "avg_runtime_s", "aner", "acre", "runs", "failures"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	for _, c := range t.Cells {
+		row := []string{
+			t.City,
+			t.WeightType.String(),
+			c.Algorithm.String(),
+			c.CostType.String(),
+			strconv.FormatFloat(c.AvgRuntimeS, 'f', 6, 64),
+			strconv.FormatFloat(c.ANER, 'f', 4, 64),
+			strconv.FormatFloat(c.ACRE, 'f', 4, 64),
+			strconv.Itoa(c.Runs),
+			strconv.Itoa(c.Failures),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiment: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	return nil
+}
+
+// tableJSON is the JSON wire form of a Table.
+type tableJSON struct {
+	City       string     `json:"city"`
+	WeightType string     `json:"weight_type"`
+	Units      int        `json:"units"`
+	Nodes      int        `json:"nodes"`
+	Edges      int        `json:"edges"`
+	Cells      []cellJSON `json:"cells"`
+}
+
+type cellJSON struct {
+	Algorithm   string  `json:"algorithm"`
+	CostType    string  `json:"cost_type"`
+	AvgRuntimeS float64 `json:"avg_runtime_s"`
+	ANER        float64 `json:"aner"`
+	ACRE        float64 `json:"acre"`
+	Runs        int     `json:"runs"`
+	Failures    int     `json:"failures"`
+}
+
+// WriteJSON exports the table as a JSON document.
+func (t Table) WriteJSON(w io.Writer) error {
+	doc := tableJSON{
+		City:       t.City,
+		WeightType: t.WeightType.String(),
+		Units:      t.Units,
+		Nodes:      t.Summary.Nodes,
+		Edges:      t.Summary.Edges,
+	}
+	for _, c := range t.Cells {
+		doc.Cells = append(doc.Cells, cellJSON{
+			Algorithm:   c.Algorithm.String(),
+			CostType:    c.CostType.String(),
+			AvgRuntimeS: c.AvgRuntimeS,
+			ANER:        c.ANER,
+			ACRE:        c.ACRE,
+			Runs:        c.Runs,
+			Failures:    c.Failures,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("experiment: json: %w", err)
+	}
+	return nil
+}

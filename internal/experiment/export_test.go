@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"altroute/internal/core"
+	"altroute/internal/roadnet"
+)
+
+func exportTable() Table {
+	return Table{
+		City:       "Boston",
+		WeightType: roadnet.WeightTime,
+		Units:      40,
+		Cells: []Cell{
+			{Algorithm: core.AlgLPPathCover, CostType: roadnet.CostUniform, AvgRuntimeS: 0.5, ANER: 3.78, ACRE: 3.78, Runs: 40},
+			{Algorithm: core.AlgGreedyEdge, CostType: roadnet.CostWidth, AvgRuntimeS: 0.1, ANER: 4.38, ACRE: 9.16, Runs: 39, Failures: 1},
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTable().WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d, want header + 2 rows", len(records))
+	}
+	if records[0][0] != "city" || records[0][6] != "acre" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][2] != "LP-PathCover" || records[1][3] != "UNIFORM" {
+		t.Errorf("row 1 = %v", records[1])
+	}
+	if records[2][8] != "1" {
+		t.Errorf("failures column = %q, want 1", records[2][8])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTable().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		City  string `json:"city"`
+		Cells []struct {
+			Algorithm string  `json:"algorithm"`
+			ACRE      float64 `json:"acre"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if doc.City != "Boston" || len(doc.Cells) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Cells[1].ACRE != 9.16 {
+		t.Errorf("cell ACRE = %v", doc.Cells[1].ACRE)
+	}
+	if !strings.Contains(buf.String(), "weight_type") {
+		t.Error("missing weight_type field")
+	}
+}

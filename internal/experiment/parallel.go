@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"altroute/internal/core"
+	"altroute/internal/metrics"
+	"altroute/internal/roadnet"
+)
+
+// RunTableOnUnitsParallel computes the same table as RunTableOnUnits but
+// spreads the (algorithm, cost type) cells across workers. Every worker
+// runs on its own clone of the network (the attack algorithms disable
+// edges transactionally, which must not race), so results are bit-for-bit
+// identical to the serial runner, cell order included. workers <= 0 uses
+// GOMAXPROCS.
+func RunTableOnUnitsParallel(net *roadnet.Network, units []Unit, spec Spec, workers int) (Table, error) {
+	spec.fill()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type cellJob struct {
+		idx int
+		alg core.Algorithm
+		ct  roadnet.CostType
+	}
+	var jobs []cellJob
+	for _, alg := range spec.Algorithms {
+		for _, ct := range spec.CostTypes {
+			jobs = append(jobs, cellJob{idx: len(jobs), alg: alg, ct: ct})
+		}
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]Cell, len(jobs))
+	jobCh := make(chan cellJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := net.Clone()
+			weight := local.Weight(spec.WeightType)
+			for job := range jobCh {
+				cell := Cell{Algorithm: job.alg, CostType: job.ct}
+				cost := local.Cost(job.ct)
+				for _, u := range units {
+					p := core.Problem{
+						G: local.Graph(), Source: u.Source, Dest: u.Dest,
+						PStar: u.PStar, Weight: weight, Cost: cost,
+						Budget: spec.Budget,
+					}
+					opts := spec.Options
+					opts.Seed = spec.Seed
+					res, err := core.Run(job.alg, p, opts)
+					if err != nil {
+						cell.Failures++
+						continue
+					}
+					cell.Runs++
+					cell.AvgRuntimeS += res.Runtime.Seconds()
+					cell.ANER += float64(len(res.Removed))
+					cell.ACRE += res.TotalCost
+				}
+				if cell.Runs > 0 {
+					cell.AvgRuntimeS /= float64(cell.Runs)
+					cell.ANER /= float64(cell.Runs)
+					cell.ACRE /= float64(cell.Runs)
+				}
+				results[job.idx] = cell
+			}
+		}()
+	}
+	for _, job := range jobs {
+		jobCh <- job
+	}
+	close(jobCh)
+	wg.Wait()
+
+	return Table{
+		City:       net.Name(),
+		WeightType: spec.WeightType,
+		Cells:      results,
+		Units:      len(units),
+		Summary:    metrics.Summarize(net),
+	}, nil
+}

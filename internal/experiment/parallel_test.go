@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"testing"
+
+	"altroute/internal/citygen"
+)
+
+// TestParallelMatchesSerial verifies the parallel runner is bit-for-bit
+// identical to the serial one (run with -race to exercise the clone-based
+// isolation).
+func TestParallelMatchesSerial(t *testing.T) {
+	spec := smallSpec()
+	net, err := citygen.Build(spec.City, spec.Scale, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := SampleUnits(net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enabledBefore := net.Graph().NumEnabledEdges()
+	serial, err := RunTableOnUnits(net, units, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunTableOnUnitsParallel(net, units, spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Cells) != len(parallel.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(serial.Cells), len(parallel.Cells))
+	}
+	for i := range serial.Cells {
+		s, p := serial.Cells[i], parallel.Cells[i]
+		if s.Algorithm != p.Algorithm || s.CostType != p.CostType {
+			t.Fatalf("cell %d order differs", i)
+		}
+		if s.ANER != p.ANER || s.ACRE != p.ACRE || s.Runs != p.Runs || s.Failures != p.Failures {
+			t.Errorf("cell %d differs: serial %+v parallel %+v", i, s, p)
+		}
+	}
+	// The original network must be untouched (POI attachment leaves some
+	// permanently removed edges, so compare against the pre-run count).
+	if net.Graph().NumEnabledEdges() != enabledBefore {
+		t.Error("parallel run mutated the shared network")
+	}
+
+	// Degenerate worker counts.
+	if _, err := RunTableOnUnitsParallel(net, units, spec, 0); err != nil {
+		t.Errorf("workers=0: %v", err)
+	}
+	if _, err := RunTableOnUnitsParallel(net, units, spec, 99); err != nil {
+		t.Errorf("workers>cells: %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package geo provides the small set of geographic primitives the road
+// network layer needs: great-circle distances, a local planar projection,
+// bearings, bounding boxes, and point-to-segment snapping used to attach
+// off-network points of interest to the nearest road.
+//
+// All distances are in meters, all angles in degrees unless stated
+// otherwise. Coordinates follow the (latitude, longitude) convention.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by Haversine.
+const EarthRadiusMeters = 6371008.8
+
+// Point is a geographic coordinate in degrees.
+type Point struct {
+	Lat float64
+	Lon float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f, %.6f)", p.Lat, p.Lon)
+}
+
+// Haversine returns the great-circle distance between a and b in meters.
+func Haversine(a, b Point) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusMeters * math.Asin(math.Sqrt(h))
+}
+
+// Bearing returns the initial compass bearing in degrees [0, 360) to travel
+// from a to b along the great circle.
+func Bearing(a, b Point) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	deg := math.Atan2(y, x) / degToRad
+	return math.Mod(deg+360, 360)
+}
+
+// Projection is an equirectangular projection centered on a reference
+// latitude. It maps geographic coordinates to local planar (x, y) meters,
+// which is accurate to well under 1% across a metropolitan extent and is the
+// same approximation road-network tooling commonly uses for snapping.
+type Projection struct {
+	origin   Point
+	cosLat   float64
+	metersAt float64
+}
+
+// NewProjection returns a projection centered at origin.
+func NewProjection(origin Point) Projection {
+	return Projection{
+		origin:   origin,
+		cosLat:   math.Cos(origin.Lat * math.Pi / 180),
+		metersAt: EarthRadiusMeters * math.Pi / 180,
+	}
+}
+
+// Origin returns the projection center.
+func (pr Projection) Origin() Point { return pr.origin }
+
+// ToXY projects p to local planar coordinates in meters.
+func (pr Projection) ToXY(p Point) XY {
+	return XY{
+		X: (p.Lon - pr.origin.Lon) * pr.metersAt * pr.cosLat,
+		Y: (p.Lat - pr.origin.Lat) * pr.metersAt,
+	}
+}
+
+// ToPoint inverts ToXY.
+func (pr Projection) ToPoint(xy XY) Point {
+	return Point{
+		Lat: pr.origin.Lat + xy.Y/pr.metersAt,
+		Lon: pr.origin.Lon + xy.X/(pr.metersAt*pr.cosLat),
+	}
+}
+
+// XY is a planar coordinate in meters.
+type XY struct {
+	X float64
+	Y float64
+}
+
+// Sub returns a - b.
+func (a XY) Sub(b XY) XY { return XY{a.X - b.X, a.Y - b.Y} }
+
+// Add returns a + b.
+func (a XY) Add(b XY) XY { return XY{a.X + b.X, a.Y + b.Y} }
+
+// Scale returns a scaled by f.
+func (a XY) Scale(f float64) XY { return XY{a.X * f, a.Y * f} }
+
+// Dot returns the dot product a·b.
+func (a XY) Dot(b XY) float64 { return a.X*b.X + a.Y*b.Y }
+
+// Norm returns the Euclidean length of a.
+func (a XY) Norm() float64 { return math.Hypot(a.X, a.Y) }
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b XY) float64 { return a.Sub(b).Norm() }
+
+// SegmentProjection is the result of projecting a point onto a segment.
+type SegmentProjection struct {
+	// Closest is the closest point on the segment.
+	Closest XY
+	// T is the normalized position of Closest along the segment in [0, 1]
+	// (0 at the segment start, 1 at the end).
+	T float64
+	// Distance is the distance from the query point to Closest.
+	Distance float64
+}
+
+// ProjectOntoSegment returns the projection of p onto segment [a, b].
+// Degenerate segments (a == b) project everything onto a with T == 0.
+func ProjectOntoSegment(p, a, b XY) SegmentProjection {
+	ab := b.Sub(a)
+	denom := ab.Dot(ab)
+	if denom == 0 {
+		return SegmentProjection{Closest: a, T: 0, Distance: Dist(p, a)}
+	}
+	t := p.Sub(a).Dot(ab) / denom
+	switch {
+	case t < 0:
+		t = 0
+	case t > 1:
+		t = 1
+	}
+	closest := a.Add(ab.Scale(t))
+	return SegmentProjection{Closest: closest, T: t, Distance: Dist(p, closest)}
+}
+
+// BBox is an axis-aligned geographic bounding box.
+type BBox struct {
+	MinLat, MinLon float64
+	MaxLat, MaxLon float64
+}
+
+// EmptyBBox returns a bounding box that contains nothing; extend it with Add.
+func EmptyBBox() BBox {
+	return BBox{
+		MinLat: math.Inf(1), MinLon: math.Inf(1),
+		MaxLat: math.Inf(-1), MaxLon: math.Inf(-1),
+	}
+}
+
+// Add extends the box to include p.
+func (b *BBox) Add(p Point) {
+	b.MinLat = math.Min(b.MinLat, p.Lat)
+	b.MinLon = math.Min(b.MinLon, p.Lon)
+	b.MaxLat = math.Max(b.MaxLat, p.Lat)
+	b.MaxLon = math.Max(b.MaxLon, p.Lon)
+}
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b BBox) Contains(p Point) bool {
+	return p.Lat >= b.MinLat && p.Lat <= b.MaxLat &&
+		p.Lon >= b.MinLon && p.Lon <= b.MaxLon
+}
+
+// Center returns the box center.
+func (b BBox) Center() Point {
+	return Point{Lat: (b.MinLat + b.MaxLat) / 2, Lon: (b.MinLon + b.MaxLon) / 2}
+}
+
+// Empty reports whether the box contains no points.
+func (b BBox) Empty() bool { return b.MinLat > b.MaxLat || b.MinLon > b.MaxLon }

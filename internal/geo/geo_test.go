@@ -1,0 +1,195 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64 // meters
+		tol  float64
+	}{
+		{
+			name: "zero distance",
+			a:    Point{42.36, -71.06},
+			b:    Point{42.36, -71.06},
+			want: 0, tol: 1e-9,
+		},
+		{
+			name: "one degree latitude",
+			a:    Point{0, 0},
+			b:    Point{1, 0},
+			want: 111195, tol: 50,
+		},
+		{
+			name: "Boston to NYC",
+			a:    Point{42.3601, -71.0589},
+			b:    Point{40.7128, -74.0060},
+			want: 306100, tol: 1500,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Haversine(tt.a, tt.b); math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("Haversine = %v, want %v ± %v", got, tt.want, tt.tol)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetryProperty(t *testing.T) {
+	prop := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: math.Mod(lat1, 89), Lon: math.Mod(lon1, 179)}
+		b := Point{Lat: math.Mod(lat2, 89), Lon: math.Mod(lon2, 179)}
+		d1, d2 := Haversine(a, b), Haversine(b, a)
+		return math.Abs(d1-d2) < 1e-6 && d1 >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBearing(t *testing.T) {
+	origin := Point{42.0, -71.0}
+	tests := []struct {
+		name string
+		to   Point
+		want float64
+		tol  float64
+	}{
+		{"north", Point{43.0, -71.0}, 0, 0.01},
+		{"east", Point{42.0, -70.0}, 90, 1},
+		{"south", Point{41.0, -71.0}, 180, 0.01},
+		{"west", Point{42.0, -72.0}, 270, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Bearing(origin, tt.to)
+			diff := math.Abs(got - tt.want)
+			if diff > 180 {
+				diff = 360 - diff
+			}
+			if diff > tt.tol {
+				t.Errorf("Bearing = %v, want %v ± %v", got, tt.want, tt.tol)
+			}
+		})
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := NewProjection(Point{42.36, -71.06})
+	prop := func(dLat, dLon float64) bool {
+		p := Point{
+			Lat: 42.36 + math.Mod(dLat, 0.3),
+			Lon: -71.06 + math.Mod(dLon, 0.3),
+		}
+		back := pr.ToPoint(pr.ToXY(p))
+		return math.Abs(back.Lat-p.Lat) < 1e-9 && math.Abs(back.Lon-p.Lon) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectionApproximatesHaversine(t *testing.T) {
+	pr := NewProjection(Point{42.36, -71.06})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		a := Point{42.36 + rng.Float64()*0.2 - 0.1, -71.06 + rng.Float64()*0.2 - 0.1}
+		b := Point{42.36 + rng.Float64()*0.2 - 0.1, -71.06 + rng.Float64()*0.2 - 0.1}
+		planar := Dist(pr.ToXY(a), pr.ToXY(b))
+		sphere := Haversine(a, b)
+		if sphere > 100 && math.Abs(planar-sphere)/sphere > 0.01 {
+			t.Fatalf("planar %v vs haversine %v differs > 1%%", planar, sphere)
+		}
+	}
+}
+
+func TestXYArithmetic(t *testing.T) {
+	a := XY{3, 4}
+	b := XY{1, 1}
+	if got := a.Sub(b); got != (XY{2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Add(b); got != (XY{4, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Scale(2); got != (XY{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 7 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := Dist(a, XY{0, 0}); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestProjectOntoSegment(t *testing.T) {
+	a, b := XY{0, 0}, XY{10, 0}
+	tests := []struct {
+		name  string
+		p     XY
+		wantT float64
+		wantD float64
+	}{
+		{"middle above", XY{5, 3}, 0.5, 3},
+		{"before start", XY{-4, 3}, 0, 5},
+		{"past end", XY{14, 3}, 1, 5},
+		{"on segment", XY{2, 0}, 0.2, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := ProjectOntoSegment(tt.p, a, b)
+			if math.Abs(got.T-tt.wantT) > 1e-12 || math.Abs(got.Distance-tt.wantD) > 1e-12 {
+				t.Errorf("got T=%v D=%v, want T=%v D=%v", got.T, got.Distance, tt.wantT, tt.wantD)
+			}
+		})
+	}
+}
+
+func TestProjectOntoDegenerateSegment(t *testing.T) {
+	p := XY{3, 4}
+	got := ProjectOntoSegment(p, XY{0, 0}, XY{0, 0})
+	if got.T != 0 || got.Distance != 5 || got.Closest != (XY{0, 0}) {
+		t.Errorf("degenerate projection = %+v", got)
+	}
+}
+
+func TestBBox(t *testing.T) {
+	b := EmptyBBox()
+	if !b.Empty() {
+		t.Fatal("EmptyBBox not empty")
+	}
+	b.Add(Point{1, 2})
+	b.Add(Point{-1, 5})
+	if b.Empty() {
+		t.Fatal("box with points reports empty")
+	}
+	if !b.Contains(Point{0, 3}) {
+		t.Error("Contains(interior) = false")
+	}
+	if b.Contains(Point{2, 3}) {
+		t.Error("Contains(exterior) = true")
+	}
+	c := b.Center()
+	if c.Lat != 0 || c.Lon != 3.5 {
+		t.Errorf("Center = %v", c)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	got := Point{42.123456789, -71.5}.String()
+	want := "(42.123457, -71.500000)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

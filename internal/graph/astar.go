@@ -1,0 +1,54 @@
+package graph
+
+// Heuristic estimates the remaining cost from a node to the (implicit)
+// target. A* is correct when the heuristic is admissible (never
+// overestimates); road networks use straight-line distance divided by the
+// maximum speed.
+type Heuristic func(NodeID) float64
+
+// ShortestPathAStar returns a minimum-weight s->t path like ShortestPath,
+// guided by the heuristic h. With an admissible h it returns an optimal
+// path while settling fewer nodes; with h ≡ 0 it degrades to Dijkstra.
+// Temporary bans are not supported (plain point-to-point queries only).
+func (r *Router) ShortestPathAStar(s, t NodeID, w WeightFunc, h Heuristic) (Path, bool) {
+	r.grow()
+	r.clearBans()
+	if !r.g.validNode(s) || !r.g.validNode(t) {
+		return Path{}, false
+	}
+	if s == t {
+		return Path{Nodes: []NodeID{s}}, true
+	}
+
+	r.cur++
+	r.heap = r.heap[:0]
+	r.setDist(s, 0, InvalidEdge)
+	r.heap.push(heapItem{dist: h(s), node: s})
+
+	for len(r.heap) > 0 {
+		it := r.heap.pop()
+		u := it.node
+		if r.stamp[u] != r.cur {
+			continue
+		}
+		gu := r.dist[u]
+		if it.dist > gu+h(u)+1e-12 {
+			continue // stale entry
+		}
+		if u == t {
+			return r.buildPath(s, t), true
+		}
+		for _, e := range r.g.out[u] {
+			if r.g.disabled[e] {
+				continue
+			}
+			v := r.g.arcs[e].To
+			nd := gu + w(e)
+			if r.stamp[v] != r.cur || nd < r.dist[v] {
+				r.setDist(v, nd, e)
+				r.heap.push(heapItem{dist: nd + h(v), node: v})
+			}
+		}
+	}
+	return Path{}, false
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAStarZeroHeuristicEqualsDijkstra(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	zero := func(NodeID) float64 { return 0 }
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		g, weights := randomGraph(rng, n, 3*n)
+		w := func(e EdgeID) float64 { return weights[e] }
+		r := NewRouter(g)
+		for trial := 0; trial < 4; trial++ {
+			s := NodeID(rng.Intn(n))
+			d := NodeID(rng.Intn(n))
+			dij, okD := r.ShortestPath(s, d, w)
+			ast, okA := r.ShortestPathAStar(s, d, w, zero)
+			if okD != okA {
+				return false
+			}
+			if okD && (dij.Length != ast.Length || ast.Validate(g) != nil) {
+				t.Logf("seed %d: %v vs %v", seed, dij.Length, ast.Length)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAStarBasics(t *testing.T) {
+	g, w := diamond(1, 1, 5, 5)
+	r := NewRouter(g)
+	zero := func(NodeID) float64 { return 0 }
+	p, ok := r.ShortestPathAStar(0, 3, w, zero)
+	if !ok || p.Length != 2 {
+		t.Fatalf("path = %+v", p)
+	}
+	if p2, ok := r.ShortestPathAStar(0, 0, w, zero); !ok || p2.Hops() != 0 {
+		t.Error("trivial trip wrong")
+	}
+	if _, ok := r.ShortestPathAStar(3, 0, w, zero); ok {
+		t.Error("found backwards path")
+	}
+	if _, ok := r.ShortestPathAStar(-1, 3, w, zero); ok {
+		t.Error("invalid source accepted")
+	}
+	g.DisableEdge(0)
+	if p, ok := r.ShortestPathAStar(0, 3, w, zero); !ok || p.Length != 10 {
+		t.Errorf("disabled edge not honored: %+v", p)
+	}
+}
+
+// TestAStarAdmissibleHeuristicOptimal uses an exact heuristic (true
+// remaining distance, the most aggressive admissible choice) and checks
+// optimality still holds.
+func TestAStarAdmissibleHeuristicOptimal(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		g, weights := randomGraph(rng, n, 3*n)
+		w := func(e EdgeID) float64 { return weights[e] }
+		r := NewRouter(g)
+		d := NodeID(rng.Intn(n))
+		// Exact distances-to-d via reverse Dijkstra oracle (Bellman-Ford on
+		// the reversed graph for simplicity).
+		rev := New(n)
+		revW := make([]float64, 0, g.NumEdges())
+		for e := 0; e < g.NumEdges(); e++ {
+			arc := g.Arc(EdgeID(e))
+			rev.MustAddEdge(arc.To, arc.From)
+			revW = append(revW, weights[e])
+		}
+		toD := bellmanFord(rev, d, revW)
+		h := func(u NodeID) float64 {
+			if v := toD[u]; v < 1e300 {
+				return v
+			}
+			return 0
+		}
+		for trial := 0; trial < 4; trial++ {
+			s := NodeID(rng.Intn(n))
+			dij, okD := r.ShortestPath(s, d, w)
+			ast, okA := r.ShortestPathAStar(s, d, w, h)
+			if okD != okA || (okD && dij.Length != ast.Length) {
+				t.Logf("seed %d: s=%d d=%d", seed, s, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

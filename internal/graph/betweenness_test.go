@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeBetweennessPathGraph(t *testing.T) {
+	// 0->1->2: edge 0 is on paths 0->1 and 0->2; edge 1 on 1->2 and 0->2.
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	w := func(EdgeID) float64 { return 1 }
+	eb := EdgeBetweenness(g, w, BetweennessOptions{})
+	if eb[0] != 2 || eb[1] != 2 {
+		t.Errorf("betweenness = %v, want [2 2]", eb)
+	}
+}
+
+func TestEdgeBetweennessSplitsTies(t *testing.T) {
+	// Two equal-length 0->3 routes; each middle edge carries half a path.
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(2, 3)
+	w := func(EdgeID) float64 { return 1 }
+	eb := EdgeBetweenness(g, w, BetweennessOptions{})
+	// Pair (0,3) contributes 0.5 per route; pairs (0,1),(1,3) contribute 1
+	// each to their edges, etc.
+	want := []float64{1.5, 1.5, 1.5, 1.5}
+	for e := range want {
+		if math.Abs(eb[e]-want[e]) > 1e-12 {
+			t.Errorf("eb[%d] = %v, want %v", e, eb[e], want[e])
+		}
+	}
+}
+
+func TestEdgeBetweennessNormalize(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	w := func(EdgeID) float64 { return 1 }
+	eb := EdgeBetweenness(g, w, BetweennessOptions{Normalize: true})
+	// 2 of the 6 ordered pairs route over each edge.
+	want := 2.0 / 6.0
+	for e := 0; e < 2; e++ {
+		if math.Abs(eb[e]-want) > 1e-12 {
+			t.Errorf("eb[%d] = %v, want %v", e, eb[e], want)
+		}
+	}
+}
+
+func TestEdgeBetweennessSkipsDisabled(t *testing.T) {
+	g := New(3)
+	e0 := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2) // direct shortcut
+	w := func(EdgeID) float64 { return 1 }
+	g.DisableEdge(e0)
+	eb := EdgeBetweenness(g, w, BetweennessOptions{})
+	if eb[e0] != 0 {
+		t.Errorf("disabled edge scored %v, want 0", eb[e0])
+	}
+}
+
+func TestEdgeBetweennessEmptyGraph(t *testing.T) {
+	g := New(0)
+	if eb := EdgeBetweenness(g, func(EdgeID) float64 { return 1 }, BetweennessOptions{}); len(eb) != 0 {
+		t.Errorf("empty graph betweenness = %v", eb)
+	}
+}
+
+// naiveEdgeBetweenness counts shortest paths per edge via brute-force path
+// enumeration on small graphs.
+func naiveEdgeBetweenness(g *Graph, weights []float64) []float64 {
+	n := g.NumNodes()
+	eb := make([]float64, g.NumEdges())
+	for s := NodeID(0); int(s) < n; s++ {
+		for d := NodeID(0); int(d) < n; d++ {
+			if s == d {
+				continue
+			}
+			lens := allSimplePaths(g, s, d, weights)
+			if len(lens) == 0 {
+				continue
+			}
+			best := math.Inf(1)
+			for _, p := range lens {
+				if p.Length < best {
+					best = p.Length
+				}
+			}
+			var shortest []Path
+			for _, p := range lens {
+				if p.Length == best {
+					shortest = append(shortest, p)
+				}
+			}
+			for _, p := range shortest {
+				for _, e := range p.Edges {
+					eb[e] += 1 / float64(len(shortest))
+				}
+			}
+		}
+	}
+	return eb
+}
+
+// allSimplePaths enumerates every simple s->t path.
+func allSimplePaths(g *Graph, s, t NodeID, weights []float64) []Path {
+	var out []Path
+	onPath := make([]bool, g.NumNodes())
+	var nodes []NodeID
+	var edges []EdgeID
+	var length float64
+	var dfs func(u NodeID)
+	dfs = func(u NodeID) {
+		nodes = append(nodes, u)
+		if u == t {
+			out = append(out, Path{
+				Nodes:  append([]NodeID(nil), nodes...),
+				Edges:  append([]EdgeID(nil), edges...),
+				Length: length,
+			})
+			nodes = nodes[:len(nodes)-1]
+			return
+		}
+		onPath[u] = true
+		for _, e := range g.OutEdges(u) {
+			if g.EdgeDisabled(e) {
+				continue
+			}
+			v := g.To(e)
+			if onPath[v] {
+				continue
+			}
+			edges = append(edges, e)
+			length += weights[e]
+			dfs(v)
+			length -= weights[e]
+			edges = edges[:len(edges)-1]
+		}
+		onPath[u] = false
+		nodes = nodes[:len(nodes)-1]
+	}
+	dfs(s)
+	return out
+}
+
+func TestEdgeBetweennessMatchesNaiveProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		g, weights := randomGraph(rng, n, n)
+		w := func(e EdgeID) float64 { return weights[e] }
+
+		got := EdgeBetweenness(g, w, BetweennessOptions{})
+		want := naiveEdgeBetweenness(g, weights)
+		for e := range want {
+			if math.Abs(got[e]-want[e]) > 1e-9 {
+				t.Logf("seed %d: eb[%d] = %v, naive %v", seed, e, got[e], want[e])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopEdgesByScore(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	e1 := g.MustAddEdge(1, 2)
+	e2 := g.MustAddEdge(2, 3)
+	score := []float64{1, 5, 3}
+
+	top := TopEdgesByScore(g, score, 2)
+	if len(top) != 2 || top[0] != e1 || top[1] != e2 {
+		t.Errorf("top = %v, want [%d %d]", top, e1, e2)
+	}
+	if got := TopEdgesByScore(g, score, 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	if got := TopEdgesByScore(g, score, 10); len(got) != 3 {
+		t.Errorf("k>edges returned %d edges, want 3", len(got))
+	}
+	g.DisableEdge(e1)
+	top = TopEdgesByScore(g, score, 1)
+	if len(top) != 1 || top[0] != e2 {
+		t.Errorf("top with disabled best = %v, want [%d]", top, e2)
+	}
+}

@@ -1,0 +1,155 @@
+package graph
+
+import "math"
+
+// ShortestPathBidirectional returns a minimum-weight s->t path like
+// ShortestPath, but searches simultaneously forward from s and backward
+// from t (along in-edges), settling roughly half the nodes a unidirectional
+// search would on metropolitan-scale graphs. Temporary bans are not
+// supported here — Yen spur queries stay on the unidirectional search — so
+// this is the fast path for plain point-to-point queries.
+func (r *Router) ShortestPathBidirectional(s, t NodeID, w WeightFunc) (Path, bool) {
+	r.grow()
+	r.growBackward()
+	r.clearBans()
+	if !r.g.validNode(s) || !r.g.validNode(t) {
+		return Path{}, false
+	}
+	if s == t {
+		return Path{Nodes: []NodeID{s}}, true
+	}
+
+	r.cur++
+	r.curB++
+	fh := r.heap[:0]
+	bh := r.heapB[:0]
+
+	r.setDist(s, 0, InvalidEdge)
+	fh.push(heapItem{dist: 0, node: s})
+	r.setDistB(t, 0, InvalidEdge)
+	bh.push(heapItem{dist: 0, node: t})
+
+	best := math.Inf(1)
+	var meet NodeID = InvalidNode
+	settledF := make(map[NodeID]struct{})
+	settledB := make(map[NodeID]struct{})
+
+	topOf := func(h nodeHeap) float64 {
+		if len(h) == 0 {
+			return math.Inf(1)
+		}
+		return h[0].dist
+	}
+
+	for len(fh) > 0 || len(bh) > 0 {
+		// Termination: no better meeting can exist.
+		if topOf(fh)+topOf(bh) >= best {
+			break
+		}
+		// Expand the smaller frontier.
+		forward := topOf(fh) <= topOf(bh)
+		if forward {
+			it := fh.pop()
+			u := it.node
+			if it.dist > r.dist[u] || r.stamp[u] != r.cur {
+				continue
+			}
+			if _, done := settledF[u]; done {
+				continue
+			}
+			settledF[u] = struct{}{}
+			if r.stampB[u] == r.curB {
+				if d := it.dist + r.distB[u]; d < best {
+					best = d
+					meet = u
+				}
+			}
+			for _, e := range r.g.out[u] {
+				if r.g.disabled[e] {
+					continue
+				}
+				v := r.g.arcs[e].To
+				nd := it.dist + w(e)
+				if r.stamp[v] != r.cur || nd < r.dist[v] {
+					r.setDist(v, nd, e)
+					fh.push(heapItem{dist: nd, node: v})
+					if r.stampB[v] == r.curB {
+						if d := nd + r.distB[v]; d < best {
+							best = d
+							meet = v
+						}
+					}
+				}
+			}
+		} else {
+			it := bh.pop()
+			u := it.node
+			if it.dist > r.distB[u] || r.stampB[u] != r.curB {
+				continue
+			}
+			if _, done := settledB[u]; done {
+				continue
+			}
+			settledB[u] = struct{}{}
+			if r.stamp[u] == r.cur {
+				if d := it.dist + r.dist[u]; d < best {
+					best = d
+					meet = u
+				}
+			}
+			for _, e := range r.g.in[u] {
+				if r.g.disabled[e] {
+					continue
+				}
+				v := r.g.arcs[e].From
+				nd := it.dist + w(e)
+				if r.stampB[v] != r.curB || nd < r.distB[v] {
+					r.setDistB(v, nd, e)
+					bh.push(heapItem{dist: nd, node: v})
+					if r.stamp[v] == r.cur {
+						if d := nd + r.dist[v]; d < best {
+							best = d
+							meet = v
+						}
+					}
+				}
+			}
+		}
+	}
+	r.heap = fh
+	r.heapB = bh
+
+	if meet == InvalidNode {
+		return Path{}, false
+	}
+	// Assemble: forward half via prevEdge, backward half via prevEdgeB.
+	forward := r.buildPath(s, meet)
+	var tailEdges []EdgeID
+	for n := meet; n != t; {
+		e := r.prevEdgeB[n]
+		tailEdges = append(tailEdges, e)
+		n = r.g.arcs[e].To
+	}
+	nodes := forward.Nodes
+	edges := forward.Edges
+	for _, e := range tailEdges {
+		edges = append(edges, e)
+		nodes = append(nodes, r.g.arcs[e].To)
+	}
+	return Path{Nodes: nodes, Edges: edges, Length: best}, true
+}
+
+func (r *Router) growBackward() {
+	n := r.g.NumNodes()
+	for len(r.distB) < n {
+		r.distB = append(r.distB, 0)
+		r.prevEdgeB = append(r.prevEdgeB, InvalidEdge)
+		r.stampB = append(r.stampB, 0)
+	}
+}
+
+func (r *Router) setDistB(n NodeID, d float64, via EdgeID) {
+	r.distB[n] = d
+	r.prevEdgeB[n] = via
+	r.stampB[n] = r.curB
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBidirectionalBasic(t *testing.T) {
+	g, w := diamond(1, 1, 5, 5)
+	r := NewRouter(g)
+	p, ok := r.ShortestPathBidirectional(0, 3, w)
+	if !ok || p.Length != 2 {
+		t.Fatalf("path = %+v, ok = %v, want length 2", p, ok)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if p.Source() != 0 || p.Target() != 3 {
+		t.Fatalf("endpoints %d -> %d", p.Source(), p.Target())
+	}
+}
+
+func TestBidirectionalTrivialAndUnreachable(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	w := func(EdgeID) float64 { return 1 }
+	r := NewRouter(g)
+	p, ok := r.ShortestPathBidirectional(0, 0, w)
+	if !ok || p.Hops() != 0 {
+		t.Errorf("s==t: %+v, %v", p, ok)
+	}
+	if _, ok := r.ShortestPathBidirectional(0, 2, w); ok {
+		t.Error("unreachable target found")
+	}
+	if _, ok := r.ShortestPathBidirectional(-1, 2, w); ok {
+		t.Error("invalid source accepted")
+	}
+	// Directed: no backward traversal.
+	if _, ok := r.ShortestPathBidirectional(1, 0, w); ok {
+		t.Error("traversed edge backwards")
+	}
+}
+
+func TestBidirectionalRespectsDisabled(t *testing.T) {
+	g, w := diamond(1, 1, 5, 5)
+	g.DisableEdge(0)
+	r := NewRouter(g)
+	p, ok := r.ShortestPathBidirectional(0, 3, w)
+	if !ok || p.Length != 10 {
+		t.Fatalf("path = %+v, want detour length 10", p)
+	}
+}
+
+func TestBidirectionalMatchesUnidirectionalProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		g, weights := randomGraph(rng, n, 3*n)
+		w := func(e EdgeID) float64 { return weights[e] }
+		r := NewRouter(g)
+		for trial := 0; trial < 5; trial++ {
+			s := NodeID(rng.Intn(n))
+			d := NodeID(rng.Intn(n))
+			uni, okU := r.ShortestPath(s, d, w)
+			bi, okB := r.ShortestPathBidirectional(s, d, w)
+			if okU != okB {
+				t.Logf("seed %d: reachability disagrees (%v vs %v) for %d->%d", seed, okU, okB, s, d)
+				return false
+			}
+			if !okU {
+				continue
+			}
+			if uni.Length != bi.Length {
+				t.Logf("seed %d: lengths %v vs %v for %d->%d", seed, uni.Length, bi.Length, s, d)
+				return false
+			}
+			if err := bi.Validate(g); err != nil {
+				t.Logf("seed %d: invalid path: %v", seed, err)
+				return false
+			}
+			if bi.Source() != s || bi.Target() != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBidirectionalInterleavesWithUnidirectional(t *testing.T) {
+	// Alternating query styles on one router must not corrupt state.
+	g, w := gridGraph(6, 6)
+	r := NewRouter(g)
+	for i := 0; i < 20; i++ {
+		s := NodeID(i % 36)
+		d := NodeID((i*5 + 7) % 36)
+		uni, okU := r.ShortestPath(s, d, w)
+		bi, okB := r.ShortestPathBidirectional(s, d, w)
+		if okU != okB || (okU && uni.Length != bi.Length) {
+			t.Fatalf("iteration %d: %v/%v vs %v/%v", i, uni.Length, okU, bi.Length, okB)
+		}
+	}
+}
+
+// TestConcurrentRouters verifies the documented concurrency contract: one
+// Router per goroutine over a shared immutable graph is race-free (run
+// with -race).
+func TestConcurrentRouters(t *testing.T) {
+	g, w := gridGraph(10, 10)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			r := NewRouter(g)
+			for i := 0; i < 50; i++ {
+				s := NodeID((i*k + 3) % 100)
+				d := NodeID((i + k*13) % 100)
+				if _, ok := r.ShortestPath(s, d, w); !ok {
+					errs <- "grid query failed"
+					return
+				}
+				if _, ok := r.ShortestPathBidirectional(s, d, w); !ok {
+					errs <- "bidirectional grid query failed"
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,160 @@
+package graph
+
+// ReachableFrom returns, for every node, whether it is reachable from s over
+// enabled edges (s itself is reachable).
+func ReachableFrom(g *Graph, s NodeID) []bool {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	if !g.validNode(s) {
+		return seen
+	}
+	stack := []NodeID{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[u] {
+			if g.disabled[e] {
+				continue
+			}
+			v := g.arcs[e].To
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// CanReach reports whether t is reachable from s over enabled edges.
+func CanReach(g *Graph, s, t NodeID) bool {
+	if !g.validNode(s) || !g.validNode(t) {
+		return false
+	}
+	if s == t {
+		return true
+	}
+	return ReachableFrom(g, s)[t]
+}
+
+// StronglyConnectedComponents returns a component index per node and the
+// number of components, computed over enabled edges with an iterative
+// Tarjan algorithm. Component indices are assigned in reverse topological
+// order of the condensation (Tarjan's natural output order).
+func StronglyConnectedComponents(g *Graph) (comp []int, count int) {
+	n := g.NumNodes()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+
+	var stack []NodeID
+	next := int32(0)
+
+	// Explicit DFS frame: node plus position in its out-edge list.
+	type frame struct {
+		node NodeID
+		ei   int
+	}
+	var dfs []frame
+
+	for root := NodeID(0); int(root) < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		dfs = append(dfs[:0], frame{node: root})
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			u := f.node
+			advanced := false
+			for f.ei < len(g.out[u]) {
+				e := g.out[u][f.ei]
+				f.ei++
+				if g.disabled[e] {
+					continue
+				}
+				v := g.arcs[e].To
+				if index[v] == -1 {
+					index[v] = next
+					lowlink[v] = next
+					next++
+					stack = append(stack, v)
+					onStack[v] = true
+					dfs = append(dfs, frame{node: v})
+					advanced = true
+					break
+				}
+				if onStack[v] && index[v] < lowlink[u] {
+					lowlink[u] = index[v]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// u is finished: pop its frame, fold lowlink into parent.
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := dfs[len(dfs)-1].node
+				if lowlink[u] < lowlink[p] {
+					lowlink[p] = lowlink[u]
+				}
+			}
+			if lowlink[u] == index[u] {
+				for {
+					v := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[v] = false
+					comp[v] = count
+					if v == u {
+						break
+					}
+				}
+				count++
+			}
+		}
+	}
+	return comp, count
+}
+
+// LargestSCC returns the node set of the largest strongly connected
+// component. Road-network experiments run on the largest SCC so that every
+// randomly drawn source can reach every destination, mirroring the usual
+// OSMnx preprocessing step.
+func LargestSCC(g *Graph) []NodeID {
+	comp, count := StronglyConnectedComponents(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		if c >= 0 {
+			sizes[c]++
+		}
+	}
+	best := 0
+	for c, sz := range sizes {
+		if sz > sizes[best] {
+			best = c
+		}
+	}
+	nodes := make([]NodeID, 0, sizes[best])
+	for n, c := range comp {
+		if c == best {
+			nodes = append(nodes, NodeID(n))
+		}
+	}
+	return nodes
+}

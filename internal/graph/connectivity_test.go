@@ -1,0 +1,146 @@
+package graph
+
+import "testing"
+
+func TestReachableFrom(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	// 3 is isolated.
+	seen := ReachableFrom(g, 0)
+	want := []bool{true, true, true, false}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("reachable[%d] = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestReachableRespectsDirectionAndDisabled(t *testing.T) {
+	g := New(3)
+	e := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	if ReachableFrom(g, 2)[0] {
+		t.Error("reached backwards along directed edges")
+	}
+	g.DisableEdge(e)
+	if ReachableFrom(g, 0)[1] {
+		t.Error("traversed disabled edge")
+	}
+}
+
+func TestCanReach(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	tests := []struct {
+		s, d NodeID
+		want bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{0, 0, true},
+		{0, 2, false},
+		{-1, 0, false},
+		{0, 9, false},
+	}
+	for _, tt := range tests {
+		if got := CanReach(g, tt.s, tt.d); got != tt.want {
+			t.Errorf("CanReach(%d, %d) = %v, want %v", tt.s, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestSCCTwoCycles(t *testing.T) {
+	// Cycle {0,1,2} -> cycle {3,4}.
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 3)
+
+	comp, count := StronglyConnectedComponents(g)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("first cycle split: %v", comp)
+	}
+	if comp[3] != comp[4] {
+		t.Errorf("second cycle split: %v", comp)
+	}
+	if comp[0] == comp[3] {
+		t.Errorf("cycles merged: %v", comp)
+	}
+}
+
+func TestSCCSingletons(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	comp, count := StronglyConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 singletons (comp %v)", count, comp)
+	}
+}
+
+func TestSCCRespectsDisabled(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	e := g.MustAddEdge(1, 0)
+	if _, count := StronglyConnectedComponents(g); count != 1 {
+		t.Fatal("cycle should be one SCC")
+	}
+	g.DisableEdge(e)
+	if _, count := StronglyConnectedComponents(g); count != 2 {
+		t.Error("disabled edge still merged the SCC")
+	}
+}
+
+func TestSCCEmpty(t *testing.T) {
+	comp, count := StronglyConnectedComponents(New(0))
+	if count != 0 || len(comp) != 0 {
+		t.Errorf("empty graph: comp=%v count=%d", comp, count)
+	}
+}
+
+func TestLargestSCC(t *testing.T) {
+	// Triangle {0,1,2} plus 2-cycle {3,4} plus isolated 5.
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 3)
+
+	nodes := LargestSCC(g)
+	if len(nodes) != 3 {
+		t.Fatalf("largest SCC has %d nodes, want 3: %v", len(nodes), nodes)
+	}
+	want := map[NodeID]bool{0: true, 1: true, 2: true}
+	for _, n := range nodes {
+		if !want[n] {
+			t.Errorf("unexpected node %d in largest SCC", n)
+		}
+	}
+	if got := LargestSCC(New(0)); got != nil {
+		t.Errorf("LargestSCC(empty) = %v, want nil", got)
+	}
+}
+
+// TestSCCDeepRecursionSafe guards the iterative Tarjan against stack
+// overflow on a long path (the recursive formulation would blow the stack
+// far earlier than real city graph diameters).
+func TestSCCDeepRecursionSafe(t *testing.T) {
+	const n = 200000
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.MustAddEdge(NodeID(i), NodeID(i+1))
+	}
+	g.MustAddEdge(NodeID(n-1), 0) // close the loop: one giant SCC
+	_, count := StronglyConnectedComponents(g)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+}

@@ -1,0 +1,254 @@
+package graph
+
+import "math"
+
+// Router runs shortest-path queries against a graph. It owns reusable
+// per-node scratch arrays (epoch-stamped, so clearing between queries is
+// O(1)), which matters because the attack algorithms issue thousands of
+// Dijkstra queries per run. A Router is not safe for concurrent use; create
+// one per goroutine.
+type Router struct {
+	g *Graph
+
+	dist     []float64
+	prevEdge []EdgeID
+	stamp    []uint64
+	cur      uint64
+
+	distB     []float64
+	prevEdgeB []EdgeID
+	stampB    []uint64
+	curB      uint64
+	heapB     nodeHeap
+
+	nodeBan  []uint64
+	edgeBan  []uint64
+	banEpoch uint64
+
+	heap nodeHeap
+}
+
+// NewRouter returns a Router for g. The router tracks g live: edges added,
+// disabled, or enabled after creation are observed by later queries (Grow is
+// called lazily).
+func NewRouter(g *Graph) *Router {
+	return &Router{g: g}
+}
+
+// Graph returns the graph this router queries.
+func (r *Router) Graph() *Graph { return r.g }
+
+func (r *Router) grow() {
+	n := r.g.NumNodes()
+	for len(r.dist) < n {
+		r.dist = append(r.dist, 0)
+		r.prevEdge = append(r.prevEdge, InvalidEdge)
+		r.stamp = append(r.stamp, 0)
+		r.nodeBan = append(r.nodeBan, 0)
+	}
+	m := r.g.NumEdges()
+	for len(r.edgeBan) < m {
+		r.edgeBan = append(r.edgeBan, 0)
+	}
+}
+
+// clearBans invalidates all temporary node and edge bans.
+func (r *Router) clearBans() { r.banEpoch++ }
+
+func (r *Router) banNode(n NodeID) { r.nodeBan[n] = r.banEpoch }
+
+func (r *Router) banEdge(e EdgeID) { r.edgeBan[e] = r.banEpoch }
+
+func (r *Router) nodeBanned(n NodeID) bool { return r.nodeBan[n] == r.banEpoch }
+
+func (r *Router) edgeBanned(e EdgeID) bool { return r.edgeBan[e] == r.banEpoch }
+
+// ShortestPath returns a minimum-weight path from s to t under w, or
+// ok == false if t is unreachable. If s == t the result is the trivial
+// zero-length path. Ties between equal-length paths are broken arbitrarily
+// but deterministically (by edge insertion order).
+func (r *Router) ShortestPath(s, t NodeID, w WeightFunc) (Path, bool) {
+	r.grow()
+	r.clearBans()
+	return r.shortest(s, t, w)
+}
+
+// ShortestPathAvoiding returns a minimum-weight s->t path that visits none
+// of the avoid nodes. Appearances of s or t themselves in avoid are
+// ignored.
+func (r *Router) ShortestPathAvoiding(s, t NodeID, w WeightFunc, avoid []NodeID) (Path, bool) {
+	r.grow()
+	r.clearBans()
+	for _, n := range avoid {
+		if n != s && n != t && r.g.validNode(n) {
+			r.banNode(n)
+		}
+	}
+	return r.shortest(s, t, w)
+}
+
+// ShortestDist returns the minimum path weight from s to t under w, or
+// +Inf if t is unreachable.
+func (r *Router) ShortestDist(s, t NodeID, w WeightFunc) float64 {
+	p, ok := r.ShortestPath(s, t, w)
+	if !ok {
+		return math.Inf(1)
+	}
+	return p.Length
+}
+
+// shortest runs Dijkstra from s with the current bans in effect, stopping as
+// soon as t is settled. Callers must have called grow().
+func (r *Router) shortest(s, t NodeID, w WeightFunc) (Path, bool) {
+	if !r.g.validNode(s) || !r.g.validNode(t) {
+		return Path{}, false
+	}
+	if r.nodeBanned(s) || r.nodeBanned(t) {
+		return Path{}, false
+	}
+	r.cur++
+	r.heap = r.heap[:0]
+
+	r.setDist(s, 0, InvalidEdge)
+	r.heap.push(heapItem{dist: 0, node: s})
+
+	for len(r.heap) > 0 {
+		it := r.heap.pop()
+		u := it.node
+		if it.dist > r.dist[u] || r.stamp[u] != r.cur {
+			continue // stale heap entry
+		}
+		if u == t {
+			return r.buildPath(s, t), true
+		}
+		du := it.dist
+		for _, e := range r.g.out[u] {
+			if r.g.disabled[e] || r.edgeBanned(e) {
+				continue
+			}
+			v := r.g.arcs[e].To
+			if r.nodeBanned(v) {
+				continue
+			}
+			nd := du + w(e)
+			if r.stamp[v] != r.cur || nd < r.dist[v] {
+				r.setDist(v, nd, e)
+				r.heap.push(heapItem{dist: nd, node: v})
+			}
+		}
+	}
+	return Path{}, false
+}
+
+func (r *Router) setDist(n NodeID, d float64, via EdgeID) {
+	r.dist[n] = d
+	r.prevEdge[n] = via
+	r.stamp[n] = r.cur
+}
+
+func (r *Router) buildPath(s, t NodeID) Path {
+	var edges []EdgeID
+	for n := t; n != s; {
+		e := r.prevEdge[n]
+		edges = append(edges, e)
+		n = r.g.arcs[e].From
+	}
+	// Reverse in place.
+	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	nodes := make([]NodeID, 0, len(edges)+1)
+	nodes = append(nodes, s)
+	for _, e := range edges {
+		nodes = append(nodes, r.g.arcs[e].To)
+	}
+	return Path{Nodes: nodes, Edges: edges, Length: r.dist[t]}
+}
+
+// DistancesFrom runs a full single-source Dijkstra and returns the distance
+// from s to every node (+Inf where unreachable). The returned slice is newly
+// allocated.
+func (r *Router) DistancesFrom(s NodeID, w WeightFunc) []float64 {
+	r.grow()
+	r.clearBans()
+	n := r.g.NumNodes()
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	if !r.g.validNode(s) {
+		return out
+	}
+	r.cur++
+	r.heap = r.heap[:0]
+	r.setDist(s, 0, InvalidEdge)
+	r.heap.push(heapItem{dist: 0, node: s})
+	for len(r.heap) > 0 {
+		it := r.heap.pop()
+		u := it.node
+		if it.dist > r.dist[u] || r.stamp[u] != r.cur {
+			continue
+		}
+		out[u] = it.dist
+		for _, e := range r.g.out[u] {
+			if r.g.disabled[e] {
+				continue
+			}
+			v := r.g.arcs[e].To
+			nd := it.dist + w(e)
+			if r.stamp[v] != r.cur || nd < r.dist[v] {
+				r.setDist(v, nd, e)
+				r.heap.push(heapItem{dist: nd, node: v})
+			}
+		}
+	}
+	return out
+}
+
+// heapItem is a (distance, node) pair in the Dijkstra priority queue.
+type heapItem struct {
+	dist float64
+	node NodeID
+}
+
+// nodeHeap is a hand-rolled binary min-heap. Lazy deletion (stale entries
+// skipped on pop) avoids decrease-key bookkeeping.
+type nodeHeap []heapItem
+
+func (h *nodeHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() heapItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < last && old[l].dist < old[small].dist {
+			small = l
+		}
+		if rr < last && old[rr].dist < old[small].dist {
+			small = rr
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,111 @@
+package graph
+
+import "math"
+
+// EigenDirection selects which adjacency direction eigenvector centrality
+// propagates along.
+type EigenDirection int
+
+const (
+	// EigenIn scores a node by the scores of nodes with edges INTO it
+	// (x = Aᵀx): prestige / authority flavor.
+	EigenIn EigenDirection = iota + 1
+	// EigenOut scores a node by the scores of nodes it points AT
+	// (x = Ax): hub flavor.
+	EigenOut
+)
+
+// EigenOptions configures EigenvectorCentrality.
+type EigenOptions struct {
+	// MaxIterations bounds the power iteration. Default 200.
+	MaxIterations int
+	// Tolerance is the L1 convergence threshold. Default 1e-9.
+	Tolerance float64
+	// Shift is a uniform additive teleport applied each iteration, which
+	// keeps the iteration well-defined on reducible/periodic directed
+	// graphs (road networks have sources, sinks, and long cycles).
+	// Default 1e-3.
+	Shift float64
+}
+
+func (o *EigenOptions) fill() {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-9
+	}
+	if o.Shift <= 0 {
+		o.Shift = 1e-3
+	}
+}
+
+// EigenvectorCentrality computes eigenvector centrality scores over enabled
+// edges by shifted power iteration, L2-normalized. The returned slice has
+// one non-negative entry per node.
+//
+// GreedyEig (paper §III-A, adapted from PATHATTACK) scores a directed edge
+// u→v as out[u]·in[v], the directed analogue of the undirected uᵢ·uⱼ
+// eigenscore, and cuts the edge with the highest score-to-cost ratio.
+func EigenvectorCentrality(g *Graph, dir EigenDirection, opts EigenOptions) []float64 {
+	opts.fill()
+	n := g.NumNodes()
+	x := make([]float64, n)
+	if n == 0 {
+		return x
+	}
+	next := make([]float64, n)
+	inv := 1 / math.Sqrt(float64(n))
+	for i := range x {
+		x[i] = inv
+	}
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		for i := range next {
+			next[i] = opts.Shift * inv
+		}
+		for e, arc := range g.arcs {
+			if g.disabled[e] {
+				continue
+			}
+			if dir == EigenIn {
+				next[arc.To] += x[arc.From]
+			} else {
+				next[arc.From] += x[arc.To]
+			}
+		}
+		norm := 0.0
+		for _, v := range next {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return x
+		}
+		diff := 0.0
+		for i := range next {
+			next[i] /= norm
+			diff += math.Abs(next[i] - x[i])
+		}
+		x, next = next, x
+		if diff < opts.Tolerance {
+			break
+		}
+	}
+	return x
+}
+
+// EdgeEigenScores returns the per-edge eigenscore out[from]·in[to] used by
+// GreedyEig. Disabled edges score 0.
+func EdgeEigenScores(g *Graph, opts EigenOptions) []float64 {
+	in := EigenvectorCentrality(g, EigenIn, opts)
+	out := EigenvectorCentrality(g, EigenOut, opts)
+	scores := make([]float64, g.NumEdges())
+	for e, arc := range g.arcs {
+		if g.disabled[e] {
+			continue
+		}
+		scores[e] = out[arc.From] * in[arc.To]
+	}
+	return scores
+}

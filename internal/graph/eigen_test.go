@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// completeGraph builds a complete directed graph on n nodes (no self loops).
+func completeGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.MustAddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+func TestEigenvectorCentralityUniformOnComplete(t *testing.T) {
+	g := completeGraph(5)
+	for _, dir := range []EigenDirection{EigenIn, EigenOut} {
+		x := EigenvectorCentrality(g, dir, EigenOptions{})
+		want := 1 / math.Sqrt(5)
+		for i, v := range x {
+			if math.Abs(v-want) > 1e-6 {
+				t.Errorf("dir %d: x[%d] = %v, want %v", dir, i, v, want)
+			}
+		}
+	}
+}
+
+func TestEigenvectorCentralityStar(t *testing.T) {
+	// Star: spokes 1..4 all point at hub 0. In-centrality of the hub must
+	// dominate; out-centrality of spokes must dominate the hub's.
+	g := New(5)
+	for i := 1; i < 5; i++ {
+		g.MustAddEdge(NodeID(i), 0)
+	}
+	in := EigenvectorCentrality(g, EigenIn, EigenOptions{})
+	for i := 1; i < 5; i++ {
+		if in[0] <= in[i] {
+			t.Errorf("in-centrality hub %v <= spoke %v", in[0], in[i])
+		}
+	}
+	out := EigenvectorCentrality(g, EigenOut, EigenOptions{})
+	for i := 1; i < 5; i++ {
+		if out[i] <= out[0] {
+			t.Errorf("out-centrality spoke %v <= hub %v", out[i], out[0])
+		}
+	}
+}
+
+func TestEigenvectorCentralityNormalized(t *testing.T) {
+	g := completeGraph(4)
+	x := EigenvectorCentrality(g, EigenIn, EigenOptions{})
+	sum := 0.0
+	for _, v := range x {
+		sum += v * v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("||x||² = %v, want 1", sum)
+	}
+	for i, v := range x {
+		if v < 0 {
+			t.Errorf("x[%d] = %v, want non-negative", i, v)
+		}
+	}
+}
+
+func TestEigenvectorCentralityEmptyAndEdgeless(t *testing.T) {
+	if x := EigenvectorCentrality(New(0), EigenIn, EigenOptions{}); len(x) != 0 {
+		t.Errorf("empty graph returned %v", x)
+	}
+	x := EigenvectorCentrality(New(3), EigenIn, EigenOptions{})
+	// No edges: only the shift term survives; all nodes equal.
+	for i := 1; i < 3; i++ {
+		if math.Abs(x[i]-x[0]) > 1e-9 {
+			t.Errorf("edgeless graph uneven: %v", x)
+		}
+	}
+}
+
+func TestEdgeEigenScores(t *testing.T) {
+	// 0->1->2 chain plus heavy traffic through node 1.
+	g := New(4)
+	e01 := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(3, 1)
+	scores := EdgeEigenScores(g, EigenOptions{})
+	if len(scores) != 3 {
+		t.Fatalf("got %d scores, want 3", len(scores))
+	}
+	for e, s := range scores {
+		if s <= 0 {
+			t.Errorf("score[%d] = %v, want > 0", e, s)
+		}
+	}
+	g.DisableEdge(e01)
+	scores = EdgeEigenScores(g, EigenOptions{})
+	if scores[e01] != 0 {
+		t.Errorf("disabled edge scored %v, want 0", scores[e01])
+	}
+}
+
+func TestEigenOptionsDefaults(t *testing.T) {
+	var o EigenOptions
+	o.fill()
+	if o.MaxIterations != 200 || o.Tolerance != 1e-9 || o.Shift != 1e-3 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o2 := EigenOptions{MaxIterations: 5, Tolerance: 0.1, Shift: 0.5}
+	o2.fill()
+	if o2.MaxIterations != 5 || o2.Tolerance != 0.1 || o2.Shift != 0.5 {
+		t.Errorf("explicit options overwritten: %+v", o2)
+	}
+}

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestAddNodeAndEdge(t *testing.T) {
+	g := New(0)
+	if got := g.NumNodes(); got != 0 {
+		t.Fatalf("NumNodes() = %d, want 0", got)
+	}
+	a := g.AddNode()
+	b := g.AddNode()
+	if a == b {
+		t.Fatalf("AddNode returned duplicate IDs %d", a)
+	}
+	e, err := g.AddEdge(a, b)
+	if err != nil {
+		t.Fatalf("AddEdge(%d, %d): %v", a, b, err)
+	}
+	if g.From(e) != a || g.To(e) != b {
+		t.Errorf("edge endpoints = (%d, %d), want (%d, %d)", g.From(e), g.To(e), a, b)
+	}
+	if g.NumEdges() != 1 || g.NumEnabledEdges() != 1 {
+		t.Errorf("NumEdges, NumEnabledEdges = %d, %d, want 1, 1", g.NumEdges(), g.NumEnabledEdges())
+	}
+}
+
+func TestAddEdgeRejectsInvalidNodes(t *testing.T) {
+	g := New(2)
+	tests := []struct {
+		name     string
+		from, to NodeID
+	}{
+		{"negative from", -1, 0},
+		{"negative to", 0, -1},
+		{"from out of range", 2, 0},
+		{"to out of range", 0, 99},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := g.AddEdge(tt.from, tt.to); err == nil {
+				t.Errorf("AddEdge(%d, %d) succeeded, want error", tt.from, tt.to)
+			}
+		})
+	}
+}
+
+func TestParallelEdgesAndSelfLoops(t *testing.T) {
+	g := New(2)
+	e1 := g.MustAddEdge(0, 1)
+	e2 := g.MustAddEdge(0, 1)
+	loop := g.MustAddEdge(0, 0)
+	if e1 == e2 {
+		t.Errorf("parallel edges share ID %d", e1)
+	}
+	if g.From(loop) != 0 || g.To(loop) != 0 {
+		t.Errorf("self loop endpoints = %v", g.Arc(loop))
+	}
+	if got := len(g.OutEdges(0)); got != 3 {
+		t.Errorf("OutEdges(0) has %d edges, want 3", got)
+	}
+}
+
+func TestDisableEnable(t *testing.T) {
+	g := New(2)
+	e := g.MustAddEdge(0, 1)
+	if g.EdgeDisabled(e) {
+		t.Fatal("new edge is disabled")
+	}
+	g.DisableEdge(e)
+	if !g.EdgeDisabled(e) {
+		t.Fatal("DisableEdge did not disable")
+	}
+	g.DisableEdge(e) // idempotent
+	if g.NumEnabledEdges() != 0 {
+		t.Errorf("NumEnabledEdges = %d, want 0", g.NumEnabledEdges())
+	}
+	g.EnableEdge(e)
+	g.EnableEdge(e) // idempotent
+	if g.EdgeDisabled(e) || g.NumEnabledEdges() != 1 {
+		t.Errorf("enable failed: disabled=%v enabled=%d", g.EdgeDisabled(e), g.NumEnabledEdges())
+	}
+}
+
+func TestDegreesSkipDisabled(t *testing.T) {
+	g := New(3)
+	e1 := g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 0)
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 1 {
+		t.Fatalf("degrees = out %d in %d, want 2, 1", g.OutDegree(0), g.InDegree(0))
+	}
+	g.DisableEdge(e1)
+	if g.OutDegree(0) != 1 {
+		t.Errorf("OutDegree(0) after disable = %d, want 1", g.OutDegree(0))
+	}
+	if g.InDegree(1) != 0 {
+		t.Errorf("InDegree(1) after disable = %d, want 0", g.InDegree(1))
+	}
+}
+
+func TestDisabledEdgesAndReset(t *testing.T) {
+	g := New(3)
+	e1 := g.MustAddEdge(0, 1)
+	e2 := g.MustAddEdge(1, 2)
+	if got := g.DisabledEdges(); got != nil {
+		t.Fatalf("DisabledEdges() = %v, want nil", got)
+	}
+	g.DisableEdge(e2)
+	g.DisableEdge(e1)
+	got := g.DisabledEdges()
+	if len(got) != 2 || got[0] != e1 || got[1] != e2 {
+		t.Fatalf("DisabledEdges() = %v, want [%d %d]", got, e1, e2)
+	}
+	g.ResetDisabled()
+	if g.NumEnabledEdges() != 2 {
+		t.Errorf("after reset NumEnabledEdges = %d, want 2", g.NumEnabledEdges())
+	}
+}
+
+func TestTransactionRollback(t *testing.T) {
+	g := New(3)
+	e1 := g.MustAddEdge(0, 1)
+	e2 := g.MustAddEdge(1, 2)
+	g.DisableEdge(e1) // disabled outside the transaction
+
+	tx := g.Begin()
+	tx.Disable(e2)
+	tx.Disable(e1) // already disabled: not recorded
+	if got := tx.Disabled(); len(got) != 1 || got[0] != e2 {
+		t.Fatalf("tx.Disabled() = %v, want [%d]", got, e2)
+	}
+	tx.Rollback()
+	if g.EdgeDisabled(e2) {
+		t.Error("rollback did not re-enable e2")
+	}
+	if !g.EdgeDisabled(e1) {
+		t.Error("rollback re-enabled an edge disabled before the transaction")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(3)
+	e := g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.DisableEdge(e)
+
+	c := g.Clone()
+	if c.NumNodes() != 3 || c.NumEdges() != 2 || !c.EdgeDisabled(e) {
+		t.Fatalf("clone mismatch: nodes=%d edges=%d disabled=%v", c.NumNodes(), c.NumEdges(), c.EdgeDisabled(e))
+	}
+	// Mutating the clone must not touch the original.
+	c.EnableEdge(e)
+	c.MustAddEdge(2, 0)
+	if !g.EdgeDisabled(e) || g.NumEdges() != 2 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestFindEdge(t *testing.T) {
+	g := New(3)
+	e := g.MustAddEdge(0, 1)
+	if got := g.FindEdge(0, 1); got != e {
+		t.Errorf("FindEdge(0,1) = %d, want %d", got, e)
+	}
+	if got := g.FindEdge(1, 0); got != InvalidEdge {
+		t.Errorf("FindEdge(1,0) = %d, want InvalidEdge", got)
+	}
+	g.DisableEdge(e)
+	if got := g.FindEdge(0, 1); got != InvalidEdge {
+		t.Errorf("FindEdge on disabled edge = %d, want InvalidEdge", got)
+	}
+	if got := g.FindEdge(-1, 5); got != InvalidEdge {
+		t.Errorf("FindEdge with invalid nodes = %d, want InvalidEdge", got)
+	}
+}
+
+func TestValidateWeights(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	if err := g.ValidateWeights(func(EdgeID) float64 { return 1 }); err != nil {
+		t.Errorf("ValidateWeights(positive) = %v, want nil", err)
+	}
+	err := g.ValidateWeights(func(EdgeID) float64 { return -1 })
+	if err == nil {
+		t.Fatal("ValidateWeights(negative) = nil, want error")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	g := New(2)
+	g.Grow(5)
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes after Grow(5) = %d, want 5", g.NumNodes())
+	}
+	g.Grow(3) // shrink is a no-op
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes after Grow(3) = %d, want 5", g.NumNodes())
+	}
+}

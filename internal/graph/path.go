@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Path is a walk through the graph. Nodes has exactly one more element than
+// Edges; Edges[i] connects Nodes[i] to Nodes[i+1]. Length is the sum of the
+// edge weights under the WeightFunc the path was computed with.
+type Path struct {
+	Nodes  []NodeID
+	Edges  []EdgeID
+	Length float64
+}
+
+// Source returns the first node of the path, or InvalidNode if empty.
+func (p Path) Source() NodeID {
+	if len(p.Nodes) == 0 {
+		return InvalidNode
+	}
+	return p.Nodes[0]
+}
+
+// Target returns the last node of the path, or InvalidNode if empty.
+func (p Path) Target() NodeID {
+	if len(p.Nodes) == 0 {
+		return InvalidNode
+	}
+	return p.Nodes[len(p.Nodes)-1]
+}
+
+// Empty reports whether the path has no nodes.
+func (p Path) Empty() bool { return len(p.Nodes) == 0 }
+
+// Hops returns the number of edges.
+func (p Path) Hops() int { return len(p.Edges) }
+
+// HasEdge reports whether e is one of the path's edges.
+func (p Path) HasEdge(e EdgeID) bool {
+	for _, pe := range p.Edges {
+		if pe == e {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeSet returns the path's edges as a set.
+func (p Path) EdgeSet() map[EdgeID]struct{} {
+	s := make(map[EdgeID]struct{}, len(p.Edges))
+	for _, e := range p.Edges {
+		s[e] = struct{}{}
+	}
+	return s
+}
+
+// SameEdges reports whether p and q traverse exactly the same edge sequence.
+func (p Path) SameEdges(q Path) bool {
+	if len(p.Edges) != len(q.Edges) {
+		return false
+	}
+	for i, e := range p.Edges {
+		if q.Edges[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string uniquely identifying the edge sequence,
+// usable as a map key for path de-duplication.
+func (p Path) Key() string {
+	var b strings.Builder
+	b.Grow(len(p.Edges) * 4)
+	for _, e := range p.Edges {
+		b.WriteByte(byte(e))
+		b.WriteByte(byte(e >> 8))
+		b.WriteByte(byte(e >> 16))
+		b.WriteByte(byte(e >> 24))
+	}
+	return b.String()
+}
+
+// IsSimple reports whether the path visits no node twice.
+func (p Path) IsSimple() bool {
+	seen := make(map[NodeID]struct{}, len(p.Nodes))
+	for _, n := range p.Nodes {
+		if _, dup := seen[n]; dup {
+			return false
+		}
+		seen[n] = struct{}{}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the path.
+func (p Path) Clone() Path {
+	return Path{
+		Nodes:  append([]NodeID(nil), p.Nodes...),
+		Edges:  append([]EdgeID(nil), p.Edges...),
+		Length: p.Length,
+	}
+}
+
+// Truncate returns the prefix of p ending at node index i (inclusive), with
+// Length recomputed under w.
+func (p Path) Truncate(i int, w WeightFunc) Path {
+	pre := Path{
+		Nodes: append([]NodeID(nil), p.Nodes[:i+1]...),
+		Edges: append([]EdgeID(nil), p.Edges[:i]...),
+	}
+	for _, e := range pre.Edges {
+		pre.Length += w(e)
+	}
+	return pre
+}
+
+// Concat returns p followed by q. q must start at p's target. Length is the
+// sum of both lengths.
+func (p Path) Concat(q Path) (Path, error) {
+	if p.Empty() {
+		return q.Clone(), nil
+	}
+	if q.Empty() {
+		return p.Clone(), nil
+	}
+	if p.Target() != q.Source() {
+		return Path{}, fmt.Errorf("graph: Concat: path ends at %d but next starts at %d", p.Target(), q.Source())
+	}
+	out := Path{
+		Nodes:  make([]NodeID, 0, len(p.Nodes)+len(q.Nodes)-1),
+		Edges:  make([]EdgeID, 0, len(p.Edges)+len(q.Edges)),
+		Length: p.Length + q.Length,
+	}
+	out.Nodes = append(out.Nodes, p.Nodes...)
+	out.Nodes = append(out.Nodes, q.Nodes[1:]...)
+	out.Edges = append(out.Edges, p.Edges...)
+	out.Edges = append(out.Edges, q.Edges...)
+	return out, nil
+}
+
+// Validate checks that the path is structurally consistent with g: node and
+// edge counts line up, each edge connects the adjacent node pair, and every
+// edge is enabled.
+func (p Path) Validate(g *Graph) error {
+	if len(p.Nodes) == 0 && len(p.Edges) == 0 {
+		return nil
+	}
+	if len(p.Nodes) != len(p.Edges)+1 {
+		return fmt.Errorf("graph: path has %d nodes and %d edges", len(p.Nodes), len(p.Edges))
+	}
+	for i, e := range p.Edges {
+		if !g.validEdge(e) {
+			return fmt.Errorf("graph: path edge %d out of range", e)
+		}
+		arc := g.Arc(e)
+		if arc.From != p.Nodes[i] || arc.To != p.Nodes[i+1] {
+			return fmt.Errorf("graph: path edge %d connects %d->%d, want %d->%d",
+				e, arc.From, arc.To, p.Nodes[i], p.Nodes[i+1])
+		}
+		if g.EdgeDisabled(e) {
+			return fmt.Errorf("graph: path uses disabled edge %d", e)
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer with a compact node-sequence rendering.
+func (p Path) String() string {
+	if p.Empty() {
+		return "<empty path>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "len=%.3f:", p.Length)
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteString("->")
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	return b.String()
+}

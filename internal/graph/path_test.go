@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkPath(g *Graph, w WeightFunc, nodes ...NodeID) Path {
+	p := Path{Nodes: nodes}
+	for i := 0; i+1 < len(nodes); i++ {
+		e := g.FindEdge(nodes[i], nodes[i+1])
+		p.Edges = append(p.Edges, e)
+		p.Length += w(e)
+	}
+	return p
+}
+
+func TestPathAccessors(t *testing.T) {
+	var empty Path
+	if empty.Source() != InvalidNode || empty.Target() != InvalidNode {
+		t.Error("empty path endpoints should be InvalidNode")
+	}
+	if !empty.Empty() || empty.Hops() != 0 {
+		t.Error("empty path misreported")
+	}
+
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	w := func(EdgeID) float64 { return 1 }
+	p := mkPath(g, w, 0, 1, 2)
+	if p.Source() != 0 || p.Target() != 2 || p.Hops() != 2 {
+		t.Errorf("path accessors wrong: %v", p)
+	}
+	if !p.HasEdge(0) || p.HasEdge(99) {
+		t.Error("HasEdge wrong")
+	}
+	if len(p.EdgeSet()) != 2 {
+		t.Errorf("EdgeSet size = %d, want 2", len(p.EdgeSet()))
+	}
+}
+
+func TestPathSameEdgesAndKey(t *testing.T) {
+	a := Path{Edges: []EdgeID{1, 2, 3}}
+	b := Path{Edges: []EdgeID{1, 2, 3}}
+	c := Path{Edges: []EdgeID{1, 2, 4}}
+	d := Path{Edges: []EdgeID{1, 2}}
+	if !a.SameEdges(b) || a.SameEdges(c) || a.SameEdges(d) {
+		t.Error("SameEdges wrong")
+	}
+	if a.Key() != b.Key() {
+		t.Error("equal paths have different keys")
+	}
+	if a.Key() == c.Key() || a.Key() == d.Key() {
+		t.Error("distinct paths share a key")
+	}
+	// Keys must distinguish large IDs that share low bytes.
+	e := Path{Edges: []EdgeID{0x01000002}}
+	f := Path{Edges: []EdgeID{0x02000002}}
+	if e.Key() == f.Key() {
+		t.Error("keys collide on high bytes")
+	}
+}
+
+func TestPathIsSimple(t *testing.T) {
+	if !(Path{Nodes: []NodeID{0, 1, 2}}).IsSimple() {
+		t.Error("simple path misreported")
+	}
+	if (Path{Nodes: []NodeID{0, 1, 0}}).IsSimple() {
+		t.Error("loop path reported simple")
+	}
+}
+
+func TestPathCloneIndependence(t *testing.T) {
+	p := Path{Nodes: []NodeID{0, 1}, Edges: []EdgeID{0}, Length: 1}
+	c := p.Clone()
+	c.Nodes[0] = 9
+	c.Edges[0] = 9
+	if p.Nodes[0] != 0 || p.Edges[0] != 0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestPathTruncate(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	weights := []float64{1, 2, 4}
+	w := func(e EdgeID) float64 { return weights[e] }
+	p := mkPath(g, w, 0, 1, 2, 3)
+
+	pre := p.Truncate(2, w)
+	if pre.Target() != 2 || pre.Hops() != 2 || pre.Length != 3 {
+		t.Errorf("Truncate(2) = %v, want 0->1->2 len 3", pre)
+	}
+	zero := p.Truncate(0, w)
+	if zero.Hops() != 0 || zero.Length != 0 || zero.Source() != 0 {
+		t.Errorf("Truncate(0) = %v", zero)
+	}
+}
+
+func TestPathConcat(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	w := func(EdgeID) float64 { return 1 }
+	a := mkPath(g, w, 0, 1)
+	b := mkPath(g, w, 1, 2, 3)
+
+	ab, err := a.Concat(b)
+	if err != nil {
+		t.Fatalf("Concat: %v", err)
+	}
+	if ab.Source() != 0 || ab.Target() != 3 || ab.Hops() != 3 || ab.Length != 3 {
+		t.Errorf("Concat = %v", ab)
+	}
+
+	if _, err := b.Concat(a); err == nil {
+		t.Error("mismatched Concat succeeded")
+	}
+
+	var empty Path
+	got, err := empty.Concat(a)
+	if err != nil || !got.SameEdges(a) {
+		t.Errorf("empty.Concat = %v, %v", got, err)
+	}
+	got, err = a.Concat(empty)
+	if err != nil || !got.SameEdges(a) {
+		t.Errorf("Concat(empty) = %v, %v", got, err)
+	}
+}
+
+func TestPathValidate(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	w := func(EdgeID) float64 { return 1 }
+	good := mkPath(g, w, 0, 1, 2)
+	if err := good.Validate(g); err != nil {
+		t.Errorf("valid path rejected: %v", err)
+	}
+
+	bad := Path{Nodes: []NodeID{0, 2}, Edges: []EdgeID{0}}
+	if err := bad.Validate(g); err == nil {
+		t.Error("edge/node mismatch accepted")
+	}
+	short := Path{Nodes: []NodeID{0}, Edges: []EdgeID{0}}
+	if err := short.Validate(g); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	oob := Path{Nodes: []NodeID{0, 1}, Edges: []EdgeID{42}}
+	if err := oob.Validate(g); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	g.DisableEdge(0)
+	if err := good.Validate(g); err == nil {
+		t.Error("disabled edge accepted")
+	}
+	var empty Path
+	if err := empty.Validate(g); err != nil {
+		t.Errorf("empty path rejected: %v", err)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	var empty Path
+	if got := empty.String(); got != "<empty path>" {
+		t.Errorf("empty String() = %q", got)
+	}
+	p := Path{Nodes: []NodeID{3, 5}, Edges: []EdgeID{0}, Length: 1.5}
+	s := p.String()
+	if !strings.Contains(s, "3->5") || !strings.Contains(s, "1.5") {
+		t.Errorf("String() = %q", s)
+	}
+}

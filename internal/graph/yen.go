@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"container/heap"
+)
+
+// KShortest returns up to k loopless (simple) paths from s to t in
+// non-decreasing order of weight under w, using Yen's algorithm. The first
+// path is the shortest path. Fewer than k paths are returned when the graph
+// does not contain k distinct simple paths.
+//
+// The paper uses path rank 100 (and 200 for Table X): the alternative route
+// p* the attacker forces is the 100th-shortest path, so this routine is the
+// workload generator for every experiment.
+func (r *Router) KShortest(s, t NodeID, k int, w WeightFunc) []Path {
+	if k <= 0 {
+		return nil
+	}
+	r.grow()
+	r.clearBans()
+	first, ok := r.shortest(s, t, w)
+	if !ok {
+		return nil
+	}
+	accepted := []Path{first}
+	seen := map[string]struct{}{first.Key(): {}}
+	var cands candidateHeap
+
+	for len(accepted) < k {
+		prev := accepted[len(accepted)-1]
+		r.spurCandidates(prev, accepted, t, w, seen, &cands)
+		if cands.Len() == 0 {
+			break
+		}
+		best := heap.Pop(&cands).(Path)
+		accepted = append(accepted, best)
+	}
+	return accepted
+}
+
+// BestAlternative returns the minimum-weight s->t path whose edge sequence
+// differs from avoid, or ok == false when no such path exists. When the
+// overall shortest path already differs from avoid it is returned directly;
+// otherwise a single Yen deviation round over avoid finds the best
+// second path.
+//
+// This is the attack algorithms' exclusivity oracle: p* is the exclusive
+// shortest path iff BestAlternative(s, t, w, p*) has Length > p*.Length.
+func (r *Router) BestAlternative(s, t NodeID, w WeightFunc, avoid Path) (Path, bool) {
+	r.grow()
+	r.clearBans()
+	first, ok := r.shortest(s, t, w)
+	if !ok {
+		return Path{}, false
+	}
+	if !first.SameEdges(avoid) {
+		return first, true
+	}
+	seen := map[string]struct{}{avoid.Key(): {}}
+	var cands candidateHeap
+	r.spurCandidates(avoid, []Path{avoid}, t, w, seen, &cands)
+	if cands.Len() == 0 {
+		return Path{}, false
+	}
+	return heap.Pop(&cands).(Path), true
+}
+
+// spurCandidates runs the Yen deviation step: for every spur node along
+// base, ban the root-path nodes and the next edges of every accepted path
+// sharing the root, and search for the best spur path to t. New candidates
+// (not in seen) are pushed onto cands and recorded in seen, so repeated
+// generation of the same deviation across rounds is suppressed.
+func (r *Router) spurCandidates(base Path, accepted []Path, t NodeID, w WeightFunc, seen map[string]struct{}, cands *candidateHeap) {
+	rootLen := 0.0
+	for i := 0; i < len(base.Edges); i++ {
+		spurNode := base.Nodes[i]
+
+		r.clearBans()
+		// Ban the next edge of every accepted path that shares this root.
+		for _, p := range accepted {
+			if i < len(p.Edges) && samePrefix(p, base, i) {
+				r.banEdge(p.Edges[i])
+			}
+		}
+		// Ban root nodes (excluding the spur node) to keep paths simple.
+		for j := 0; j < i; j++ {
+			r.banNode(base.Nodes[j])
+		}
+
+		if spur, ok := r.shortest(spurNode, t, w); ok {
+			total := concatSpur(base, i, rootLen, spur)
+			key := total.Key()
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				heap.Push(cands, total)
+			}
+		}
+		rootLen += w(base.Edges[i])
+	}
+	r.clearBans()
+}
+
+// samePrefix reports whether p and q share their first i edges.
+func samePrefix(p, q Path, i int) bool {
+	if len(p.Edges) < i || len(q.Edges) < i {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		if p.Edges[j] != q.Edges[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// concatSpur joins base's first i edges (with precomputed weight rootLen)
+// to spur, which starts at base.Nodes[i].
+func concatSpur(base Path, i int, rootLen float64, spur Path) Path {
+	nodes := make([]NodeID, 0, i+len(spur.Nodes))
+	nodes = append(nodes, base.Nodes[:i]...)
+	nodes = append(nodes, spur.Nodes...)
+	edges := make([]EdgeID, 0, i+len(spur.Edges))
+	edges = append(edges, base.Edges[:i]...)
+	edges = append(edges, spur.Edges...)
+	return Path{Nodes: nodes, Edges: edges, Length: rootLen + spur.Length}
+}
+
+// candidateHeap orders candidate paths by length, then hop count, then edge
+// sequence so results are deterministic across runs.
+type candidateHeap []Path
+
+func (h candidateHeap) Len() int { return len(h) }
+
+func (h candidateHeap) Less(i, j int) bool {
+	if h[i].Length != h[j].Length {
+		return h[i].Length < h[j].Length
+	}
+	if len(h[i].Edges) != len(h[j].Edges) {
+		return len(h[i].Edges) < len(h[j].Edges)
+	}
+	for k := range h[i].Edges {
+		if h[i].Edges[k] != h[j].Edges[k] {
+			return h[i].Edges[k] < h[j].Edges[k]
+		}
+	}
+	return false
+}
+
+func (h candidateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *candidateHeap) Push(x any) { *h = append(*h, x.(Path)) }
+
+func (h *candidateHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}

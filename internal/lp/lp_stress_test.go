@@ -1,0 +1,155 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBealeCyclingExample solves Beale's classic degenerate program, which
+// cycles forever under naive Dantzig pivoting. Bland's rule must terminate
+// at the optimum. Standard form of Beale (1955):
+//
+//	min  -0.75 x4 + 150 x5 - 0.02 x6 + 6 x7
+//	s.t. 0.25 x4 - 60 x5 - 0.04 x6 + 9 x7 <= 0
+//	     0.50 x4 - 90 x5 - 0.02 x6 + 3 x7 <= 0
+//	     x6 <= 1
+//
+// Optimum: -0.05 at x = (0.04, 0, 1, 0) (in the x4..x7 variables).
+func TestBealeCyclingExample(t *testing.T) {
+	s, err := Solve(Problem{
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Rows: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Sense: LE, RHS: 1},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal (anti-cycling failed?)", s.Status)
+	}
+	if math.Abs(s.Objective-(-0.05)) > 1e-9 {
+		t.Errorf("objective = %v, want -0.05", s.Objective)
+	}
+}
+
+// TestKleeMintyCube solves the 3-D Klee-Minty cube (worst case for Dantzig
+// pivoting; Bland just has to terminate at the right optimum).
+func TestKleeMintyCube(t *testing.T) {
+	// max 4x1 + 2x2 + x3 == min -(4x1 + 2x2 + x3)
+	// s.t. x1 <= 5; 4x1 + x2 <= 25; 8x1 + 4x2 + x3 <= 125.
+	// Optimum of the max is 125 at (0, 0, 125).
+	s, err := Solve(Problem{
+		Objective: []float64{-4, -2, -1},
+		Rows: []Constraint{
+			{Coeffs: []float64{1, 0, 0}, Sense: LE, RHS: 5},
+			{Coeffs: []float64{4, 1, 0}, Sense: LE, RHS: 25},
+			{Coeffs: []float64{8, 4, 1}, Sense: LE, RHS: 125},
+		},
+	})
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("Solve: %v, %v", s.Status, err)
+	}
+	if math.Abs(s.Objective-(-125)) > 1e-6 {
+		t.Errorf("objective = %v, want -125", s.Objective)
+	}
+}
+
+// TestEqualitySystemsMatchGaussianElimination checks EQ-only programs with
+// square non-singular systems against direct Gaussian solutions (when the
+// unique solution is non-negative, the LP must find exactly it).
+func TestEqualitySystemsMatchGaussianElimination(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		// Build A = L + diag(dominant) to keep it non-singular, and choose
+		// x* >= 0 first so b = A x* guarantees feasibility.
+		a := make([][]float64, n)
+		xstar := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = float64(rng.Intn(5))
+			}
+			a[i][i] += float64(n*5) + 1 // diagonally dominant
+			xstar[i] = float64(rng.Intn(10))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range a[i] {
+				b[i] += a[i][j] * xstar[j]
+			}
+		}
+		rows := make([]Constraint, n)
+		for i := range rows {
+			rows[i] = Constraint{Coeffs: a[i], Sense: EQ, RHS: b[i]}
+		}
+		obj := make([]float64, n)
+		for j := range obj {
+			obj[j] = float64(1 + rng.Intn(5))
+		}
+		s, err := Solve(Problem{Objective: obj, Rows: rows})
+		if err != nil || s.Status != Optimal {
+			t.Logf("seed %d: %v %v", seed, s.Status, err)
+			return false
+		}
+		// Unique feasible point: x must equal x*.
+		for j := range xstar {
+			if math.Abs(s.X[j]-xstar[j]) > 1e-6 {
+				t.Logf("seed %d: x[%d] = %v, want %v", seed, j, s.X[j], xstar[j])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLargeCoverInstances exercises the solver at the scale LP-PathCover
+// produces on big cities (hundreds of variables, tens of rows).
+func TestLargeCoverInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const nVars = 400
+	const nRows = 60
+	obj := make([]float64, nVars)
+	for j := range obj {
+		obj[j] = 1 + rng.Float64()*9
+	}
+	rows := make([]Constraint, nRows)
+	for i := range rows {
+		coeffs := make([]float64, nVars)
+		for k := 0; k < 12; k++ {
+			coeffs[rng.Intn(nVars)] = 1
+		}
+		rows[i] = Constraint{Coeffs: coeffs, Sense: GE, RHS: 1}
+	}
+	s, err := Solve(Problem{Objective: obj, Rows: rows})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	// Feasibility.
+	for i, row := range rows {
+		sum := 0.0
+		for j, c := range row.Coeffs {
+			sum += c * s.X[j]
+		}
+		if sum < 1-1e-6 {
+			t.Fatalf("row %d violated: %v", i, sum)
+		}
+	}
+	// The LP optimum cannot exceed the trivially feasible all-min choice:
+	// picking for each row its cheapest variable costs at most nRows*10.
+	if s.Objective > float64(nRows)*10 {
+		t.Errorf("objective %v implausibly large", s.Objective)
+	}
+}

@@ -1,0 +1,363 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestSolveSimpleGE(t *testing.T) {
+	// min x1 + 2 x2 s.t. x1 + x2 >= 1 -> x = (1, 0), obj 1.
+	s := solveOK(t, Problem{
+		Objective: []float64{1, 2},
+		Rows:      []Constraint{{Coeffs: []float64{1, 1}, Sense: GE, RHS: 1}},
+	})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-1) > 1e-9 || math.Abs(s.X[0]-1) > 1e-9 || math.Abs(s.X[1]) > 1e-9 {
+		t.Errorf("solution = %+v, want x=(1,0) obj=1", s)
+	}
+}
+
+func TestSolveSetCoverRelaxation(t *testing.T) {
+	// Two covering constraints sharing variable 2, which is cheap enough
+	// to cover both: min 3x0 + 3x1 + 2x2
+	//   x0 + x2 >= 1
+	//   x1 + x2 >= 1
+	// Optimum: x2 = 1, obj 2.
+	s := solveOK(t, Problem{
+		Objective: []float64{3, 3, 2},
+		Rows: []Constraint{
+			{Coeffs: []float64{1, 0, 1}, Sense: GE, RHS: 1},
+			{Coeffs: []float64{0, 1, 1}, Sense: GE, RHS: 1},
+		},
+	})
+	if s.Status != Optimal || math.Abs(s.Objective-2) > 1e-9 {
+		t.Fatalf("solution = %+v, want obj 2", s)
+	}
+	if math.Abs(s.X[2]-1) > 1e-9 {
+		t.Errorf("x2 = %v, want 1", s.X[2])
+	}
+}
+
+func TestSolveFractionalOptimum(t *testing.T) {
+	// Classic LP-relaxation-of-vertex-cover triangle: min x0+x1+x2 with
+	// pairwise sums >= 1 has fractional optimum (1/2, 1/2, 1/2), obj 1.5.
+	s := solveOK(t, Problem{
+		Objective: []float64{1, 1, 1},
+		Rows: []Constraint{
+			{Coeffs: []float64{1, 1, 0}, Sense: GE, RHS: 1},
+			{Coeffs: []float64{0, 1, 1}, Sense: GE, RHS: 1},
+			{Coeffs: []float64{1, 0, 1}, Sense: GE, RHS: 1},
+		},
+	})
+	if s.Status != Optimal || math.Abs(s.Objective-1.5) > 1e-9 {
+		t.Fatalf("solution = %+v, want obj 1.5", s)
+	}
+}
+
+func TestSolveLEAndEQ(t *testing.T) {
+	// min -x0 - x1 s.t. x0 + x1 <= 4, x0 = 1 -> x = (1, 3), obj -4.
+	s := solveOK(t, Problem{
+		Objective: []float64{-1, -1},
+		Rows: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Sense: EQ, RHS: 1},
+		},
+	})
+	if s.Status != Optimal || math.Abs(s.Objective+4) > 1e-9 {
+		t.Fatalf("solution = %+v, want obj -4", s)
+	}
+	if math.Abs(s.X[0]-1) > 1e-9 || math.Abs(s.X[1]-3) > 1e-9 {
+		t.Errorf("x = %v, want (1, 3)", s.X)
+	}
+}
+
+func TestSolveNegativeRHSNormalization(t *testing.T) {
+	// -x0 <= -2 is x0 >= 2.
+	s := solveOK(t, Problem{
+		Objective: []float64{1},
+		Rows:      []Constraint{{Coeffs: []float64{-1}, Sense: LE, RHS: -2}},
+	})
+	if s.Status != Optimal || math.Abs(s.X[0]-2) > 1e-9 {
+		t.Fatalf("solution = %+v, want x0=2", s)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x0 >= 2 and x0 <= 1.
+	s := solveOK(t, Problem{
+		Objective: []float64{1},
+		Rows: []Constraint{
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+			{Coeffs: []float64{1}, Sense: LE, RHS: 1},
+		},
+	})
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x0, x0 >= 0 unconstrained above.
+	s := solveOK(t, Problem{
+		Objective: []float64{-1},
+		Rows:      []Constraint{{Coeffs: []float64{1}, Sense: GE, RHS: 0}},
+	})
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Redundant constraints that force degenerate pivots.
+	s := solveOK(t, Problem{
+		Objective: []float64{1, 1},
+		Rows: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 1},
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 1},
+			{Coeffs: []float64{2, 2}, Sense: GE, RHS: 2},
+		},
+	})
+	if s.Status != Optimal || math.Abs(s.Objective-1) > 1e-9 {
+		t.Fatalf("solution = %+v, want obj 1", s)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Problem
+	}{
+		{"no variables", Problem{}},
+		{"too many coefficients", Problem{
+			Objective: []float64{1},
+			Rows:      []Constraint{{Coeffs: []float64{1, 2}, Sense: GE, RHS: 1}},
+		}},
+		{"bad sense", Problem{
+			Objective: []float64{1},
+			Rows:      []Constraint{{Coeffs: []float64{1}, RHS: 1}},
+		}},
+		{"NaN coefficient", Problem{
+			Objective: []float64{1},
+			Rows:      []Constraint{{Coeffs: []float64{math.NaN()}, Sense: GE, RHS: 1}},
+		}},
+		{"Inf RHS", Problem{
+			Objective: []float64{1},
+			Rows:      []Constraint{{Coeffs: []float64{1}, Sense: GE, RHS: math.Inf(1)}},
+		}},
+		{"NaN objective", Problem{
+			Objective: []float64{math.NaN()},
+			Rows:      []Constraint{{Coeffs: []float64{1}, Sense: GE, RHS: 1}},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Solve(tt.p); err == nil {
+				t.Error("Solve succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestSolveShortCoefficientRows(t *testing.T) {
+	// Trailing zero coefficients may be omitted.
+	s := solveOK(t, Problem{
+		Objective: []float64{1, 5},
+		Rows:      []Constraint{{Coeffs: []float64{1}, Sense: GE, RHS: 3}},
+	})
+	if s.Status != Optimal || math.Abs(s.X[0]-3) > 1e-9 || s.X[1] != 0 {
+		t.Fatalf("solution = %+v", s)
+	}
+}
+
+func TestStatusAndSenseStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings wrong")
+	}
+	if !strings.Contains(Status(9).String(), "9") {
+		t.Error("unknown status string wrong")
+	}
+	if GE.String() != ">=" || LE.String() != "<=" || EQ.String() != "==" {
+		t.Error("sense strings wrong")
+	}
+	if !strings.Contains(Sense(9).String(), "9") {
+		t.Error("unknown sense string wrong")
+	}
+}
+
+// bruteForceCover solves a 0/1 covering problem min c·x, Ax >= 1 exactly by
+// enumeration. For covering LPs with 0/1 matrices the integer optimum upper
+// bounds the LP optimum, and the LP optimum is >= max over rows of
+// min_{j in row} c_j; we use both as sandwich bounds in the property test.
+func bruteForceCover(c []float64, rows [][]int) float64 {
+	n := len(c)
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, row := range rows {
+			covered := false
+			for _, j := range row {
+				if mask&(1<<j) != 0 {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		cost := 0.0
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				cost += c[j]
+			}
+		}
+		if cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+func TestSolveCoverBoundsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(6)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = float64(1 + rng.Intn(9))
+		}
+		rows := make([][]int, m)
+		cons := make([]Constraint, m)
+		for i := range rows {
+			size := 1 + rng.Intn(n)
+			perm := rng.Perm(n)[:size]
+			rows[i] = perm
+			coeffs := make([]float64, n)
+			for _, j := range perm {
+				coeffs[j] = 1
+			}
+			cons[i] = Constraint{Coeffs: coeffs, Sense: GE, RHS: 1}
+		}
+
+		s, err := Solve(Problem{Objective: c, Rows: cons})
+		if err != nil || s.Status != Optimal {
+			t.Logf("seed %d: status %v err %v", seed, s.Status, err)
+			return false
+		}
+		intOpt := bruteForceCover(c, rows)
+		if s.Objective > intOpt+1e-6 {
+			t.Logf("seed %d: LP obj %v exceeds integer optimum %v", seed, s.Objective, intOpt)
+			return false
+		}
+		// LP optimum must cover each row: check feasibility of X.
+		for i, row := range rows {
+			sum := 0.0
+			for _, j := range row {
+				sum += s.X[j]
+			}
+			if sum < 1-1e-6 {
+				t.Logf("seed %d: row %d violated (%v)", seed, i, sum)
+				return false
+			}
+		}
+		for j, v := range s.X {
+			if v < -1e-9 {
+				t.Logf("seed %d: x[%d] = %v negative", seed, j, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveRandomLEProgramsMatchVertexEnumeration(t *testing.T) {
+	// For min cᵀx, Ax <= b (A, b >= 0), x >= 0, the optimum is x = 0 when
+	// c >= 0; with mixed-sign c the optimum lies at a vertex. We verify
+	// against a coarse grid search lower bound on small instances.
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := []float64{float64(rng.Intn(7) - 3), float64(rng.Intn(7) - 3)}
+		rowsCnt := 1 + rng.Intn(3)
+		cons := make([]Constraint, rowsCnt)
+		type rowT struct {
+			a [2]float64
+			b float64
+		}
+		raw := make([]rowT, rowsCnt)
+		for i := range cons {
+			a0 := float64(1 + rng.Intn(4))
+			a1 := float64(1 + rng.Intn(4))
+			bb := float64(1 + rng.Intn(10))
+			cons[i] = Constraint{Coeffs: []float64{a0, a1}, Sense: LE, RHS: bb}
+			raw[i] = rowT{a: [2]float64{a0, a1}, b: bb}
+		}
+		s, err := Solve(Problem{Objective: c, Rows: cons})
+		if err != nil {
+			return false
+		}
+		if s.Status == Unbounded {
+			// With all-positive constraint coefficients the feasible set is
+			// bounded, so this must not happen.
+			t.Logf("seed %d: unbounded on bounded polytope", seed)
+			return false
+		}
+		if s.Status != Optimal {
+			return false
+		}
+		// Grid search over the polytope.
+		best := math.Inf(1)
+		const steps = 60
+		maxCoord := 12.0
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x0 := maxCoord * float64(i) / steps
+				x1 := maxCoord * float64(j) / steps
+				ok := true
+				for _, r := range raw {
+					if r.a[0]*x0+r.a[1]*x1 > r.b+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if v := c[0]*x0 + c[1]*x1; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		// Simplex must be at least as good as the grid (within grid error).
+		if s.Objective > best+0.5 {
+			t.Logf("seed %d: simplex %v worse than grid %v", seed, s.Objective, best)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

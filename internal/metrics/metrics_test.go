@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"altroute/internal/citygen"
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+// squareNet builds a unit two-way square: 4 nodes, 8 directed segments.
+func squareNet(t *testing.T) *roadnet.Network {
+	t.Helper()
+	n := roadnet.NewNetwork("square")
+	pts := []geo.Point{
+		{Lat: 42.000, Lon: -71.000},
+		{Lat: 42.000, Lon: -70.999},
+		{Lat: 42.001, Lon: -71.000},
+		{Lat: 42.001, Lon: -70.999},
+	}
+	var ids []graph.NodeID
+	for _, p := range pts {
+		ids = append(ids, n.AddIntersection(p))
+	}
+	for _, pair := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if _, _, err := n.AddTwoWayRoad(ids[pair[0]], ids[pair[1]], roadnet.Road{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestSummarize(t *testing.T) {
+	n := squareNet(t)
+	s := Summarize(n)
+	if s.Nodes != 4 || s.Edges != 8 {
+		t.Errorf("summary = %+v, want 4 nodes 8 edges", s)
+	}
+	if s.AvgNodeDegree != 4 {
+		t.Errorf("avg degree = %v, want 4", s.AvgNodeDegree)
+	}
+	n.Graph().DisableEdge(0)
+	if got := Summarize(n).Edges; got != 7 {
+		t.Errorf("edges after disable = %d, want 7", got)
+	}
+	empty := Summarize(roadnet.NewNetwork("e"))
+	if empty.Nodes != 0 || empty.AvgNodeDegree != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+	if !strings.Contains(s.String(), "square") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestOrientationEntropyGridVsSpread(t *testing.T) {
+	grid := squareNet(t)
+	hGrid := OrientationEntropy(grid, 36)
+	// A 4-direction grid: entropy at most ln(4) (+binning slack).
+	if hGrid > math.Log(4)+0.3 {
+		t.Errorf("grid entropy = %v, want <= ~ln4", hGrid)
+	}
+
+	// A star of segments in 12 directions has higher entropy.
+	star := roadnet.NewNetwork("star")
+	center := star.AddIntersection(geo.Point{Lat: 42, Lon: -71})
+	for i := 0; i < 12; i++ {
+		ang := float64(i) / 12 * 2 * math.Pi
+		p := geo.Point{Lat: 42 + 0.001*math.Cos(ang), Lon: -71 + 0.001*math.Sin(ang)}
+		id := star.AddIntersection(p)
+		if _, err := star.AddRoad(center, id, roadnet.Road{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hStar := OrientationEntropy(star, 36)
+	if hStar <= hGrid {
+		t.Errorf("star entropy %v <= grid entropy %v", hStar, hGrid)
+	}
+}
+
+func TestOrientationEntropyEdgeCases(t *testing.T) {
+	if got := OrientationEntropy(roadnet.NewNetwork("e"), 36); got != 0 {
+		t.Errorf("empty entropy = %v", got)
+	}
+	// bins <= 0 falls back to 36 without panicking.
+	if got := OrientationEntropy(squareNet(t), 0); got < 0 {
+		t.Errorf("entropy = %v", got)
+	}
+}
+
+func TestLatticenessOrdering(t *testing.T) {
+	grid := squareNet(t)
+	if l := Latticeness(grid); l < 0.9 {
+		t.Errorf("square latticeness = %v, want ~1", l)
+	}
+
+	boston, err := citygen.Build(citygen.Boston, 0.02, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chicago, err := citygen.Build(citygen.Chicago, 0.02, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, lc := Latticeness(boston), Latticeness(chicago)
+	if lc <= lb {
+		t.Errorf("latticeness: Chicago %v <= Boston %v", lc, lb)
+	}
+	for _, l := range []float64{lb, lc} {
+		if l < 0 || l > 1 {
+			t.Errorf("latticeness %v out of [0,1]", l)
+		}
+	}
+}
+
+func TestPathRankGap(t *testing.T) {
+	// Ladder graph with increasing path lengths: 0->3 direct (1), via 1
+	// (2), via 2 (4).
+	n := roadnet.NewNetwork("ladder")
+	var ids []graph.NodeID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, n.AddIntersection(geo.Point{Lat: 42 + float64(i)*0.001, Lon: -71}))
+	}
+	add := func(a, b int, length float64) {
+		t.Helper()
+		if _, err := n.AddRoad(ids[a], ids[b], roadnet.Road{LengthM: length}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, 3, 100)
+	add(0, 1, 100)
+	add(1, 3, 100)
+	add(0, 2, 200)
+	add(2, 3, 200)
+
+	w := n.Weight(roadnet.WeightLength)
+	res := PathRankGap(n, []Endpoint{{Source: ids[0], Dest: ids[3]}}, []int{2, 3}, w)
+	if res.Pairs != 1 || res.Skipped != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if got := res.AvgIncreasePct[2]; math.Abs(got-100) > 1e-9 {
+		t.Errorf("rank 2 increase = %v%%, want 100%%", got)
+	}
+	if got := res.AvgIncreasePct[3]; math.Abs(got-300) > 1e-9 {
+		t.Errorf("rank 3 increase = %v%%, want 300%%", got)
+	}
+}
+
+func TestPathRankGapSkipsThinPairs(t *testing.T) {
+	n := roadnet.NewNetwork("thin")
+	a := n.AddIntersection(geo.Point{Lat: 42, Lon: -71})
+	b := n.AddIntersection(geo.Point{Lat: 42.001, Lon: -71})
+	c := n.AddIntersection(geo.Point{Lat: 42.002, Lon: -71})
+	if _, err := n.AddRoad(a, b, roadnet.Road{LengthM: 10}); err != nil {
+		t.Fatal(err)
+	}
+	w := n.Weight(roadnet.WeightLength)
+
+	// Only one path exists: rank 5 unavailable -> pair skipped.
+	res := PathRankGap(n, []Endpoint{{Source: a, Dest: b}}, []int{5}, w)
+	if res.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1", res.Skipped)
+	}
+	// Disconnected pair skipped too.
+	res = PathRankGap(n, []Endpoint{{Source: a, Dest: c}}, []int{2}, w)
+	if res.Skipped != 1 {
+		t.Errorf("disconnected skipped = %d, want 1", res.Skipped)
+	}
+	// Rank 1 is usable even with a single path.
+	res = PathRankGap(n, []Endpoint{{Source: a, Dest: b}}, []int{1}, w)
+	if res.Skipped != 0 || res.AvgIncreasePct[1] != 0 {
+		t.Errorf("rank-1 result = %+v", res)
+	}
+}
+
+func TestPathRankGapEmptyInputs(t *testing.T) {
+	n := squareNet(t)
+	w := n.Weight(roadnet.WeightLength)
+	res := PathRankGap(n, nil, []int{2}, w)
+	if res.Pairs != 0 {
+		t.Errorf("res = %+v", res)
+	}
+	res = PathRankGap(n, []Endpoint{{0, 3}}, nil, w)
+	if len(res.AvgIncreasePct) != 0 {
+		t.Errorf("no-rank result = %+v", res)
+	}
+}
+
+// TestPathRankGapCityOrdering verifies the Table X phenomenon on synthetic
+// cities: the organic (Boston-like) network has a larger shortest-to-kth
+// path gap than the lattice (Chicago-like) network.
+func TestPathRankGapCityOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city-scale path enumeration")
+	}
+	// Scale 0.05 keeps the cities' relative sizes faithful to Table I
+	// (Boston ~550 nodes, Chicago ~1450); rank 40 is deep enough for the
+	// organic-vs-lattice separation to dominate sampling noise.
+	gap := func(c citygen.City) float64 {
+		t.Helper()
+		net, err := citygen.Build(c, 0.05, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := net.Weight(roadnet.WeightTime)
+		hs := net.POIsOfKind(citygen.KindHospital)
+		n := net.NumIntersections()
+		var pairs []Endpoint
+		for i, h := range hs {
+			for j := 0; j < 3; j++ {
+				src := graph.NodeID(((i*3+j)*7919 + 13) % n)
+				pairs = append(pairs, Endpoint{Source: src, Dest: h.Node})
+			}
+		}
+		res := PathRankGap(net, pairs, []int{40}, w)
+		return res.AvgIncreasePct[40]
+	}
+	boston := gap(citygen.Boston)
+	chicago := gap(citygen.Chicago)
+	if boston <= chicago {
+		t.Errorf("rank-40 gap: Boston %.2f%% <= Chicago %.2f%%; Table X ordering violated", boston, chicago)
+	}
+}

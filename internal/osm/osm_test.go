@@ -1,0 +1,349 @@
+package osm
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"altroute/internal/citygen"
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+// fixture is a hand-written OSM extract: a 2x2 block with a one-way
+// street, a reversed one-way, a footway (ignored), and a hospital node.
+const fixture = `<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <node id="101" lat="42.3600" lon="-71.0600"/>
+  <node id="102" lat="42.3600" lon="-71.0580"/>
+  <node id="103" lat="42.3620" lon="-71.0600"/>
+  <node id="104" lat="42.3620" lon="-71.0580"/>
+  <node id="200" lat="42.3611" lon="-71.0579">
+    <tag k="amenity" v="hospital"/>
+    <tag k="name" v="Test General"/>
+  </node>
+  <way id="1">
+    <nd ref="101"/>
+    <nd ref="102"/>
+    <tag k="highway" v="residential"/>
+    <tag k="name" v="Alpha St"/>
+  </way>
+  <way id="2">
+    <nd ref="101"/>
+    <nd ref="103"/>
+    <tag k="highway" v="primary"/>
+    <tag k="oneway" v="yes"/>
+    <tag k="maxspeed" v="30 mph"/>
+    <tag k="lanes" v="3"/>
+    <tag k="width" v="11.5"/>
+  </way>
+  <way id="3">
+    <nd ref="102"/>
+    <nd ref="104"/>
+    <tag k="highway" v="secondary"/>
+    <tag k="oneway" v="-1"/>
+  </way>
+  <way id="4">
+    <nd ref="103"/>
+    <nd ref="104"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="5">
+    <nd ref="101"/>
+    <nd ref="104"/>
+    <tag k="highway" v="footway"/>
+  </way>
+  <way id="6">
+    <nd ref="103"/>
+    <nd ref="999"/>
+    <tag k="highway" v="residential"/>
+  </way>
+</osm>`
+
+func parseFixture(t *testing.T, opts ParseOptions) *roadnet.Network {
+	t.Helper()
+	net, err := Parse(strings.NewReader(fixture), opts)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return net
+}
+
+func TestParseBasicTopology(t *testing.T) {
+	net := parseFixture(t, ParseOptions{Name: "fix"})
+	if net.Name() != "fix" {
+		t.Errorf("Name = %q", net.Name())
+	}
+	if got := net.NumIntersections(); got != 4 {
+		t.Fatalf("intersections = %d, want 4 (footway and dangling refs skipped)", got)
+	}
+	// Way 1 two-way (2 edges), way 2 one-way (1), way 3 reversed one-way
+	// (1), way 4 two-way (2). Total 6.
+	if got := net.NumSegments(); got != 6 {
+		t.Errorf("segments = %d, want 6", got)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	net := parseFixture(t, ParseOptions{})
+	g := net.Graph()
+
+	var oneway graph.EdgeID = graph.InvalidEdge
+	for e := 0; e < net.NumSegments(); e++ {
+		if net.Road(graph.EdgeID(e)).OSMWayID == 2 {
+			oneway = graph.EdgeID(e)
+			break
+		}
+	}
+	if oneway == graph.InvalidEdge {
+		t.Fatal("way 2 not imported")
+	}
+	r := net.Road(oneway)
+	if r.Class != roadnet.ClassPrimary {
+		t.Errorf("class = %v", r.Class)
+	}
+	if math.Abs(r.SpeedMS-13.4112) > 0.001 {
+		t.Errorf("speed = %v, want 13.411 (30 mph)", r.SpeedMS)
+	}
+	if r.Lanes != 3 || math.Abs(r.WidthM-11.5) > 1e-9 {
+		t.Errorf("lanes/width = %d/%v", r.Lanes, r.WidthM)
+	}
+	if r.LengthM < 200 || r.LengthM > 250 {
+		t.Errorf("length = %v, want ~222 (haversine of 0.002 deg lat)", r.LengthM)
+	}
+	// One-way: no reverse edge for way 2's pair.
+	arc := g.Arc(oneway)
+	if g.FindEdge(arc.To, arc.From) != graph.InvalidEdge {
+		t.Error("one-way street has a reverse edge")
+	}
+}
+
+func TestParseReversedOneway(t *testing.T) {
+	net := parseFixture(t, ParseOptions{})
+	// Way 3: 102 -> 104 tagged oneway=-1, so traffic flows 104 -> 102.
+	var found bool
+	for e := 0; e < net.NumSegments(); e++ {
+		r := net.Road(graph.EdgeID(e))
+		if r.OSMWayID != 3 {
+			continue
+		}
+		found = true
+		arc := net.Graph().Arc(graph.EdgeID(e))
+		from := net.Point(arc.From)
+		to := net.Point(arc.To)
+		// 104 is the northern node (lat 42.3620), 102 southern (42.3600).
+		if !(from.Lat > to.Lat) {
+			t.Errorf("reversed oneway flows %v -> %v, want north to south", from, to)
+		}
+	}
+	if !found {
+		t.Fatal("way 3 not imported")
+	}
+}
+
+func TestParseHospitals(t *testing.T) {
+	net := parseFixture(t, ParseOptions{AttachHospitals: true})
+	hs := net.POIsOfKind("hospital")
+	if len(hs) != 1 || hs[0].Name != "Test General" {
+		t.Fatalf("hospitals = %v", hs)
+	}
+	if hs[0].Node == graph.InvalidNode {
+		t.Error("hospital not attached")
+	}
+	// Skipping attachment must leave no POIs.
+	net2 := parseFixture(t, ParseOptions{})
+	if len(net2.POIs()) != 0 {
+		t.Error("POIs attached without AttachHospitals")
+	}
+}
+
+func TestParseLargestComponent(t *testing.T) {
+	net := parseFixture(t, ParseOptions{LargestComponent: true})
+	g := net.Graph()
+	if _, count := graph.StronglyConnectedComponents(g); count != 1 {
+		t.Errorf("largest component has %d SCCs, want 1", count)
+	}
+	if net.NumIntersections() == 0 {
+		t.Error("largest component empty")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("<osm></osm>"), ParseOptions{}); !errors.Is(err, ErrNoRoadData) {
+		t.Errorf("empty osm err = %v, want ErrNoRoadData", err)
+	}
+	if _, err := Parse(strings.NewReader("not xml <<<"), ParseOptions{}); err == nil {
+		t.Error("malformed XML accepted")
+	}
+	if _, err := Parse(strings.NewReader(`<osm><way id="1"><nd ref="1"/><nd ref="2"/><tag k="highway" v="footway"/></way></osm>`), ParseOptions{}); !errors.Is(err, ErrNoRoadData) {
+		t.Error("footway-only input should have no road data")
+	}
+	if _, err := ParseFile("/nonexistent/path.osm", ParseOptions{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseSpeed(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+	}{
+		{"", 0},
+		{"50", 13.888888888888889},
+		{"50 km/h", 13.888888888888889},
+		{"50kmh", 13.888888888888889},
+		{"30 mph", 13.4112},
+		{"30mph", 13.4112},
+		{"bogus", 0},
+		{"-5", 0},
+	}
+	for _, tt := range tests {
+		if got := ParseSpeed(tt.in); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("ParseSpeed(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseWidth(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+	}{
+		{"", 0},
+		{"7.5", 7.5},
+		{"7.5 m", 7.5},
+		{"24'", 24 * 0.3048},
+		{"24 ft", 24 * 0.3048},
+		{"junk", 0},
+	}
+	for _, tt := range tests {
+		if got := ParseWidth(tt.in); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("ParseWidth(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRoundTripSyntheticCity(t *testing.T) {
+	orig, err := citygen.Generate(citygen.Config{
+		Name: "roundtrip", Style: citygen.StyleLattice,
+		Rows: 8, Cols: 8, OneWayFrac: 0.4, DeleteFrac: 0.1,
+		JitterFrac: 0.1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Parse(&buf, ParseOptions{Name: orig.Name()})
+	if err != nil {
+		t.Fatalf("Parse(Write()): %v", err)
+	}
+
+	if back.NumIntersections() != orig.NumIntersections() {
+		t.Fatalf("round trip nodes = %d, want %d", back.NumIntersections(), orig.NumIntersections())
+	}
+	if back.NumSegments() != orig.NumSegments() {
+		t.Fatalf("round trip segments = %d, want %d", back.NumSegments(), orig.NumSegments())
+	}
+	// Attribute fidelity (speeds go through km/h text with 3 decimals).
+	for e := 0; e < orig.NumSegments(); e++ {
+		id := graph.EdgeID(e)
+		ro, rb := orig.Road(id), back.Road(id)
+		if ro.Class != rb.Class || ro.Lanes != rb.Lanes {
+			t.Fatalf("edge %d class/lanes changed: %+v vs %+v", e, ro, rb)
+		}
+		if math.Abs(ro.SpeedMS-rb.SpeedMS) > 0.01 {
+			t.Fatalf("edge %d speed %v -> %v", e, ro.SpeedMS, rb.SpeedMS)
+		}
+		if math.Abs(ro.WidthM-rb.WidthM) > 0.01 {
+			t.Fatalf("edge %d width %v -> %v", e, ro.WidthM, rb.WidthM)
+		}
+		if math.Abs(ro.LengthM-rb.LengthM)/ro.LengthM > 0.01 {
+			t.Fatalf("edge %d length %v -> %v", e, ro.LengthM, rb.LengthM)
+		}
+		// Node IDs are re-interned in way order, so compare endpoint
+		// geometry (written with 7 decimals ≈ cm precision).
+		ao, ab := orig.Graph().Arc(id), back.Graph().Arc(id)
+		for _, pair := range [][2]geo.Point{
+			{orig.Point(ao.From), back.Point(ab.From)},
+			{orig.Point(ao.To), back.Point(ab.To)},
+		} {
+			if math.Abs(pair[0].Lat-pair[1].Lat) > 1e-6 || math.Abs(pair[0].Lon-pair[1].Lon) > 1e-6 {
+				t.Fatalf("edge %d endpoint moved: %v -> %v", e, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+func TestWriteEscapesNames(t *testing.T) {
+	net := roadnet.NewNetwork("esc")
+	a := net.AddIntersection(pointAt(42.36, -71.06))
+	b := net.AddIntersection(pointAt(42.361, -71.06))
+	if _, err := net.AddRoad(a, b, roadnet.Road{Name: `O'Brien & <Sons> "St"`}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, net); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `& <Sons>`) {
+		t.Error("names not escaped")
+	}
+	if _, err := Parse(strings.NewReader(out), ParseOptions{}); err != nil {
+		t.Errorf("escaped output does not re-parse: %v", err)
+	}
+}
+
+func TestWriteFileAndParseFile(t *testing.T) {
+	net := roadnet.NewNetwork("file")
+	a := net.AddIntersection(pointAt(42.36, -71.06))
+	b := net.AddIntersection(pointAt(42.361, -71.06))
+	if _, _, err := net.AddTwoWayRoad(a, b, roadnet.Road{Class: roadnet.ClassResidential}); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/net.osm"
+	if err := WriteFile(path, net); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	back, err := ParseFile(path, ParseOptions{})
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if back.NumSegments() != 2 {
+		t.Errorf("segments = %d, want 2", back.NumSegments())
+	}
+	if err := WriteFile("/nonexistent/dir/x.osm", net); err == nil {
+		t.Error("WriteFile to bad path succeeded")
+	}
+}
+
+func TestWriteSkipsDisabledEdges(t *testing.T) {
+	net := roadnet.NewNetwork("dis")
+	a := net.AddIntersection(pointAt(42.36, -71.06))
+	b := net.AddIntersection(pointAt(42.361, -71.06))
+	e1, _, err := net.AddTwoWayRoad(a, b, roadnet.Road{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Graph().DisableEdge(e1)
+	var buf bytes.Buffer
+	if err := Write(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()), ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSegments() != 1 {
+		t.Errorf("segments = %d, want 1 (disabled edge skipped)", back.NumSegments())
+	}
+}
+
+func pointAt(lat, lon float64) geo.Point { return geo.Point{Lat: lat, Lon: lon} }

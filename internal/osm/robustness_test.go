@@ -1,0 +1,119 @@
+package osm
+
+import (
+	"strings"
+	"testing"
+
+	"altroute/internal/graph"
+)
+
+// TestParseMalformedInputs feeds the parser a battery of structurally
+// damaged documents; none may panic, and each must either error cleanly or
+// produce a consistent network.
+func TestParseMalformedInputs(t *testing.T) {
+	tests := []struct {
+		name    string
+		input   string
+		wantErr bool
+	}{
+		{"empty document", "", true},
+		{"truncated element", `<osm><node id="1" lat="1" lon="1"`, true},
+		{"mismatched tags", `<osm><node id="1"></way></osm>`, true},
+		{"way before nodes", `<osm>
+			<way id="1"><nd ref="1"/><nd ref="2"/><tag k="highway" v="residential"/></way>
+			<node id="1" lat="1" lon="1"/><node id="2" lat="1.001" lon="1"/>
+		</osm>`, false}, // nodes collected in a pre-pass: order independent
+		{"self referencing way", `<osm>
+			<node id="1" lat="1" lon="1"/>
+			<way id="1"><nd ref="1"/><nd ref="1"/><tag k="highway" v="residential"/></way>
+		</osm>`, false}, // zero-length self loop: normalized to length 1 m
+		{"single nd way", `<osm>
+			<node id="1" lat="1" lon="1"/>
+			<way id="1"><nd ref="1"/><tag k="highway" v="residential"/></way>
+		</osm>`, true}, // no segments at all
+		{"garbage attribute types", `<osm>
+			<node id="x" lat="y" lon="z"/>
+			<way id="1"><nd ref="1"/><nd ref="2"/><tag k="highway" v="residential"/></way>
+		</osm>`, true},
+		{"unknown elements ignored", `<osm>
+			<bounds minlat="0" maxlat="1"/>
+			<relation id="9"><member type="way" ref="1"/></relation>
+			<node id="1" lat="1" lon="1"/><node id="2" lat="1.001" lon="1"/>
+			<way id="1"><nd ref="1"/><nd ref="2"/><tag k="highway" v="residential"/></way>
+		</osm>`, false},
+		{"bogus lanes and speeds fall back to defaults", `<osm>
+			<node id="1" lat="1" lon="1"/><node id="2" lat="1.001" lon="1"/>
+			<way id="1"><nd ref="1"/><nd ref="2"/>
+				<tag k="highway" v="residential"/>
+				<tag k="lanes" v="many"/>
+				<tag k="maxspeed" v="fast"/>
+				<tag k="width" v="wide"/>
+			</way>
+		</osm>`, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			net, err := Parse(strings.NewReader(tt.input), ParseOptions{})
+			if tt.wantErr {
+				if err == nil {
+					t.Errorf("Parse succeeded with %d segments, want error", net.NumSegments())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			// Consistency: every enabled segment has positive length,
+			// speed, and lanes.
+			for e := 0; e < net.NumSegments(); e++ {
+				r := net.Road(graph.EdgeID(e))
+				if r.LengthM <= 0 || r.SpeedMS <= 0 || r.Lanes <= 0 {
+					t.Errorf("segment %d has non-positive attributes: %+v", e, r)
+				}
+			}
+		})
+	}
+}
+
+// TestParseHugeNodeIDs checks 64-bit OSM IDs survive.
+func TestParseHugeNodeIDs(t *testing.T) {
+	input := `<osm>
+		<node id="9223372036854775806" lat="1" lon="1"/>
+		<node id="9223372036854775805" lat="1.001" lon="1"/>
+		<way id="9223372036854775804">
+			<nd ref="9223372036854775806"/><nd ref="9223372036854775805"/>
+			<tag k="highway" v="residential"/>
+		</way>
+	</osm>`
+	net, err := Parse(strings.NewReader(input), ParseOptions{})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if net.NumSegments() != 2 {
+		t.Errorf("segments = %d, want 2", net.NumSegments())
+	}
+	if net.Road(0).OSMWayID != 9223372036854775804 {
+		t.Errorf("way ID = %d", net.Road(0).OSMWayID)
+	}
+}
+
+// TestParseDuplicateNodeDefinitions: the last definition wins without
+// duplicating intersections referenced by ways.
+func TestParseDuplicateNodeDefinitions(t *testing.T) {
+	input := `<osm>
+		<node id="1" lat="1" lon="1"/>
+		<node id="1" lat="2" lon="2"/>
+		<node id="2" lat="2.001" lon="2"/>
+		<way id="1"><nd ref="1"/><nd ref="2"/><tag k="highway" v="residential"/></way>
+	</osm>`
+	net, err := Parse(strings.NewReader(input), ParseOptions{})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if net.NumIntersections() != 2 {
+		t.Errorf("intersections = %d, want 2", net.NumIntersections())
+	}
+	if p := net.Point(0); p.Lat != 2 {
+		t.Errorf("node 1 lat = %v, want last definition (2)", p.Lat)
+	}
+}

@@ -1,0 +1,105 @@
+package osm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+// Write serializes net as OSM XML. Every enabled directed segment becomes
+// its own single-segment oneway way carrying the road attributes as tags
+// (maxspeed in km/h, width in meters, plus a custom altroute:artificial
+// marker), so Parse(Write(net)) reconstructs the same directed topology and
+// attributes. POIs are written as amenity-tagged standalone nodes.
+func Write(w io.Writer, net *roadnet.Network) error {
+	bw := bufio.NewWriter(w)
+	g := net.Graph()
+
+	fprintf := func(format string, args ...any) {
+		fmt.Fprintf(bw, format, args...)
+	}
+	fprintf("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n")
+	fprintf("<osm version=\"0.6\" generator=\"altroute\">\n")
+
+	for n := 0; n < net.NumIntersections(); n++ {
+		p := net.Point(graph.NodeID(n))
+		fprintf("  <node id=\"%d\" lat=\"%.7f\" lon=\"%.7f\"/>\n", n+1, p.Lat, p.Lon)
+	}
+
+	poiBase := int64(net.NumIntersections() + 1)
+	for i, poi := range net.POIs() {
+		fprintf("  <node id=\"%d\" lat=\"%.7f\" lon=\"%.7f\">\n", poiBase+int64(i), poi.Loc.Lat, poi.Loc.Lon)
+		fprintf("    <tag k=\"amenity\" v=\"%s\"/>\n", xmlEscape(poi.Kind))
+		fprintf("    <tag k=\"name\" v=\"%s\"/>\n", xmlEscape(poi.Name))
+		fprintf("  </node>\n")
+	}
+
+	wayID := int64(1)
+	for e := 0; e < net.NumSegments(); e++ {
+		id := graph.EdgeID(e)
+		if g.EdgeDisabled(id) {
+			continue
+		}
+		arc := g.Arc(id)
+		r := net.Road(id)
+		fprintf("  <way id=\"%d\">\n", wayID)
+		wayID++
+		fprintf("    <nd ref=\"%d\"/>\n", int64(arc.From)+1)
+		fprintf("    <nd ref=\"%d\"/>\n", int64(arc.To)+1)
+		fprintf("    <tag k=\"highway\" v=\"%s\"/>\n", r.Class.String())
+		fprintf("    <tag k=\"oneway\" v=\"yes\"/>\n")
+		fprintf("    <tag k=\"maxspeed\" v=\"%.3f\"/>\n", r.SpeedMS*3.6)
+		fprintf("    <tag k=\"lanes\" v=\"%d\"/>\n", r.Lanes)
+		fprintf("    <tag k=\"width\" v=\"%.3f\"/>\n", r.WidthM)
+		if r.Name != "" {
+			fprintf("    <tag k=\"name\" v=\"%s\"/>\n", xmlEscape(r.Name))
+		}
+		if r.Artificial {
+			fprintf("    <tag k=\"altroute:artificial\" v=\"yes\"/>\n")
+		}
+		fprintf("  </way>\n")
+	}
+	fprintf("</osm>\n")
+	return bw.Flush()
+}
+
+// WriteFile writes net as OSM XML to path.
+func WriteFile(path string, net *roadnet.Network) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("osm: %w", err)
+	}
+	if err := Write(f, net); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("osm: %w", err)
+	}
+	return nil
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		case '\'':
+			out = append(out, "&apos;"...)
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,363 @@
+// Package partition implements the paper's area-isolation attacker
+// objective (§II-A): "disconnect (partition) some target area of interest
+// in a metropolitan city ... by selecting a target area containing key
+// points of interest such as hospitals ... an attacker could severely
+// impact the accessibility to such services."
+//
+// The minimum-cost set of road segments whose removal makes a target area
+// unreachable is a minimum edge cut with removal costs as capacities,
+// computed with Dinic's maximum-flow algorithm between a super-source
+// (attached to every outside intersection) and a super-sink (attached to
+// every area intersection).
+//
+// The package also exposes the paper's betweenness-centrality
+// reconnaissance: ranking critical road segments by the fraction of
+// shortest paths that traverse them.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+// Direction selects which traffic direction to sever.
+type Direction int
+
+// Isolation directions.
+const (
+	// Inbound severs all routes from outside into the area.
+	Inbound Direction = iota + 1
+	// Outbound severs all routes from the area to the outside.
+	Outbound
+	// BothWays severs both directions (union of the two cuts).
+	BothWays
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Inbound:
+		return "inbound"
+	case Outbound:
+		return "outbound"
+	case BothWays:
+		return "both"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Errors returned by IsolateArea.
+var (
+	ErrBadArea = errors.New("partition: target area must be a non-empty strict subset of the nodes")
+)
+
+// Result is an isolation plan.
+type Result struct {
+	// Cut lists the road segments to remove, ascending by ID.
+	Cut []graph.EdgeID
+	// TotalCost is the summed removal cost (equals the max-flow value for
+	// single-direction cuts).
+	TotalCost float64
+	// Direction is the severed direction.
+	Direction Direction
+}
+
+// IsolateArea computes a minimum-cost edge cut that disconnects the target
+// area from the rest of the graph in the given direction, using removal
+// costs as capacities. Disabled edges are ignored (already removed). The
+// graph is not modified.
+func IsolateArea(g *graph.Graph, area []graph.NodeID, cost graph.WeightFunc, dir Direction) (Result, error) {
+	n := g.NumNodes()
+	if len(area) == 0 || len(area) >= n {
+		return Result{}, ErrBadArea
+	}
+	inArea := make([]bool, n)
+	for _, a := range area {
+		if a < 0 || int(a) >= n {
+			return Result{}, fmt.Errorf("%w: node %d out of range", ErrBadArea, a)
+		}
+		inArea[a] = true
+	}
+
+	switch dir {
+	case Inbound, Outbound:
+		cut, flow, err := minCut(g, inArea, cost, dir == Outbound)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Cut: cut, TotalCost: flow, Direction: dir}, nil
+	case BothWays:
+		in, err := IsolateArea(g, area, cost, Inbound)
+		if err != nil {
+			return Result{}, err
+		}
+		out, err := IsolateArea(g, area, cost, Outbound)
+		if err != nil {
+			return Result{}, err
+		}
+		seen := map[graph.EdgeID]bool{}
+		var cut []graph.EdgeID
+		total := 0.0
+		for _, e := range append(in.Cut, out.Cut...) {
+			if !seen[e] {
+				seen[e] = true
+				cut = append(cut, e)
+				total += cost(e)
+			}
+		}
+		sortEdges(cut)
+		return Result{Cut: cut, TotalCost: total, Direction: BothWays}, nil
+	default:
+		return Result{}, fmt.Errorf("partition: unknown direction %d", int(dir))
+	}
+}
+
+// MinCutBetween computes the minimum-cost edge cut disconnecting d from s
+// (no s->d path remains) with removal costs as capacities, plus the cut's
+// total cost (the max-flow value). Disabled edges are ignored. Used by the
+// defense package to measure how expensive full denial of a trip is.
+func MinCutBetween(g *graph.Graph, s, d graph.NodeID, cost graph.WeightFunc) ([]graph.EdgeID, float64, error) {
+	n := g.NumNodes()
+	if s < 0 || int(s) >= n || d < 0 || int(d) >= n || s == d {
+		return nil, 0, fmt.Errorf("partition: MinCutBetween: invalid endpoints %d, %d", s, d)
+	}
+	dn := newDinic(n)
+	for e := 0; e < g.NumEdges(); e++ {
+		id := graph.EdgeID(e)
+		if g.EdgeDisabled(id) {
+			continue
+		}
+		c := cost(id)
+		if c < 0 {
+			return nil, 0, fmt.Errorf("partition: negative cost on edge %d", e)
+		}
+		arc := g.Arc(id)
+		dn.addEdge(int(arc.From), int(arc.To), c, id)
+	}
+	flow := dn.maxFlow(int(s), int(d))
+
+	reach := make([]bool, n)
+	stack := []int{int(s)}
+	reach[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range dn.adj[u] {
+			if e.cap > 1e-12 && !reach[e.to] {
+				reach[e.to] = true
+				stack = append(stack, int(e.to))
+			}
+		}
+	}
+	var cut []graph.EdgeID
+	for u := 0; u < n; u++ {
+		if !reach[u] {
+			continue
+		}
+		for _, e := range dn.adj[u] {
+			if e.orig >= 0 && !reach[e.to] {
+				cut = append(cut, e.orig)
+			}
+		}
+	}
+	sortEdges(cut)
+	return cut, flow, nil
+}
+
+// flowEdge is one directed arc of the residual network.
+type flowEdge struct {
+	to   int32
+	rev  int32 // index of the reverse edge in adj[to]
+	cap  float64
+	orig graph.EdgeID // original edge, or -1 for super arcs
+}
+
+// dinic is the max-flow state.
+type dinic struct {
+	adj   [][]flowEdge
+	level []int32
+	iter  []int32
+}
+
+func newDinic(n int) *dinic {
+	return &dinic{
+		adj:   make([][]flowEdge, n),
+		level: make([]int32, n),
+		iter:  make([]int32, n),
+	}
+}
+
+func (d *dinic) addEdge(from, to int, capacity float64, orig graph.EdgeID) {
+	d.adj[from] = append(d.adj[from], flowEdge{to: int32(to), rev: int32(len(d.adj[to])), cap: capacity, orig: orig})
+	d.adj[to] = append(d.adj[to], flowEdge{to: int32(from), rev: int32(len(d.adj[from]) - 1), cap: 0, orig: -1})
+}
+
+func (d *dinic) bfs(s, t int) bool {
+	for i := range d.level {
+		d.level[i] = -1
+	}
+	queue := make([]int32, 0, len(d.adj))
+	queue = append(queue, int32(s))
+	d.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range d.adj[u] {
+			if e.cap > 1e-12 && d.level[e.to] < 0 {
+				d.level[e.to] = d.level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return d.level[t] >= 0
+}
+
+func (d *dinic) dfs(u, t int, f float64) float64 {
+	if u == t {
+		return f
+	}
+	for ; d.iter[u] < int32(len(d.adj[u])); d.iter[u]++ {
+		e := &d.adj[u][d.iter[u]]
+		if e.cap <= 1e-12 || d.level[e.to] != d.level[u]+1 {
+			continue
+		}
+		pushed := d.dfs(int(e.to), t, math.Min(f, e.cap))
+		if pushed > 0 {
+			e.cap -= pushed
+			d.adj[e.to][e.rev].cap += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// maxFlow runs Dinic from s to t and returns the total flow.
+func (d *dinic) maxFlow(s, t int) float64 {
+	flow := 0.0
+	for d.bfs(s, t) {
+		for i := range d.iter {
+			d.iter[i] = 0
+		}
+		for {
+			f := d.dfs(s, t, math.Inf(1))
+			if f <= 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+// minCut builds the flow network and extracts the minimum cut. When
+// outbound is true the roles are swapped: area is the source side.
+func minCut(g *graph.Graph, inArea []bool, cost graph.WeightFunc, outbound bool) ([]graph.EdgeID, float64, error) {
+	n := g.NumNodes()
+	src, sink := n, n+1
+	d := newDinic(n + 2)
+
+	for e := 0; e < g.NumEdges(); e++ {
+		id := graph.EdgeID(e)
+		if g.EdgeDisabled(id) {
+			continue
+		}
+		c := cost(id)
+		if c < 0 {
+			return nil, 0, fmt.Errorf("partition: negative cost on edge %d", e)
+		}
+		arc := g.Arc(id)
+		d.addEdge(int(arc.From), int(arc.To), c, id)
+	}
+	inf := math.Inf(1)
+	for v := 0; v < n; v++ {
+		sourceSide := inArea[v] == outbound // outside for inbound, area for outbound
+		if sourceSide {
+			d.addEdge(src, v, inf, -1)
+		} else {
+			d.addEdge(v, sink, inf, -1)
+		}
+	}
+
+	flow := d.maxFlow(src, sink)
+	if math.IsInf(flow, 1) {
+		return nil, 0, errors.New("partition: infinite cut (area adjacency degenerate)")
+	}
+
+	// Min cut: original edges from the source-reachable side to the rest
+	// of the residual network.
+	reach := make([]bool, n+2)
+	stack := []int{src}
+	reach[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range d.adj[u] {
+			if e.cap > 1e-12 && !reach[e.to] {
+				reach[e.to] = true
+				stack = append(stack, int(e.to))
+			}
+		}
+	}
+	var cut []graph.EdgeID
+	total := 0.0
+	for u := 0; u < n; u++ {
+		if !reach[u] {
+			continue
+		}
+		for _, e := range d.adj[u] {
+			if e.orig >= 0 && !reach[e.to] {
+				cut = append(cut, e.orig)
+				total += cost(e.orig)
+			}
+		}
+	}
+	sortEdges(cut)
+	return cut, total, nil
+}
+
+func sortEdges(edges []graph.EdgeID) {
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edges[j] < edges[j-1]; j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+}
+
+// AreaAround returns the nodes within the given travel-time (or weight)
+// radius of center: a convenient way to define a target area such as "the
+// blocks around the hospital".
+func AreaAround(g *graph.Graph, center graph.NodeID, radius float64, w graph.WeightFunc) []graph.NodeID {
+	dist := graph.NewRouter(g).DistancesFrom(center, w)
+	var area []graph.NodeID
+	for n, dv := range dist {
+		if dv <= radius {
+			area = append(area, graph.NodeID(n))
+		}
+	}
+	return area
+}
+
+// CriticalRoads ranks the k most critical enabled road segments by edge
+// betweenness centrality under the given weight, the paper's topological
+// reconnaissance step. Sampling sources keeps it tractable on big cities;
+// pass 0 samples for the exact computation.
+func CriticalRoads(net *roadnet.Network, w graph.WeightFunc, k, sampleSources int) []graph.EdgeID {
+	g := net.Graph()
+	opts := graph.BetweennessOptions{Normalize: true}
+	if sampleSources > 0 && sampleSources < g.NumNodes() {
+		step := g.NumNodes() / sampleSources
+		if step < 1 {
+			step = 1
+		}
+		for s := 0; s < g.NumNodes() && len(opts.Sources) < sampleSources; s += step {
+			opts.Sources = append(opts.Sources, graph.NodeID(s))
+		}
+	}
+	scores := graph.EdgeBetweenness(g, w, opts)
+	return graph.TopEdgesByScore(g, scores, k)
+}

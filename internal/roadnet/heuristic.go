@@ -1,0 +1,36 @@
+package roadnet
+
+import (
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+)
+
+// LengthHeuristic returns an admissible A* heuristic for the LENGTH
+// weight: the straight-line distance to the target never exceeds any road
+// path's length.
+func (n *Network) LengthHeuristic(target graph.NodeID) graph.Heuristic {
+	proj := n.Projection()
+	t := proj.ToXY(n.Point(target))
+	return func(id graph.NodeID) float64 {
+		return geo.Dist(proj.ToXY(n.Point(id)), t)
+	}
+}
+
+// TimeHeuristic returns an admissible A* heuristic for the TIME weight:
+// straight-line distance divided by the fastest speed limit present in the
+// network (no path can be quicker than flying straight at top speed).
+func (n *Network) TimeHeuristic(target graph.NodeID) graph.Heuristic {
+	maxSpeed := 0.0
+	for e := 0; e < n.NumSegments(); e++ {
+		if s := n.roads[e].SpeedMS; s > maxSpeed {
+			maxSpeed = s
+		}
+	}
+	if maxSpeed <= 0 {
+		return func(graph.NodeID) float64 { return 0 }
+	}
+	dist := n.LengthHeuristic(target)
+	return func(id graph.NodeID) float64 {
+		return dist(id) / maxSpeed
+	}
+}

@@ -1,0 +1,59 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+)
+
+// TestHeuristicsAdmissibleAndOptimal verifies that A* with the network
+// heuristics returns the same lengths as Dijkstra on random city grids.
+func TestHeuristicsAdmissibleAndOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := randomCityNet(rng)
+	r := n.Router()
+	nNodes := n.NumIntersections()
+
+	for trial := 0; trial < 30; trial++ {
+		s := graph.NodeID(rng.Intn(nNodes))
+		d := graph.NodeID(rng.Intn(nNodes))
+
+		for _, tc := range []struct {
+			name string
+			w    graph.WeightFunc
+			h    graph.Heuristic
+		}{
+			{"LENGTH", n.Weight(WeightLength), n.LengthHeuristic(d)},
+			{"TIME", n.Weight(WeightTime), n.TimeHeuristic(d)},
+		} {
+			dij, okD := r.ShortestPath(s, d, tc.w)
+			ast, okA := r.ShortestPathAStar(s, d, tc.w, tc.h)
+			if okD != okA {
+				t.Fatalf("%s: reachability differs for %d->%d", tc.name, s, d)
+			}
+			if okD && absF(dij.Length-ast.Length) > 1e-6*dij.Length+1e-9 {
+				t.Fatalf("%s: A* %v vs Dijkstra %v for %d->%d", tc.name, ast.Length, dij.Length, s, d)
+			}
+		}
+	}
+}
+
+func TestTimeHeuristicEmptyNetwork(t *testing.T) {
+	n := NewNetwork("e")
+	id := n.AddIntersection(pointZero())
+	h := n.TimeHeuristic(id)
+	if h(id) != 0 {
+		t.Error("empty network heuristic non-zero")
+	}
+}
+
+func pointZero() geo.Point { return geo.Point{} }
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

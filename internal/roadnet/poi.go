@@ -1,0 +1,202 @@
+package roadnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+)
+
+// ErrNoRoads is returned by snapping operations on a network with no
+// enabled road segments.
+var ErrNoRoads = errors.New("roadnet: network has no enabled road segments")
+
+// BBox returns the bounding box of all intersections.
+func (n *Network) BBox() geo.BBox {
+	b := geo.EmptyBBox()
+	for _, p := range n.coords {
+		b.Add(p)
+	}
+	return b
+}
+
+// Projection returns an equirectangular projection centered on the network.
+func (n *Network) Projection() geo.Projection {
+	b := n.BBox()
+	if b.Empty() {
+		return geo.NewProjection(geo.Point{})
+	}
+	return geo.NewProjection(b.Center())
+}
+
+// EdgeSnap describes the nearest point on a road segment to a query point.
+type EdgeSnap struct {
+	Edge graph.EdgeID
+	Proj geo.SegmentProjection
+}
+
+// NearestEdge returns the enabled, non-artificial road segment closest to p
+// by straight-line distance in the network's planar projection (the paper's
+// "closest point on the road by calculating the straight-line distance in
+// the corresponding geographical projection").
+func (n *Network) NearestEdge(p geo.Point) (EdgeSnap, error) {
+	proj := n.Projection()
+	q := proj.ToXY(p)
+	best := EdgeSnap{Edge: graph.InvalidEdge}
+	bestDist := math.Inf(1)
+	for e := 0; e < n.g.NumEdges(); e++ {
+		id := graph.EdgeID(e)
+		if n.g.EdgeDisabled(id) || n.roads[e].Artificial {
+			continue
+		}
+		arc := n.g.Arc(id)
+		a := proj.ToXY(n.coords[arc.From])
+		b := proj.ToXY(n.coords[arc.To])
+		sp := geo.ProjectOntoSegment(q, a, b)
+		if sp.Distance < bestDist {
+			bestDist = sp.Distance
+			best = EdgeSnap{Edge: id, Proj: sp}
+		}
+	}
+	if best.Edge == graph.InvalidEdge {
+		return EdgeSnap{}, ErrNoRoads
+	}
+	return best, nil
+}
+
+// SplitEdge splits segment e at fraction t ∈ (0, 1) of its length,
+// returning the new intersection node. The original edge is permanently
+// removed and replaced with two segments carrying proportional lengths and
+// otherwise identical attributes. If a reverse twin (an enabled edge
+// to->from with the same name and class) exists, it is split symmetrically
+// so two-way roads stay two-way. t outside (0, 1) snaps to the nearer
+// existing endpoint without splitting.
+func (n *Network) SplitEdge(e graph.EdgeID, t float64) (graph.NodeID, error) {
+	if int(e) < 0 || int(e) >= n.g.NumEdges() {
+		return graph.InvalidNode, fmt.Errorf("roadnet: SplitEdge(%d): no such edge", e)
+	}
+	arc := n.g.Arc(e)
+	const snapTol = 1e-9
+	if t <= snapTol {
+		return arc.From, nil
+	}
+	if t >= 1-snapTol {
+		return arc.To, nil
+	}
+
+	proj := n.Projection()
+	a := proj.ToXY(n.coords[arc.From])
+	b := proj.ToXY(n.coords[arc.To])
+	mid := proj.ToPoint(a.Add(b.Sub(a).Scale(t)))
+	node := n.AddIntersection(mid)
+
+	if err := n.splitOne(e, t, node); err != nil {
+		return graph.InvalidNode, err
+	}
+	if twin := n.findTwin(e); twin != graph.InvalidEdge {
+		if err := n.splitOne(twin, 1-t, node); err != nil {
+			return graph.InvalidNode, err
+		}
+	}
+	return node, nil
+}
+
+// splitOne replaces edge e with from->node and node->to at fraction t.
+func (n *Network) splitOne(e graph.EdgeID, t float64, node graph.NodeID) error {
+	arc := n.g.Arc(e)
+	r := n.roads[e]
+	first := r
+	first.LengthM = r.LengthM * t
+	second := r
+	second.LengthM = r.LengthM * (1 - t)
+
+	if _, err := n.AddRoad(arc.From, node, first); err != nil {
+		return err
+	}
+	if _, err := n.AddRoad(node, arc.To, second); err != nil {
+		return err
+	}
+	n.g.RemoveEdgePermanently(e)
+	return nil
+}
+
+// findTwin returns an enabled reverse edge of e with matching name and
+// class, or InvalidEdge.
+func (n *Network) findTwin(e graph.EdgeID) graph.EdgeID {
+	arc := n.g.Arc(e)
+	r := n.roads[e]
+	for _, cand := range n.g.OutEdges(arc.To) {
+		if cand == e || n.g.EdgeDisabled(cand) {
+			continue
+		}
+		if n.g.To(cand) != arc.From {
+			continue
+		}
+		cr := n.roads[cand]
+		if cr.Name == r.Name && cr.Class == r.Class {
+			return cand
+		}
+	}
+	return graph.InvalidEdge
+}
+
+// AttachPOI registers a point of interest and wires it into the road
+// network exactly as the paper describes: find the closest point on the
+// nearest road segment, create an artificial intersection there (splitting
+// the segment), then connect the POI to it with a two-way artificial road
+// segment. The attached POI (with its network node) is returned.
+func (n *Network) AttachPOI(name, kind string, loc geo.Point) (POI, error) {
+	snap, err := n.NearestEdge(loc)
+	if err != nil {
+		return POI{}, fmt.Errorf("roadnet: attach POI %q: %w", name, err)
+	}
+	roadNode, err := n.SplitEdge(snap.Edge, snap.Proj.T)
+	if err != nil {
+		return POI{}, fmt.Errorf("roadnet: attach POI %q: %w", name, err)
+	}
+
+	poiNode := n.AddIntersection(loc)
+	connector := Road{
+		LengthM:    math.Max(snap.Proj.Distance, 1),
+		Class:      ClassService,
+		Name:       name + " access",
+		Artificial: true,
+	}
+	if _, _, err := n.AddTwoWayRoad(poiNode, roadNode, connector); err != nil {
+		return POI{}, fmt.Errorf("roadnet: attach POI %q: %w", name, err)
+	}
+
+	poi := POI{Name: name, Kind: kind, Loc: loc, Node: poiNode}
+	n.pois = append(n.pois, poi)
+	return poi, nil
+}
+
+// POIs returns the attached points of interest.
+func (n *Network) POIs() []POI {
+	out := make([]POI, len(n.pois))
+	copy(out, n.pois)
+	return out
+}
+
+// POIsOfKind returns the attached POIs with the given kind.
+func (n *Network) POIsOfKind(kind string) []POI {
+	var out []POI
+	for _, p := range n.pois {
+		if p.Kind == kind {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FindPOI returns the attached POI with the given name.
+func (n *Network) FindPOI(name string) (POI, bool) {
+	for _, p := range n.pois {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return POI{}, false
+}

@@ -1,0 +1,143 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+)
+
+// randomCityNet builds a small random two-way grid network.
+func randomCityNet(rng *rand.Rand) *Network {
+	n := NewNetwork("prop")
+	size := 3 + rng.Intn(4)
+	ids := make([][]graph.NodeID, size)
+	for r := range ids {
+		ids[r] = make([]graph.NodeID, size)
+		for c := range ids[r] {
+			ids[r][c] = n.AddIntersection(geo.Point{
+				Lat: 42 + float64(r)*0.001 + rng.Float64()*0.0003,
+				Lon: -71 + float64(c)*0.001 + rng.Float64()*0.0003,
+			})
+		}
+	}
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			road := Road{Class: ClassResidential, Lanes: 1 + rng.Intn(3)}
+			if c+1 < size {
+				if _, _, err := n.AddTwoWayRoad(ids[r][c], ids[r][c+1], road); err != nil {
+					panic(err)
+				}
+			}
+			if r+1 < size {
+				if _, _, err := n.AddTwoWayRoad(ids[r][c], ids[r+1][c], road); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestAttachPOIPreservesStrongConnectivityProperty: attaching any number of
+// POIs anywhere keeps the network strongly connected and every POI
+// reachable in both directions.
+func TestAttachPOIPreservesStrongConnectivityProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomCityNet(rng)
+		box := n.BBox()
+		poiCount := 1 + rng.Intn(4)
+		for i := 0; i < poiCount; i++ {
+			loc := geo.Point{
+				Lat: box.MinLat + rng.Float64()*(box.MaxLat-box.MinLat)*1.2 - (box.MaxLat-box.MinLat)*0.1,
+				Lon: box.MinLon + rng.Float64()*(box.MaxLon-box.MinLon)*1.2 - (box.MaxLon-box.MinLon)*0.1,
+			}
+			if _, err := n.AttachPOI("poi", "hospital", loc); err != nil {
+				t.Logf("seed %d: attach %d: %v", seed, i, err)
+				return false
+			}
+		}
+		if _, count := graph.StronglyConnectedComponents(n.Graph()); count != 1 {
+			t.Logf("seed %d: %d SCCs after attachment", seed, count)
+			return false
+		}
+		// Weights stay positive on all enabled edges (attack algorithms
+		// rely on this).
+		w := n.Weight(WeightTime)
+		for e := 0; e < n.NumSegments(); e++ {
+			id := graph.EdgeID(e)
+			if !n.Graph().EdgeDisabled(id) && w(id) <= 0 {
+				t.Logf("seed %d: non-positive weight on edge %d", seed, e)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubnetworkPreservesAttributesProperty: the induced subnetwork keeps
+// the road attributes and geometry of every surviving edge.
+func TestSubnetworkPreservesAttributesProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomCityNet(rng)
+		// Disable a few random edges; keep a random node subset.
+		for i := 0; i < 3; i++ {
+			n.Graph().DisableEdge(graph.EdgeID(rng.Intn(n.NumSegments())))
+		}
+		var keep []graph.NodeID
+		for id := 0; id < n.NumIntersections(); id++ {
+			if rng.Float64() < 0.7 {
+				keep = append(keep, graph.NodeID(id))
+			}
+		}
+		if len(keep) == 0 {
+			return true
+		}
+		sub, remap := n.Subnetwork(keep)
+		// Every kept node's coordinate survives.
+		for old, nw := range remap {
+			if n.Point(old) != sub.Point(nw) {
+				t.Logf("seed %d: node %d moved", seed, old)
+				return false
+			}
+		}
+		// Every sub edge maps to an enabled original edge with the same
+		// attributes between remapped endpoints.
+		back := make(map[graph.NodeID]graph.NodeID, len(remap))
+		for old, nw := range remap {
+			back[nw] = old
+		}
+		for e := 0; e < sub.NumSegments(); e++ {
+			id := graph.EdgeID(e)
+			arc := sub.Graph().Arc(id)
+			of, okF := back[arc.From]
+			ot, okT := back[arc.To]
+			if !okF || !okT {
+				t.Logf("seed %d: sub edge touches unmapped node", seed)
+				return false
+			}
+			orig := n.Graph().FindEdge(of, ot)
+			if orig == graph.InvalidEdge {
+				t.Logf("seed %d: sub edge %d has no original", seed, e)
+				return false
+			}
+			if n.Road(orig).Lanes != sub.Road(id).Lanes {
+				t.Logf("seed %d: lanes changed", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

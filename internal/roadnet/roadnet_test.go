@@ -1,0 +1,389 @@
+package roadnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+)
+
+// testNet builds a small two-way grid street network around (42.36, -71.06):
+//
+//	n00 -- n01
+//	 |      |
+//	n10 -- n11
+//
+// with 2-lane secondary streets.
+func testNet(t *testing.T) (*Network, [4]graph.NodeID) {
+	t.Helper()
+	n := NewNetwork("testville")
+	const d = 0.002 // ~200 m
+	n00 := n.AddIntersection(geo.Point{Lat: 42.362, Lon: -71.062})
+	n01 := n.AddIntersection(geo.Point{Lat: 42.362, Lon: -71.060})
+	n10 := n.AddIntersection(geo.Point{Lat: 42.360, Lon: -71.062})
+	n11 := n.AddIntersection(geo.Point{Lat: 42.360, Lon: -71.060})
+	_ = d
+	r := Road{Class: ClassSecondary, Lanes: 2, Name: "Main St"}
+	for _, pair := range [][2]graph.NodeID{{n00, n01}, {n00, n10}, {n01, n11}, {n10, n11}} {
+		if _, _, err := n.AddTwoWayRoad(pair[0], pair[1], r); err != nil {
+			t.Fatalf("AddTwoWayRoad: %v", err)
+		}
+	}
+	return n, [4]graph.NodeID{n00, n01, n10, n11}
+}
+
+func TestRoadNormalize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Road
+		want func(Road) bool
+	}{
+		{
+			name: "all defaults",
+			in:   Road{},
+			want: func(r Road) bool {
+				return r.Class == ClassUnclassified && r.SpeedMS > 0 && r.Lanes == 1 &&
+					r.WidthM == LaneWidthM && r.LengthM == 1
+			},
+		},
+		{
+			name: "motorway defaults",
+			in:   Road{Class: ClassMotorway, LengthM: 100},
+			want: func(r Road) bool {
+				return r.Lanes == 3 && math.Abs(r.SpeedMS-29.06) < 0.01 && r.WidthM == 3*LaneWidthM
+			},
+		},
+		{
+			name: "explicit fields survive",
+			in:   Road{Class: ClassPrimary, LengthM: 50, SpeedMS: 10, Lanes: 4, WidthM: 20},
+			want: func(r Road) bool {
+				return r.SpeedMS == 10 && r.Lanes == 4 && r.WidthM == 20 && r.LengthM == 50
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := tt.in
+			r.normalize()
+			if !tt.want(r) {
+				t.Errorf("normalized road = %+v", r)
+			}
+		})
+	}
+}
+
+func TestRoadDerivedQuantities(t *testing.T) {
+	r := Road{LengthM: 100, SpeedMS: 10, WidthM: 7.12}
+	if got := r.TravelTimeS(); got != 10 {
+		t.Errorf("TravelTimeS = %v, want 10", got)
+	}
+	if got := r.RemovalWidthCost(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("RemovalWidthCost = %v, want 4", got)
+	}
+}
+
+func TestParseRoadClass(t *testing.T) {
+	tests := []struct {
+		in   string
+		want RoadClass
+	}{
+		{"motorway", ClassMotorway},
+		{"motorway_link", ClassMotorway},
+		{"trunk", ClassTrunk},
+		{"primary_link", ClassPrimary},
+		{"secondary", ClassSecondary},
+		{"tertiary", ClassTertiary},
+		{"residential", ClassResidential},
+		{"living_street", ClassResidential},
+		{"service", ClassService},
+		{"footway", ClassUnclassified},
+		{"", ClassUnclassified},
+	}
+	for _, tt := range tests {
+		if got := ParseRoadClass(tt.in); got != tt.want {
+			t.Errorf("ParseRoadClass(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRoadClassString(t *testing.T) {
+	if got := ClassMotorway.String(); got != "motorway" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := RoadClass(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown class String() = %q", got)
+	}
+}
+
+func TestAddRoadComputesLengthFromCoords(t *testing.T) {
+	n := NewNetwork("t")
+	a := n.AddIntersection(geo.Point{Lat: 42.36, Lon: -71.06})
+	b := n.AddIntersection(geo.Point{Lat: 42.37, Lon: -71.06})
+	e, err := n.AddRoad(a, b, Road{Class: ClassResidential})
+	if err != nil {
+		t.Fatalf("AddRoad: %v", err)
+	}
+	got := n.Road(e).LengthM
+	want := geo.Haversine(n.Point(a), n.Point(b))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("LengthM = %v, want haversine %v", got, want)
+	}
+}
+
+func TestAddRoadInvalidNodes(t *testing.T) {
+	n := NewNetwork("t")
+	if _, err := n.AddRoad(0, 1, Road{}); err == nil {
+		t.Error("AddRoad on empty network succeeded")
+	}
+}
+
+func TestWeightTypes(t *testing.T) {
+	n := NewNetwork("t")
+	a := n.AddIntersection(geo.Point{})
+	b := n.AddIntersection(geo.Point{Lat: 0.001})
+	e, err := n.AddRoad(a, b, Road{LengthM: 100, SpeedMS: 20})
+	if err != nil {
+		t.Fatalf("AddRoad: %v", err)
+	}
+	if got := n.Weight(WeightLength)(e); got != 100 {
+		t.Errorf("LENGTH weight = %v, want 100", got)
+	}
+	if got := n.Weight(WeightTime)(e); got != 5 {
+		t.Errorf("TIME weight = %v, want 5", got)
+	}
+}
+
+func TestCostTypes(t *testing.T) {
+	n := NewNetwork("t")
+	a := n.AddIntersection(geo.Point{})
+	b := n.AddIntersection(geo.Point{Lat: 0.001})
+	e, err := n.AddRoad(a, b, Road{LengthM: 10, Lanes: 3, WidthM: 8.9})
+	if err != nil {
+		t.Fatalf("AddRoad: %v", err)
+	}
+	if got := n.Cost(CostUniform)(e); got != 1 {
+		t.Errorf("UNIFORM cost = %v, want 1", got)
+	}
+	if got := n.Cost(CostLanes)(e); got != 3 {
+		t.Errorf("LANES cost = %v, want 3", got)
+	}
+	if got := n.Cost(CostWidth)(e); math.Abs(got-8.9/AvgCarWidthM) > 1e-12 {
+		t.Errorf("WIDTH cost = %v, want %v", got, 8.9/AvgCarWidthM)
+	}
+}
+
+func TestParseWeightAndCostTypes(t *testing.T) {
+	for _, s := range []string{"length", "LENGTH", " Length "} {
+		if got, err := ParseWeightType(s); err != nil || got != WeightLength {
+			t.Errorf("ParseWeightType(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseWeightType("bogus"); err == nil {
+		t.Error("ParseWeightType(bogus) succeeded")
+	}
+	for _, tt := range []struct {
+		in   string
+		want CostType
+	}{{"uniform", CostUniform}, {"LANES", CostLanes}, {"Width", CostWidth}} {
+		if got, err := ParseCostType(tt.in); err != nil || got != tt.want {
+			t.Errorf("ParseCostType(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+	if _, err := ParseCostType("bogus"); err == nil {
+		t.Error("ParseCostType(bogus) succeeded")
+	}
+	if len(WeightTypes()) != 2 || len(CostTypes()) != 3 {
+		t.Error("enumerations have wrong sizes")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if WeightLength.String() != "LENGTH" || WeightTime.String() != "TIME" {
+		t.Error("WeightType names wrong")
+	}
+	if CostUniform.String() != "UNIFORM" || CostLanes.String() != "LANES" || CostWidth.String() != "WIDTH" {
+		t.Error("CostType names wrong")
+	}
+	if !strings.Contains(WeightType(9).String(), "9") || !strings.Contains(CostType(9).String(), "9") {
+		t.Error("unknown type names wrong")
+	}
+}
+
+func TestBBoxAndProjection(t *testing.T) {
+	n, _ := testNet(t)
+	b := n.BBox()
+	if b.Empty() {
+		t.Fatal("BBox empty for populated network")
+	}
+	c := b.Center()
+	if math.Abs(c.Lat-42.361) > 1e-9 || math.Abs(c.Lon+71.061) > 1e-9 {
+		t.Errorf("center = %v", c)
+	}
+	if got := n.Projection().Origin(); got != c {
+		t.Errorf("projection origin = %v, want %v", got, c)
+	}
+	// Empty network must not panic.
+	if NewNetwork("empty").Projection().Origin() != (geo.Point{}) {
+		t.Error("empty projection origin not zero")
+	}
+}
+
+func TestNearestEdge(t *testing.T) {
+	n, nodes := testNet(t)
+	// A point just east of the n01->n11 street should snap to it (or its
+	// twin) near the middle.
+	q := geo.Point{Lat: 42.361, Lon: -71.0595}
+	snap, err := n.NearestEdge(q)
+	if err != nil {
+		t.Fatalf("NearestEdge: %v", err)
+	}
+	arc := n.Graph().Arc(snap.Edge)
+	eastPair := map[graph.NodeID]bool{nodes[1]: true, nodes[3]: true}
+	if !eastPair[arc.From] || !eastPair[arc.To] {
+		t.Errorf("snapped to edge %d->%d, want the eastern street", arc.From, arc.To)
+	}
+	if snap.Proj.T < 0.3 || snap.Proj.T > 0.7 {
+		t.Errorf("snap T = %v, want near middle", snap.Proj.T)
+	}
+}
+
+func TestNearestEdgeEmpty(t *testing.T) {
+	n := NewNetwork("empty")
+	if _, err := n.NearestEdge(geo.Point{}); err == nil {
+		t.Error("NearestEdge on empty network succeeded")
+	}
+}
+
+func TestSplitEdgeMidpoint(t *testing.T) {
+	n, nodes := testNet(t)
+	e := n.Graph().FindEdge(nodes[0], nodes[1])
+	origLen := n.Road(e).LengthM
+	before := n.Graph().NumEdges()
+
+	mid, err := n.SplitEdge(e, 0.5)
+	if err != nil {
+		t.Fatalf("SplitEdge: %v", err)
+	}
+	if mid == nodes[0] || mid == nodes[1] {
+		t.Fatal("midpoint split returned an endpoint")
+	}
+	if !n.Graph().EdgeRemoved(e) {
+		t.Error("original edge not permanently removed")
+	}
+	// Twin must be split too: 4 new edges total.
+	if got := n.Graph().NumEdges(); got != before+4 {
+		t.Errorf("edge count = %d, want %d", got, before+4)
+	}
+	// Forward halves sum to original length.
+	e1 := n.Graph().FindEdge(nodes[0], mid)
+	e2 := n.Graph().FindEdge(mid, nodes[1])
+	if e1 == graph.InvalidEdge || e2 == graph.InvalidEdge {
+		t.Fatal("split halves missing")
+	}
+	if got := n.Road(e1).LengthM + n.Road(e2).LengthM; math.Abs(got-origLen) > 1e-9 {
+		t.Errorf("half lengths sum to %v, want %v", got, origLen)
+	}
+	// Reverse direction still works.
+	if n.Graph().FindEdge(nodes[1], mid) == graph.InvalidEdge ||
+		n.Graph().FindEdge(mid, nodes[0]) == graph.InvalidEdge {
+		t.Error("twin not split")
+	}
+}
+
+func TestSplitEdgeEndpointsSnap(t *testing.T) {
+	n, nodes := testNet(t)
+	e := n.Graph().FindEdge(nodes[0], nodes[1])
+	if got, err := n.SplitEdge(e, 0); err != nil || got != nodes[0] {
+		t.Errorf("SplitEdge(t=0) = %v, %v, want from-node", got, err)
+	}
+	if got, err := n.SplitEdge(e, 1); err != nil || got != nodes[1] {
+		t.Errorf("SplitEdge(t=1) = %v, %v, want to-node", got, err)
+	}
+	if !n.Graph().EdgeRemoved(e) == true && n.Graph().NumEdges() != 8 {
+		t.Error("endpoint snap should not split")
+	}
+	if _, err := n.SplitEdge(graph.EdgeID(999), 0.5); err == nil {
+		t.Error("SplitEdge on bogus edge succeeded")
+	}
+}
+
+func TestAttachPOI(t *testing.T) {
+	n, nodes := testNet(t)
+	loc := geo.Point{Lat: 42.361, Lon: -71.0590} // east of the grid
+	poi, err := n.AttachPOI("General Hospital", "hospital", loc)
+	if err != nil {
+		t.Fatalf("AttachPOI: %v", err)
+	}
+	if poi.Node == graph.InvalidNode {
+		t.Fatal("POI not attached to a node")
+	}
+	// The POI must be reachable from every grid corner and back.
+	r := n.Router()
+	w := n.Weight(WeightTime)
+	for _, s := range nodes {
+		if _, ok := r.ShortestPath(s, poi.Node, w); !ok {
+			t.Errorf("POI unreachable from node %d", s)
+		}
+		if _, ok := r.ShortestPath(poi.Node, s, w); !ok {
+			t.Errorf("node %d unreachable from POI", s)
+		}
+	}
+	// Connector edges must be artificial.
+	artificial := 0
+	for e := 0; e < n.NumSegments(); e++ {
+		if n.Road(graph.EdgeID(e)).Artificial {
+			artificial++
+		}
+	}
+	if artificial != 2 {
+		t.Errorf("artificial segment count = %d, want 2", artificial)
+	}
+	// Registry lookups.
+	if got, ok := n.FindPOI("General Hospital"); !ok || got.Node != poi.Node {
+		t.Error("FindPOI failed")
+	}
+	if got := n.POIsOfKind("hospital"); len(got) != 1 {
+		t.Errorf("POIsOfKind = %d, want 1", len(got))
+	}
+	if got := n.POIsOfKind("school"); got != nil {
+		t.Errorf("POIsOfKind(school) = %v", got)
+	}
+	if _, ok := n.FindPOI("nope"); ok {
+		t.Error("FindPOI(nope) succeeded")
+	}
+	if len(n.POIs()) != 1 {
+		t.Error("POIs() wrong length")
+	}
+}
+
+func TestAttachPOIEmptyNetwork(t *testing.T) {
+	n := NewNetwork("empty")
+	if _, err := n.AttachPOI("x", "hospital", geo.Point{}); err == nil {
+		t.Error("AttachPOI on empty network succeeded")
+	}
+}
+
+func TestSetRoad(t *testing.T) {
+	n, nodes := testNet(t)
+	e := n.Graph().FindEdge(nodes[0], nodes[1])
+	n.SetRoad(e, Road{LengthM: 42, Class: ClassMotorway})
+	got := n.Road(e)
+	if got.LengthM != 42 || got.Class != ClassMotorway || got.Lanes != 3 {
+		t.Errorf("SetRoad result = %+v", got)
+	}
+}
+
+func TestNetworkBasics(t *testing.T) {
+	n, _ := testNet(t)
+	if n.Name() != "testville" {
+		t.Errorf("Name = %q", n.Name())
+	}
+	if n.NumIntersections() != 4 || n.NumSegments() != 8 {
+		t.Errorf("size = %d nodes, %d segments", n.NumIntersections(), n.NumSegments())
+	}
+	if n.Router() == nil || n.Graph() == nil {
+		t.Error("accessors returned nil")
+	}
+}

@@ -1,0 +1,115 @@
+package roadnet
+
+import (
+	"fmt"
+	"strings"
+
+	"altroute/internal/graph"
+)
+
+// WeightType selects the attacker's path metric (paper §II-B).
+type WeightType int
+
+const (
+	// WeightLength weighs a segment by its length in meters — the paper's
+	// LENGTH baseline, readily available from OpenStreetMap.
+	WeightLength WeightType = iota + 1
+	// WeightTime weighs a segment by its speed-limit travel time in
+	// seconds — the paper's TIME objective (eq. 1), the realistic metric.
+	WeightTime
+)
+
+// String implements fmt.Stringer using the paper's names.
+func (t WeightType) String() string {
+	switch t {
+	case WeightLength:
+		return "LENGTH"
+	case WeightTime:
+		return "TIME"
+	default:
+		return fmt.Sprintf("WeightType(%d)", int(t))
+	}
+}
+
+// ParseWeightType parses a case-insensitive weight type name.
+func ParseWeightType(s string) (WeightType, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "LENGTH":
+		return WeightLength, nil
+	case "TIME":
+		return WeightTime, nil
+	default:
+		return 0, fmt.Errorf("roadnet: unknown weight type %q (want LENGTH or TIME)", s)
+	}
+}
+
+// WeightTypes lists all weight types in paper order.
+func WeightTypes() []WeightType { return []WeightType{WeightLength, WeightTime} }
+
+// CostType selects the attacker's edge-removal cost model (paper §II-B).
+type CostType int
+
+const (
+	// CostUniform charges 1 per removed segment: an attacker whose single
+	// disruption shuts a road regardless of its size.
+	CostUniform CostType = iota + 1
+	// CostLanes charges the lane count: one small interruption (e.g. a
+	// feigned breakdown) per lane.
+	CostLanes
+	// CostWidth charges roadWidth / AvgCarWidthM (eq. 2): one car-width of
+	// blockage per unit.
+	CostWidth
+)
+
+// String implements fmt.Stringer using the paper's names.
+func (t CostType) String() string {
+	switch t {
+	case CostUniform:
+		return "UNIFORM"
+	case CostLanes:
+		return "LANES"
+	case CostWidth:
+		return "WIDTH"
+	default:
+		return fmt.Sprintf("CostType(%d)", int(t))
+	}
+}
+
+// ParseCostType parses a case-insensitive cost type name.
+func ParseCostType(s string) (CostType, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "UNIFORM":
+		return CostUniform, nil
+	case "LANES":
+		return CostLanes, nil
+	case "WIDTH":
+		return CostWidth, nil
+	default:
+		return 0, fmt.Errorf("roadnet: unknown cost type %q (want UNIFORM, LANES, or WIDTH)", s)
+	}
+}
+
+// CostTypes lists all cost types in paper order.
+func CostTypes() []CostType { return []CostType{CostUniform, CostLanes, CostWidth} }
+
+// Weight returns the edge weight function for t.
+func (n *Network) Weight(t WeightType) graph.WeightFunc {
+	switch t {
+	case WeightTime:
+		return func(e graph.EdgeID) float64 { return n.roads[e].TravelTimeS() }
+	default:
+		return func(e graph.EdgeID) float64 { return n.roads[e].LengthM }
+	}
+}
+
+// Cost returns the edge removal cost function for t.
+func (n *Network) Cost(t CostType) graph.WeightFunc {
+	switch t {
+	case CostLanes:
+		return func(e graph.EdgeID) float64 { return float64(n.roads[e].Lanes) }
+	case CostWidth:
+		return func(e graph.EdgeID) float64 { return n.roads[e].RemovalWidthCost() }
+	default:
+		return func(e graph.EdgeID) float64 { return 1 }
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+// randomSimNet builds a random strongly connected two-way grid.
+func randomSimNet(rng *rand.Rand) *roadnet.Network {
+	n := roadnet.NewNetwork("simprop")
+	size := 3 + rng.Intn(3)
+	ids := make([][]graph.NodeID, size)
+	for r := range ids {
+		ids[r] = make([]graph.NodeID, size)
+		for c := range ids[r] {
+			ids[r][c] = n.AddIntersection(geo.Point{
+				Lat: 42 + float64(r)*0.001,
+				Lon: -71 + float64(c)*0.001,
+			})
+		}
+	}
+	for r := 0; r < size; r++ {
+		for c := 0; c < size; c++ {
+			road := roadnet.Road{LengthM: float64(60 + rng.Intn(100)), SpeedMS: float64(5 + rng.Intn(15))}
+			if c+1 < size {
+				if _, _, err := n.AddTwoWayRoad(ids[r][c], ids[r][c+1], road); err != nil {
+					panic(err)
+				}
+			}
+			if r+1 < size {
+				if _, _, err := n.AddTwoWayRoad(ids[r][c], ids[r+1][c], road); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestAttackNeverSpeedsUpVictimsProperty: with all blockages in place
+// before departure, no vehicle that still arrives can be FASTER than on
+// the intact network (a subgraph's shortest path cannot beat the full
+// graph's), and baseline vehicles always arrive on a connected grid.
+func TestAttackNeverSpeedsUpVictimsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomSimNet(rng)
+		nNodes := net.NumIntersections()
+
+		var fleet []Vehicle
+		for i := 0; i < 4; i++ {
+			fleet = append(fleet, Vehicle{
+				ID:     i,
+				Source: graph.NodeID(rng.Intn(nNodes)),
+				Dest:   graph.NodeID(rng.Intn(nNodes)),
+			})
+		}
+		var blocks []Blockage
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			blocks = append(blocks, Blockage{
+				Edge: graph.EdgeID(rng.Intn(net.NumSegments())),
+				AtS:  0,
+			})
+		}
+		baseline, attacked, delay, err := CompareAttack(Config{
+			Net: net, Vehicles: fleet, Blockages: blocks,
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for i := range fleet {
+			b, a := baseline.Vehicles[i], attacked.Vehicles[i]
+			if !b.Arrived {
+				t.Logf("seed %d: baseline vehicle %d did not arrive on a connected grid", seed, i)
+				return false
+			}
+			if a.Arrived && a.TravelTimeS < b.TravelTimeS-1e-9 {
+				t.Logf("seed %d: vehicle %d faster under attack (%v < %v)", seed, i, a.TravelTimeS, b.TravelTimeS)
+				return false
+			}
+		}
+		if delay < -1e-9 {
+			t.Logf("seed %d: negative total delay %v", seed, delay)
+			return false
+		}
+		// The graph is restored after both runs.
+		if net.Graph().NumEnabledEdges() != net.NumSegments() {
+			t.Logf("seed %d: graph not restored", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMidTripBlockagesKeepTimesConsistentProperty: blockages at arbitrary
+// times never produce negative travel times, never leave vehicles both
+// arrived and stranded, and hop counts stay plausible.
+func TestMidTripBlockagesKeepTimesConsistentProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomSimNet(rng)
+		nNodes := net.NumIntersections()
+		var fleet []Vehicle
+		for i := 0; i < 3; i++ {
+			fleet = append(fleet, Vehicle{
+				ID:      i,
+				Source:  graph.NodeID(rng.Intn(nNodes)),
+				Dest:    graph.NodeID(rng.Intn(nNodes)),
+				DepartS: float64(rng.Intn(30)),
+			})
+		}
+		var blocks []Blockage
+		for i := 0; i < rng.Intn(6); i++ {
+			blocks = append(blocks, Blockage{
+				Edge: graph.EdgeID(rng.Intn(net.NumSegments())),
+				AtS:  float64(rng.Intn(60)),
+			})
+		}
+		res, err := Run(Config{Net: net, Vehicles: fleet, Blockages: blocks})
+		if err != nil {
+			return false
+		}
+		for i, v := range res.Vehicles {
+			if v.Arrived && v.Stranded {
+				t.Logf("seed %d: vehicle %d both arrived and stranded", seed, i)
+				return false
+			}
+			if v.TravelTimeS < 0 {
+				t.Logf("seed %d: vehicle %d negative travel time", seed, i)
+				return false
+			}
+			if v.Arrived && fleet[i].Source != fleet[i].Dest && v.Hops == 0 {
+				t.Logf("seed %d: vehicle %d arrived with zero hops", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,235 @@
+package traffic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"altroute/internal/citygen"
+	"altroute/internal/core"
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+// twoRoutes builds parallel routes between 0 and 3:
+//
+//	fast: 0-1-3 (2 x 100m @ 10 m/s = 20 s free flow), 1 lane
+//	slow: 0-2-3 (2 x 150m @ 10 m/s = 30 s free flow), 2 lanes
+func twoRoutes(t *testing.T) (*roadnet.Network, [4]graph.NodeID) {
+	t.Helper()
+	n := roadnet.NewNetwork("tworoutes")
+	var ids [4]graph.NodeID
+	pts := []geo.Point{
+		{Lat: 42.000, Lon: -71.000},
+		{Lat: 42.001, Lon: -71.000},
+		{Lat: 41.999, Lon: -71.000},
+		{Lat: 42.002, Lon: -71.000},
+	}
+	for i, p := range pts {
+		ids[i] = n.AddIntersection(p)
+	}
+	add := func(a, b graph.NodeID, length float64, lanes int) {
+		t.Helper()
+		if _, err := n.AddRoad(a, b, roadnet.Road{LengthM: length, SpeedMS: 10, Lanes: lanes}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(ids[0], ids[1], 100, 1)
+	add(ids[1], ids[3], 100, 1)
+	add(ids[0], ids[2], 150, 2)
+	add(ids[2], ids[3], 150, 2)
+	return n, ids
+}
+
+func TestCongestedTimeBPR(t *testing.T) {
+	n, _ := twoRoutes(t)
+	free := n.Road(0).TravelTimeS()
+	if got := CongestedTime(n, 0, 0); got != free {
+		t.Errorf("zero volume time = %v, want free flow %v", got, free)
+	}
+	// At volume == capacity the BPR multiplier is 1 + Alpha.
+	cap0 := Capacity(n, 0)
+	if cap0 != LaneCapacityVPH {
+		t.Fatalf("capacity = %v, want %v", cap0, LaneCapacityVPH)
+	}
+	want := free * (1 + Alpha)
+	if got := CongestedTime(n, 0, cap0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("at-capacity time = %v, want %v", got, want)
+	}
+	// Monotone in volume.
+	if CongestedTime(n, 0, 2*cap0) <= CongestedTime(n, 0, cap0) {
+		t.Error("congested time not monotone")
+	}
+}
+
+func TestAssignIncrementalLowDemandUsesFastRoute(t *testing.T) {
+	n, ids := twoRoutes(t)
+	a, err := AssignIncremental(n, []Demand{{Source: ids[0], Dest: ids[3], VehiclesPerHour: 100}}, 4)
+	if err != nil {
+		t.Fatalf("AssignIncremental: %v", err)
+	}
+	// 100 vph barely congests a 1800 vph lane: everything on the fast
+	// route.
+	if a.Volumes[0] != 100 || a.Volumes[1] != 100 {
+		t.Errorf("fast route volumes = %v, %v, want 100", a.Volumes[0], a.Volumes[1])
+	}
+	if a.Volumes[2] != 0 {
+		t.Errorf("slow route carries %v, want 0", a.Volumes[2])
+	}
+	if a.Unrouted != 0 {
+		t.Errorf("unrouted = %v", a.Unrouted)
+	}
+}
+
+func TestAssignIncrementalHighDemandSpills(t *testing.T) {
+	n, ids := twoRoutes(t)
+	// 6000 vph >> one lane's capacity: congestion must push later slices
+	// onto the slow route.
+	a, err := AssignIncremental(n, []Demand{{Source: ids[0], Dest: ids[3], VehiclesPerHour: 6000}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Volumes[2] == 0 {
+		t.Error("no spillover to the slow route under heavy demand")
+	}
+	if a.Volumes[0]+a.Volumes[2] != 6000 {
+		t.Errorf("total leaving volume = %v, want 6000", a.Volumes[0]+a.Volumes[2])
+	}
+}
+
+func TestAssignIncrementalValidation(t *testing.T) {
+	n, ids := twoRoutes(t)
+	if _, err := AssignIncremental(n, nil, 4); !errors.Is(err, ErrNoDemand) {
+		t.Error("empty demand accepted")
+	}
+	if _, err := AssignIncremental(n, []Demand{{Source: ids[0], Dest: ids[3], VehiclesPerHour: -1}}, 4); err == nil {
+		t.Error("negative demand accepted")
+	}
+	// Default slices.
+	if _, err := AssignIncremental(n, []Demand{{Source: ids[0], Dest: ids[3], VehiclesPerHour: 10}}, 0); err != nil {
+		t.Errorf("default slices: %v", err)
+	}
+}
+
+func TestAssignIncrementalUnroutedDemand(t *testing.T) {
+	n, ids := twoRoutes(t)
+	a, err := AssignIncremental(n, []Demand{{Source: ids[3], Dest: ids[0], VehiclesPerHour: 50}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Unrouted != 50 {
+		t.Errorf("unrouted = %v, want 50 (one-way network)", a.Unrouted)
+	}
+}
+
+func TestAssignmentWeightAndSystemTime(t *testing.T) {
+	n, ids := twoRoutes(t)
+	a, err := AssignIncremental(n, []Demand{{Source: ids[0], Dest: ids[3], VehiclesPerHour: 1800}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := a.Weight(n)
+	// Congested weight of a loaded edge exceeds free flow.
+	if a.Volumes[0] > 0 && w(0) <= n.Road(0).TravelTimeS() {
+		t.Error("congested weight not above free flow")
+	}
+	if got := a.TotalVehicleSeconds(n); got <= 0 {
+		t.Errorf("system time = %v", got)
+	}
+	var zero Assignment
+	if zero.Weight(n)(0) != n.Road(0).TravelTimeS() {
+		t.Error("zero assignment weight != free flow")
+	}
+}
+
+func TestAttackImpact(t *testing.T) {
+	n, ids := twoRoutes(t)
+	demands := []Demand{{Source: ids[0], Dest: ids[3], VehiclesPerHour: 1000}}
+	// Cut the fast route's first edge.
+	before, after, extra, stranded, err := AttackImpact(n, demands, []graph.EdgeID{0}, 4)
+	if err != nil {
+		t.Fatalf("AttackImpact: %v", err)
+	}
+	if before.Volumes[0] == 0 {
+		t.Error("baseline ignores fast route")
+	}
+	if after.Volumes[0] != 0 {
+		t.Error("attacked assignment still uses cut edge")
+	}
+	if after.Volumes[2] != 1000 {
+		t.Errorf("attacked slow-route volume = %v, want 1000", after.Volumes[2])
+	}
+	if extra <= 0 {
+		t.Errorf("extra vehicle-seconds = %v, want > 0", extra)
+	}
+	if stranded != 0 {
+		t.Errorf("stranded = %v, want 0 (slow route available)", stranded)
+	}
+	// Graph restored.
+	if n.Graph().NumEnabledEdges() != n.NumSegments() {
+		t.Error("AttackImpact left the cut applied")
+	}
+	// Cutting both routes strands the demand.
+	_, _, _, stranded, err = AttackImpact(n, demands, []graph.EdgeID{0, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stranded != 1000 {
+		t.Errorf("stranded = %v, want 1000", stranded)
+	}
+}
+
+// TestAttackUnderCongestedWeights runs the paper's attack with a
+// congestion-aware objective: the attacker forces an alternative route
+// where path metrics are congested TIME rather than free-flow TIME.
+func TestAttackUnderCongestedWeights(t *testing.T) {
+	net, err := citygen.Build(citygen.Chicago, 0.01, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := net.POIsOfKind(citygen.KindHospital)[0]
+
+	// Background traffic between the other hospitals.
+	pois := net.POIsOfKind(citygen.KindHospital)
+	demands := []Demand{
+		{Source: pois[1].Node, Dest: pois[2].Node, VehiclesPerHour: 2500},
+		{Source: pois[3].Node, Dest: pois[1].Node, VehiclesPerHour: 2500},
+	}
+	a, err := AssignIncremental(net, demands, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := a.Weight(net)
+
+	var (
+		src   graph.NodeID
+		pstar graph.Path
+		found bool
+	)
+	for nID := 0; nID < net.NumIntersections() && !found; nID++ {
+		if graph.NodeID(nID) == h.Node {
+			continue
+		}
+		if p, err := core.PStarByRank(net.Graph(), graph.NodeID(nID), h.Node, 4, w); err == nil {
+			src, pstar, found = graph.NodeID(nID), p, true
+		}
+	}
+	if !found {
+		t.Skip("no viable source at this scale")
+	}
+	prob := core.Problem{
+		G: net.Graph(), Source: src, Dest: h.Node, PStar: pstar,
+		Weight: w, Cost: net.Cost(roadnet.CostUniform),
+	}
+	res, err := core.Run(core.AlgGreedyPathCover, prob, core.Options{})
+	if err != nil {
+		t.Fatalf("congested attack: %v", err)
+	}
+	core.Apply(net.Graph(), res.Removed)
+	defer core.Restore(net.Graph(), res.Removed)
+	sp, ok := graph.NewRouter(net.Graph()).ShortestPath(src, h.Node, w)
+	if !ok || !sp.SameEdges(pstar) {
+		t.Fatalf("p* not exclusive under congested weights")
+	}
+}

@@ -1,0 +1,221 @@
+// Package viz renders attack experiments as SVG maps in the style of the
+// paper's Figures 1-4: the street network in grey, the source as a blue
+// circle, the destination (hospital) as a yellow circle, the chosen
+// alternative route p* in blue, and the removed road segments in red.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+// Style controls colors and sizes. Zero fields take the paper-style
+// defaults.
+type Style struct {
+	WidthPx      int
+	HeightPx     int
+	Background   string
+	RoadColor    string
+	RoadWidth    float64
+	PStarColor   string
+	PStarWidth   float64
+	RemovedColor string
+	RemovedWidth float64
+	SourceColor  string
+	DestColor    string
+	MarkerRadius float64
+}
+
+func (s *Style) fill() {
+	if s.WidthPx <= 0 {
+		s.WidthPx = 900
+	}
+	if s.HeightPx <= 0 {
+		s.HeightPx = 900
+	}
+	if s.Background == "" {
+		s.Background = "#ffffff"
+	}
+	if s.RoadColor == "" {
+		s.RoadColor = "#c8c8c8"
+	}
+	if s.RoadWidth <= 0 {
+		s.RoadWidth = 0.7
+	}
+	if s.PStarColor == "" {
+		s.PStarColor = "#1f4fd8"
+	}
+	if s.PStarWidth <= 0 {
+		s.PStarWidth = 2.8
+	}
+	if s.RemovedColor == "" {
+		s.RemovedColor = "#d82020"
+	}
+	if s.RemovedWidth <= 0 {
+		s.RemovedWidth = 3.2
+	}
+	if s.SourceColor == "" {
+		s.SourceColor = "#1f4fd8"
+	}
+	if s.DestColor == "" {
+		s.DestColor = "#e8c020"
+	}
+	if s.MarkerRadius <= 0 {
+		s.MarkerRadius = 7
+	}
+}
+
+// Scene is one experiment to draw.
+type Scene struct {
+	Net *roadnet.Network
+	// Source and Dest are the experiment endpoints.
+	Source graph.NodeID
+	Dest   graph.NodeID
+	// PStar is the forced alternative route (drawn blue).
+	PStar graph.Path
+	// Removed are the cut road segments (drawn red).
+	Removed []graph.EdgeID
+	// Title is drawn at the top; empty omits it.
+	Title string
+	Style Style
+}
+
+// WriteSVG renders the scene.
+func WriteSVG(w io.Writer, scene Scene) error {
+	st := scene.Style
+	st.fill()
+	net := scene.Net
+	if net == nil || net.NumIntersections() == 0 {
+		return fmt.Errorf("viz: empty network")
+	}
+	g := net.Graph()
+	proj := net.Projection()
+
+	// Compute planar bounds.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for n := 0; n < net.NumIntersections(); n++ {
+		xy := proj.ToXY(net.Point(graph.NodeID(n)))
+		minX = math.Min(minX, xy.X)
+		minY = math.Min(minY, xy.Y)
+		maxX = math.Max(maxX, xy.X)
+		maxY = math.Max(maxY, xy.Y)
+	}
+	spanX := maxX - minX
+	spanY := maxY - minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	const margin = 20.0
+	sx := (float64(st.WidthPx) - 2*margin) / spanX
+	sy := (float64(st.HeightPx) - 2*margin) / spanY
+	scale := math.Min(sx, sy)
+	toPx := func(n graph.NodeID) (float64, float64) {
+		xy := proj.ToXY(net.Point(n))
+		// SVG y grows downward.
+		return margin + (xy.X-minX)*scale, float64(st.HeightPx) - margin - (xy.Y-minY)*scale
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		st.WidthPx, st.HeightPx, st.WidthPx, st.HeightPx)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="%s"/>`+"\n", st.Background)
+
+	line := func(e graph.EdgeID, color string, width float64) {
+		arc := g.Arc(e)
+		x1, y1 := toPx(arc.From)
+		x2, y2 := toPx(arc.To)
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.2f" stroke-linecap="round"/>`+"\n",
+			x1, y1, x2, y2, color, width)
+	}
+
+	// Base network (skip artificial connectors for visual fidelity).
+	removed := make(map[graph.EdgeID]bool, len(scene.Removed))
+	for _, e := range scene.Removed {
+		removed[e] = true
+	}
+	pstarSet := scene.PStar.EdgeSet()
+	for e := 0; e < g.NumEdges(); e++ {
+		id := graph.EdgeID(e)
+		if removed[id] {
+			continue
+		}
+		if _, onPStar := pstarSet[id]; onPStar {
+			continue
+		}
+		if g.EdgeDisabled(id) && !g.EdgeRemoved(id) {
+			continue
+		}
+		if g.EdgeRemoved(id) {
+			continue
+		}
+		if net.Road(id).Artificial {
+			continue
+		}
+		line(id, st.RoadColor, st.RoadWidth)
+	}
+	// p* on top, removed edges on very top.
+	for _, e := range scene.PStar.Edges {
+		line(e, st.PStarColor, st.PStarWidth)
+	}
+	for _, e := range scene.Removed {
+		line(e, st.RemovedColor, st.RemovedWidth)
+	}
+
+	circle := func(n graph.NodeID, color string) {
+		x, y := toPx(n)
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="#303030" stroke-width="1"/>`+"\n",
+			x, y, st.MarkerRadius, color)
+	}
+	circle(scene.Source, st.SourceColor)
+	circle(scene.Dest, st.DestColor)
+
+	if scene.Title != "" {
+		fmt.Fprintf(bw, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="14" fill="#303030">%s</text>`+"\n",
+			margin, 16.0, xmlEscape(scene.Title))
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+// WriteSVGFile renders the scene to a file.
+func WriteSVGFile(path string, scene Scene) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	if err := WriteSVG(f, scene); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	return nil
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,120 @@
+package viz
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"altroute/internal/citygen"
+	"altroute/internal/core"
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+func testScene(t *testing.T) Scene {
+	t.Helper()
+	net, err := citygen.Build(citygen.Boston, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := net.POIsOfKind(citygen.KindHospital)[0]
+	w := net.Weight(roadnet.WeightTime)
+	// Pick the first source with at least 3 simple paths to the hospital.
+	var (
+		src   graph.NodeID
+		pstar graph.Path
+	)
+	found := false
+	for n := 0; n < net.NumIntersections() && !found; n++ {
+		if n == int(h.Node) {
+			continue
+		}
+		if p, err := core.PStarByRank(net.Graph(), graph.NodeID(n), h.Node, 3, w); err == nil {
+			src, pstar, found = graph.NodeID(n), p, true
+		}
+	}
+	if !found {
+		t.Fatal("no viable source found")
+	}
+	p := core.Problem{G: net.Graph(), Source: src, Dest: h.Node, PStar: pstar, Weight: w, Cost: net.Cost(roadnet.CostWidth)}
+	res, err := core.Run(core.AlgGreedyPathCover, p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scene{
+		Net:     net,
+		Source:  src,
+		Dest:    h.Node,
+		PStar:   pstar,
+		Removed: res.Removed,
+		Title:   "Boston & <test>",
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	scene := testScene(t)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, scene); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>",
+		`fill="#1f4fd8"`, // source marker
+		`fill="#e8c020"`, // destination marker
+		`stroke="#1f4fd8"`,
+		"Boston &amp; &lt;test&gt;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if len(scene.Removed) > 0 && !strings.Contains(out, `stroke="#d82020"`) {
+		t.Error("SVG missing removed-edge strokes")
+	}
+	// Every p* edge drawn: count blue strokes >= hops.
+	if got := strings.Count(out, `stroke="#1f4fd8"`); got < scene.PStar.Hops() {
+		t.Errorf("p* strokes = %d, want >= %d", got, scene.PStar.Hops())
+	}
+}
+
+func TestWriteSVGEmptyNetwork(t *testing.T) {
+	if err := WriteSVG(&bytes.Buffer{}, Scene{Net: roadnet.NewNetwork("e")}); err == nil {
+		t.Error("empty network accepted")
+	}
+	if err := WriteSVG(&bytes.Buffer{}, Scene{}); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+func TestWriteSVGFile(t *testing.T) {
+	scene := testScene(t)
+	path := t.TempDir() + "/fig.svg"
+	if err := WriteSVGFile(path, scene); err != nil {
+		t.Fatalf("WriteSVGFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("file does not start with <svg")
+	}
+	if err := WriteSVGFile("/nonexistent/dir/fig.svg", scene); err == nil {
+		t.Error("bad path accepted")
+	}
+}
+
+func TestStyleDefaultsAndOverrides(t *testing.T) {
+	var s Style
+	s.fill()
+	if s.WidthPx != 900 || s.PStarColor == "" || s.MarkerRadius != 7 {
+		t.Errorf("defaults = %+v", s)
+	}
+	o := Style{WidthPx: 100, HeightPx: 100, PStarColor: "#000001", MarkerRadius: 2}
+	o.fill()
+	if o.WidthPx != 100 || o.PStarColor != "#000001" || o.MarkerRadius != 2 {
+		t.Errorf("overrides lost: %+v", o)
+	}
+}
