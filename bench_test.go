@@ -376,10 +376,53 @@ func BenchmarkYenK100City(b *testing.B) {
 	w := net.Weight(roadnet.WeightTime)
 	r := altroute.NewRouter(net.Graph())
 	h := net.POIsOfKind(citygen.KindHospital)[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.KShortest(altroute.NodeID(i%net.NumIntersections()), h.Node, 100, w)
 	}
+}
+
+// BenchmarkYenK200City is the Table X workload generator at the paper's
+// doubled rank (200): the deepest k-shortest query the experiments issue,
+// on the Chicago-like lattice preset.
+func BenchmarkYenK200City(b *testing.B) {
+	net := benchNetwork(b, citygen.Chicago)
+	w := net.Weight(roadnet.WeightTime)
+	r := altroute.NewRouter(net.Graph())
+	h := net.POIsOfKind(citygen.KindHospital)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.KShortest(altroute.NodeID(i%net.NumIntersections()), h.Node, 200, w)
+	}
+}
+
+// BenchmarkTableParallel compares the serial and parallel table runners on
+// the same prepared workload (results are bit-for-bit identical; only the
+// wall clock differs).
+func BenchmarkTableParallel(b *testing.B) {
+	net, units := benchWorkload(b, citygen.Boston, roadnet.WeightTime)
+	spec := experiment.Spec{
+		Net:        net,
+		WeightType: roadnet.WeightTime,
+		Seed:       benchSeed,
+		PathRank:   benchRank,
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.RunTableOnUnits(net, units, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.RunTableOnUnitsParallel(net, units, spec, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkEdgeBetweennessSampled(b *testing.B) {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: altroute
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkYenK100City 	       5	  97611618 ns/op	 2276921 B/op	   20469 allocs/op
+BenchmarkTableII/LP-PathCover/UNIFORM-8         	       3	 123456789 ns/op	        12.50 ANER	        37.20 ACRE	  555555 B/op	    1234 allocs/op
+BenchmarkDijkstraCity 	     100	    456789 ns/op
+PASS
+ok  	altroute	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, cpu := ParseBenchOutput(sampleOutput)
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+
+	r := results[0]
+	if r.Name != "BenchmarkYenK100City" || r.Iterations != 5 {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if r.NsPerOp != 97611618 || r.BytesPerOp != 2276921 || r.AllocsPerOp != 20469 {
+		t.Errorf("result 0 columns = %+v", r)
+	}
+
+	r = results[1]
+	if r.Name != "BenchmarkTableII/LP-PathCover/UNIFORM-8" {
+		t.Errorf("result 1 name = %q", r.Name)
+	}
+	if r.Metrics["ANER"] != 12.5 || r.Metrics["ACRE"] != 37.2 {
+		t.Errorf("result 1 metrics = %v", r.Metrics)
+	}
+	if r.NsPerOp != 123456789 {
+		t.Errorf("result 1 ns/op = %v", r.NsPerOp)
+	}
+
+	r = results[2]
+	if r.NsPerOp != 456789 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("result 2 (no -benchmem columns) = %+v", r)
+	}
+}
+
+func TestParseBenchOutputEmpty(t *testing.T) {
+	results, _ := ParseBenchOutput("PASS\nok  \taltroute\t0.1s\n")
+	if len(results) != 0 {
+		t.Errorf("parsed %d results from non-bench output", len(results))
+	}
+}
+
+func TestAppendSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_2026-08-06.json")
+	first := Snapshot{Date: "2026-08-06", Label: "a",
+		Results: []Result{{Name: "BenchmarkX", Iterations: 1, NsPerOp: 10}}}
+	second := Snapshot{Date: "2026-08-06", Label: "b",
+		Results: []Result{{Name: "BenchmarkX", Iterations: 1, NsPerOp: 5}}}
+
+	if err := AppendSnapshot(path, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendSnapshot(path, second); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Snapshot
+	if err := json.Unmarshal(raw, &snaps); err != nil {
+		t.Fatalf("file is not a snapshot array: %v\n%s", err, raw)
+	}
+	if len(snaps) != 2 || snaps[0].Label != "a" || snaps[1].Label != "b" {
+		t.Errorf("snapshots = %+v", snaps)
+	}
+	if snaps[1].Results[0].NsPerOp != 5 {
+		t.Errorf("second snapshot results = %+v", snaps[1].Results)
+	}
+}
+
+func TestAppendSnapshotRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := os.WriteFile(path, []byte("{not an array}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendSnapshot(path, Snapshot{}); err == nil {
+		t.Error("appending over a non-array file should error")
+	}
+}

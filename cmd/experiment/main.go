@@ -28,6 +28,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"altroute"
 	"altroute/internal/citygen"
@@ -120,9 +122,36 @@ func run(args []string) error {
 		rank     = fs.Int("rank", 0, "p* path rank (default: 100*scale, min 10)")
 		sources  = fs.Int("sources", 10, "random sources per hospital")
 		workers  = fs.Int("workers", 0, "parallel cell workers (0 = all cores, 1 = serial)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiment: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiment: memprofile:", err)
+			}
+		}()
 	}
 	if *rank <= 0 {
 		*rank = int(100 * *scale)

@@ -63,6 +63,74 @@ func TestRunSingleAttackTable(t *testing.T) {
 	}
 }
 
+// TestRunTableWorkers smoke-tests the -workers flag: the parallel runner
+// must produce the same rendered table as the serial one on the same spec.
+func TestRunTableWorkers(t *testing.T) {
+	args := []string{"-table", "3", "-scale", "0.02", "-sources", "1", "-rank", "6"}
+	serial, err := capture(t, func() error { return run(append(args, "-workers", "1")) })
+	if err != nil {
+		t.Fatalf("serial run: %v\n%s", err, serial)
+	}
+	parallel, err := capture(t, func() error { return run(append(args, "-workers", "2")) })
+	if err != nil {
+		t.Fatalf("parallel run: %v\n%s", err, parallel)
+	}
+	if !strings.Contains(parallel, "TABLE III") {
+		t.Errorf("parallel output missing table:\n%s", parallel)
+	}
+	// The parallel runner guarantees bit-identical cells; averaged runtimes
+	// differ run to run, so compare everything but the Runtime columns.
+	if got, want := stripRuntimes(parallel), stripRuntimes(serial); got != want {
+		t.Errorf("parallel table differs from serial:\n--- parallel\n%s\n--- serial\n%s", got, want)
+	}
+}
+
+// stripRuntimes blanks the Runtime column values (first number of every
+// cost-type group) so table comparisons ignore wall-clock noise.
+func stripRuntimes(table string) string {
+	lines := strings.Split(table, "\n")
+	for i, line := range lines {
+		cols := strings.Split(line, " | ")
+		if len(cols) < 2 {
+			continue
+		}
+		for j := 1; j < len(cols); j++ {
+			fields := strings.Fields(cols[j])
+			if len(fields) == 3 {
+				fields[0] = "-"
+				cols[j] = strings.Join(fields, " ")
+			}
+		}
+		lines[i] = strings.Join(cols, " | ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestRunProfiles smoke-tests -cpuprofile/-memprofile: both files must
+// exist and be non-empty after a run.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	out, err := capture(t, func() error {
+		return run([]string{"-table", "1", "-scale", "0.01", "-sources", "1",
+			"-cpuprofile", cpu, "-memprofile", mem})
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("missing profile %s: %v", p, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
 func TestRunTableX(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run([]string{"-table", "10", "-scale", "0.02", "-sources", "2", "-rank", "6"})

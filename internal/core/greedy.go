@@ -68,6 +68,9 @@ func naiveCutLoop(p Problem, opts Options, pick func(graph.Path, map[graph.EdgeI
 	r := graph.NewRouter(p.G)
 	pstarSet := p.PStar.EdgeSet()
 	budget := p.budgetOrInf()
+	// Computed before the first cut; cuts only disable edges, so the
+	// potential stays admissible for every later oracle call.
+	pot := r.ReversePotential(p.Dest, p.Weight)
 
 	tx := p.G.Begin()
 	defer tx.Rollback()
@@ -78,7 +81,7 @@ func naiveCutLoop(p Problem, opts Options, pick func(graph.Path, map[graph.EdgeI
 		if round >= opts.MaxRounds {
 			return Result{}, fmt.Errorf("%w: no solution within %d cuts", ErrInfeasible, opts.MaxRounds)
 		}
-		viol, violated := p.violating(r)
+		viol, violated := p.violating(r, pot)
 		if !violated {
 			res.Removed = tx.Disabled()
 			res.TotalCost = total

@@ -112,6 +112,13 @@ func multiCoverLoop(p MultiProblem, opts Options, solve coverSolver) (Result, er
 	// and Cost are consulted there.
 	proxy := Problem{G: p.G, Weight: p.Weight, Cost: p.Cost}
 
+	// One cached reverse potential per victim destination, computed on the
+	// unmodified graph and valid for every round (cuts only disable edges).
+	pots := make([]*graph.Potential, len(p.Victims))
+	for i := range p.Victims {
+		pots[i] = r.ReversePotential(p.Victims[i].Dest, p.Weight)
+	}
+
 	var pool []graph.Path
 	var cut []graph.EdgeID
 	for round := 0; round < opts.MaxRounds; round++ {
@@ -126,7 +133,7 @@ func multiCoverLoop(p MultiProblem, opts Options, solve coverSolver) (Result, er
 				G: p.G, Source: v.Source, Dest: v.Dest, PStar: v.PStar,
 				Weight: p.Weight, Cost: p.Cost,
 			}
-			viol, violated := sub.violating(r)
+			viol, violated := sub.violating(r, pots[i])
 			if !violated {
 				continue
 			}

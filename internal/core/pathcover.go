@@ -51,6 +51,10 @@ func pathCoverLoop(p Problem, opts Options, solve coverSolver) (Result, error) {
 	r := graph.NewRouter(p.G)
 	pstarSet := p.PStar.EdgeSet()
 	budget := p.budgetOrInf()
+	// One reverse Dijkstra on the unmodified graph serves every oracle
+	// round: each round only disables edges, so the potential stays
+	// admissible for the goal-directed alternative search.
+	pot := r.ReversePotential(p.Dest, p.Weight)
 
 	var pool []graph.Path
 	var cut []graph.EdgeID
@@ -59,7 +63,7 @@ func pathCoverLoop(p Problem, opts Options, solve coverSolver) (Result, error) {
 		for _, e := range cut {
 			tx.Disable(e)
 		}
-		viol, violated := p.violating(r)
+		viol, violated := p.violating(r, pot)
 		tx.Rollback()
 
 		if !violated {

@@ -124,8 +124,14 @@ func (p *Problem) validate() error {
 // violating returns a live s->d path, different from p*, whose length does
 // not exceed p*'s (i.e. a witness that p* is not yet the exclusive shortest
 // path), under the graph's current disabled-edge state.
-func (p *Problem) violating(r *graph.Router) (graph.Path, bool) {
-	alt, ok := r.BestAlternative(p.Source, p.Dest, p.Weight, p.PStar)
+//
+// pot is an optional cached reverse potential for p.Dest under p.Weight
+// (nil: computed per call). The attack loops compute it once on the
+// unmodified graph and reuse it across every oracle round: candidate cuts
+// only disable edges, which keeps the potential admissible (see
+// graph.BestAlternativeWithPotential).
+func (p *Problem) violating(r *graph.Router, pot *graph.Potential) (graph.Path, bool) {
+	alt, ok := r.BestAlternativeWithPotential(p.Source, p.Dest, p.Weight, p.PStar, pot)
 	if !ok {
 		return graph.Path{}, false
 	}
@@ -141,7 +147,7 @@ func (p *Problem) IsExclusiveShortest(r *graph.Router) bool {
 	if r == nil {
 		r = graph.NewRouter(p.G)
 	}
-	_, violated := p.violating(r)
+	_, violated := p.violating(r, nil)
 	return !violated
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"altroute/internal/core"
+	"altroute/internal/graph"
 	"altroute/internal/metrics"
 	"altroute/internal/roadnet"
 )
@@ -43,10 +44,16 @@ func RunTableOnUnitsParallel(net *roadnet.Network, units []Unit, spec Spec, work
 		go func() {
 			defer wg.Done()
 			local := net.Clone()
+			// Weight and cost functions are derived once per worker, not
+			// per job or per unit: jobs repeat the same few cost types.
 			weight := local.Weight(spec.WeightType)
+			costs := make(map[roadnet.CostType]graph.WeightFunc, len(spec.CostTypes))
+			for _, ct := range spec.CostTypes {
+				costs[ct] = local.Cost(ct)
+			}
 			for job := range jobCh {
 				cell := Cell{Algorithm: job.alg, CostType: job.ct}
-				cost := local.Cost(job.ct)
+				cost := costs[job.ct]
 				for _, u := range units {
 					p := core.Problem{
 						G: local.Graph(), Source: u.Source, Dest: u.Dest,

@@ -1,5 +1,7 @@
 package graph
 
+import "math"
+
 // Heuristic estimates the remaining cost from a node to the (implicit)
 // target. A* is correct when the heuristic is admissible (never
 // overestimates); road networks use straight-line distance divided by the
@@ -47,6 +49,66 @@ func (r *Router) ShortestPathAStar(s, t NodeID, w WeightFunc, h Heuristic) (Path
 			if r.stamp[v] != r.cur || nd < r.dist[v] {
 				r.setDist(v, nd, e)
 				r.heap.push(heapItem{dist: nd + h(v), node: v})
+			}
+		}
+	}
+	return Path{}, false
+}
+
+// shortestAStar is the Yen spur search: a goal-directed A* from s to t
+// guided by a reverse potential, honouring the current node/edge bans and
+// disabled edges. With an exact (hence consistent) potential every settled
+// node lies on a near-optimal corridor towards t, so the search touches a
+// small fraction of what the goal-blind Dijkstra in shortest would.
+//
+// Nodes the target was unreachable from at potential-computation time
+// (h = +Inf) are pruned outright: bans only remove edges, so they cannot
+// reach t now either. Callers must have called grow().
+func (r *Router) shortestAStar(s, t NodeID, w WeightFunc, pot *Potential) (Path, bool) {
+	if !r.g.validNode(s) || !r.g.validNode(t) {
+		return Path{}, false
+	}
+	if r.nodeBanned(s) || r.nodeBanned(t) {
+		return Path{}, false
+	}
+	hs := pot.At(s)
+	if math.IsInf(hs, 1) {
+		return Path{}, false
+	}
+	r.cur++
+	r.heap = r.heap[:0]
+	r.setDist(s, 0, InvalidEdge)
+	r.heap.push(heapItem{dist: hs, node: s})
+
+	for len(r.heap) > 0 {
+		it := r.heap.pop()
+		u := it.node
+		if r.stamp[u] != r.cur {
+			continue
+		}
+		gu := r.dist[u]
+		if it.dist > gu+pot.At(u) {
+			continue // stale heap entry
+		}
+		if u == t {
+			return r.buildPath(s, t), true
+		}
+		for _, e := range r.g.out[u] {
+			if r.g.disabled[e] || r.edgeBanned(e) {
+				continue
+			}
+			v := r.g.arcs[e].To
+			if r.nodeBanned(v) {
+				continue
+			}
+			hv := pot.At(v)
+			if math.IsInf(hv, 1) {
+				continue // v cannot reach t even without bans
+			}
+			nd := gu + w(e)
+			if r.stamp[v] != r.cur || nd < r.dist[v] {
+				r.setDist(v, nd, e)
+				r.heap.push(heapItem{dist: nd + hv, node: v})
 			}
 		}
 	}

@@ -26,6 +26,12 @@ type Router struct {
 	banEpoch uint64
 
 	heap nodeHeap
+
+	// Yen spur fan-out: worker routers sharing the read-only graph. Bans
+	// and scratch arrays are per-router, so concurrent spur searches on
+	// distinct pool routers are race-free by construction.
+	spurWorkers int
+	spurPool    []*Router
 }
 
 // NewRouter returns a Router for g. The router tracks g live: edges added,

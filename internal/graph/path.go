@@ -70,6 +70,11 @@ func (p Path) SameEdges(q Path) bool {
 
 // Key returns a compact string uniquely identifying the edge sequence,
 // usable as a map key for path de-duplication.
+//
+// Invariant: the encoding writes exactly 4 bytes per edge, which is
+// lossless because EdgeID is a 32-bit type. If EdgeID is ever widened this
+// encoding silently truncates and distinct paths can collide — widen the
+// per-edge encoding with it (TestPathKeyLossless guards this).
 func (p Path) Key() string {
 	var b strings.Builder
 	b.Grow(len(p.Edges) * 4)
@@ -80,6 +85,26 @@ func (p Path) Key() string {
 		b.WriteByte(byte(e >> 24))
 	}
 	return b.String()
+}
+
+// Hash returns a 64-bit FNV-1a-style hash of the edge sequence (one 32-bit
+// mixing step per edge). The Yen engine uses it as the fast first key of
+// its candidate de-duplication set; equality is always confirmed with an
+// exact edge-sequence compare, so hash collisions cost time, never
+// correctness.
+func (p Path) Hash() uint64 { return hashEdges(p.Edges) }
+
+func hashEdges(edges []EdgeID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, e := range edges {
+		h ^= uint64(uint32(e))
+		h *= prime64
+	}
+	return h
 }
 
 // IsSimple reports whether the path visits no node twice.

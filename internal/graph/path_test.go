@@ -3,6 +3,7 @@ package graph
 import (
 	"strings"
 	"testing"
+	"unsafe"
 )
 
 func mkPath(g *Graph, w WeightFunc, nodes ...NodeID) Path {
@@ -59,6 +60,60 @@ func TestPathSameEdgesAndKey(t *testing.T) {
 	f := Path{Edges: []EdgeID{0x02000002}}
 	if e.Key() == f.Key() {
 		t.Error("keys collide on high bytes")
+	}
+}
+
+// TestPathKeyLossless documents the Key() width invariant: the encoding
+// writes 4 bytes per edge, which covers EdgeID exactly because EdgeID is a
+// 32-bit type. The compile-time guard below breaks if EdgeID is ever
+// widened — whoever does that must widen the Key encoding (and revisit
+// Path.Hash) in the same change, or distinct paths silently collide.
+func TestPathKeyLossless(t *testing.T) {
+	var _ = [1]struct{}{}[unsafe.Sizeof(EdgeID(0))-4] // EdgeID must stay 4 bytes
+
+	// Edge IDs exercising every byte lane of the encoding, including the
+	// extremes of the int32 range.
+	ids := []EdgeID{0, 1, 0x100, 0x10000, 0x1000000, 0x7fffffff}
+	keys := map[string]EdgeID{}
+	for _, id := range ids {
+		p := Path{Edges: []EdgeID{id}}
+		key := p.Key()
+		if len(key) != 4 {
+			t.Errorf("Key of one edge is %d bytes, want 4", len(key))
+		}
+		if prev, dup := keys[key]; dup {
+			t.Errorf("edge IDs %d and %d share key %q", prev, id, key)
+		}
+		keys[key] = id
+	}
+}
+
+// TestPathHashMatchesKeyEquality checks the Yen dedup contract: Hash must
+// agree on paths Key considers equal, and (for these deliberately
+// byte-lane-adjacent sequences) disagree where Key does.
+func TestPathHashMatchesKeyEquality(t *testing.T) {
+	paths := []Path{
+		{Edges: []EdgeID{}},
+		{Edges: []EdgeID{0}},
+		{Edges: []EdgeID{1}},
+		{Edges: []EdgeID{0, 0}},
+		{Edges: []EdgeID{1, 2, 3}},
+		{Edges: []EdgeID{3, 2, 1}},
+		{Edges: []EdgeID{0x01000002}},
+		{Edges: []EdgeID{0x02000002}},
+		{Edges: []EdgeID{0x7fffffff}},
+	}
+	for i, a := range paths {
+		for j, b := range paths {
+			sameKey := a.Key() == b.Key() && len(a.Edges) == len(b.Edges)
+			sameHash := a.Hash() == b.Hash()
+			if sameKey && !sameHash {
+				t.Errorf("paths %d and %d share a key but not a hash", i, j)
+			}
+			if !sameKey && sameHash {
+				t.Errorf("paths %d and %d collide on hash (fallback compare would still disambiguate, but these must not collide)", i, j)
+			}
+		}
 	}
 }
 

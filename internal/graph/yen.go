@@ -2,12 +2,78 @@ package graph
 
 import (
 	"container/heap"
+	"math"
+	"runtime"
+	"sync"
 )
 
+// The Yen engine layers three optimisations over the textbook algorithm,
+// all output-preserving (see yen_differential_test.go):
+//
+//  1. Reverse-potential A*: one reverse Dijkstra from t yields exact
+//     distances-to-target h(v); every spur search is then a goal-directed
+//     A* with early exit at t. Bans only remove edges, so h stays an
+//     admissible — in fact consistent — heuristic across all rounds.
+//  2. Lawler's deviation-index skip: spur enumeration for an accepted path
+//     starts at the index where it deviated from its parent; deviations
+//     before that index were already generated during the parent's round.
+//  3. Parallel spur fan-out: within a round, spur searches are distributed
+//     over a pool of per-goroutine Routers sharing the read-only graph
+//     (bans and scratch arrays are router-local). Results are merged
+//     serially in spur-index order, so output is identical to a serial run.
+
+// Spur fan-out tuning: the default worker count is GOMAXPROCS capped at
+// maxSpurWorkers, and rounds with fewer than minParallelSpurs spur nodes
+// run serially (goroutine dispatch would cost more than it saves).
+const (
+	maxSpurWorkers   = 8
+	minParallelSpurs = 4
+)
+
+// SetSpurWorkers sets the number of goroutines KShortest and
+// BestAlternative spread spur searches across. n == 1 forces serial
+// operation; n <= 0 restores the default (GOMAXPROCS capped at 8). The
+// WeightFunc passed to the query must be safe for concurrent calls when
+// more than one worker is active (pure table lookups, as all weight
+// functions in this repository are).
+func (r *Router) SetSpurWorkers(n int) { r.spurWorkers = n }
+
+// spurParallelism returns the worker count for a round with the given
+// number of spur searches.
+func (r *Router) spurParallelism(tasks int) int {
+	if tasks < minParallelSpurs {
+		return 1
+	}
+	workers := r.spurWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > maxSpurWorkers {
+			workers = maxSpurWorkers
+		}
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	return workers
+}
+
+// spurRouter returns the i-th pool router, creating and growing it lazily.
+// Pool routers share r's graph; everything mutable is per-router.
+func (r *Router) spurRouter(i int) *Router {
+	for len(r.spurPool) <= i {
+		r.spurPool = append(r.spurPool, NewRouter(r.g))
+	}
+	wr := r.spurPool[i]
+	wr.grow()
+	return wr
+}
+
 // KShortest returns up to k loopless (simple) paths from s to t in
-// non-decreasing order of weight under w, using Yen's algorithm. The first
-// path is the shortest path. Fewer than k paths are returned when the graph
-// does not contain k distinct simple paths.
+// non-decreasing order of weight under w, using Yen's algorithm with
+// Lawler's improvement, goal-directed spur searches, and an optional
+// parallel spur fan-out (see SetSpurWorkers). The first path is the
+// shortest path. Fewer than k paths are returned when the graph does not
+// contain k distinct simple paths.
 //
 // The paper uses path rank 100 (and 200 for Table X): the alternative route
 // p* the attacker forces is the 100th-shortest path, so this routine is the
@@ -18,22 +84,26 @@ func (r *Router) KShortest(s, t NodeID, k int, w WeightFunc) []Path {
 	}
 	r.grow()
 	r.clearBans()
-	first, ok := r.shortest(s, t, w)
+	pot := r.ReversePotential(t, w)
+	first, ok := r.shortestAStar(s, t, w, pot)
 	if !ok {
 		return nil
 	}
 	accepted := []Path{first}
-	seen := map[string]struct{}{first.Key(): {}}
+	devs := []int{0}
+	seen := pathSet{}
+	seen.add(first.Edges)
 	var cands candidateHeap
 
 	for len(accepted) < k {
-		prev := accepted[len(accepted)-1]
-		r.spurCandidates(prev, accepted, t, w, seen, &cands)
+		last := len(accepted) - 1
+		r.spurCandidates(accepted[last], devs[last], accepted, t, w, pot, seen, &cands)
 		if cands.Len() == 0 {
 			break
 		}
-		best := heap.Pop(&cands).(Path)
-		accepted = append(accepted, best)
+		best := heap.Pop(&cands).(candidate)
+		accepted = append(accepted, best.path)
+		devs = append(devs, best.dev)
 	}
 	return accepted
 }
@@ -49,55 +119,144 @@ func (r *Router) KShortest(s, t NodeID, k int, w WeightFunc) []Path {
 func (r *Router) BestAlternative(s, t NodeID, w WeightFunc, avoid Path) (Path, bool) {
 	r.grow()
 	r.clearBans()
-	first, ok := r.shortest(s, t, w)
+	return r.bestAlternative(s, t, w, avoid, r.ReversePotential(t, w))
+}
+
+// BestAlternativeWithPotential is BestAlternative with a caller-supplied
+// reverse potential, for callers that issue many oracle queries against the
+// same target. pot must come from ReversePotential(t, w) on this graph in a
+// state whose enabled-edge set contained every currently enabled edge —
+// edges may have been disabled since it was computed, but not enabled. The
+// attack loops exploit exactly this: they compute the potential once on the
+// unmodified graph and reuse it while candidate cuts are applied, because
+// cuts only disable edges. A nil or mismatched-target pot is recomputed.
+func (r *Router) BestAlternativeWithPotential(s, t NodeID, w WeightFunc, avoid Path, pot *Potential) (Path, bool) {
+	r.grow()
+	r.clearBans()
+	if pot == nil || pot.Target() != t {
+		pot = r.ReversePotential(t, w)
+	}
+	return r.bestAlternative(s, t, w, avoid, pot)
+}
+
+func (r *Router) bestAlternative(s, t NodeID, w WeightFunc, avoid Path, pot *Potential) (Path, bool) {
+	first, ok := r.shortestAStar(s, t, w, pot)
 	if !ok {
 		return Path{}, false
 	}
 	if !first.SameEdges(avoid) {
 		return first, true
 	}
-	seen := map[string]struct{}{avoid.Key(): {}}
+	seen := pathSet{}
+	seen.add(avoid.Edges)
 	var cands candidateHeap
-	r.spurCandidates(avoid, []Path{avoid}, t, w, seen, &cands)
+	r.spurCandidates(avoid, 0, []Path{avoid}, t, w, pot, seen, &cands)
 	if cands.Len() == 0 {
 		return Path{}, false
 	}
-	return heap.Pop(&cands).(Path), true
+	return heap.Pop(&cands).(candidate).path, true
 }
 
-// spurCandidates runs the Yen deviation step: for every spur node along
-// base, ban the root-path nodes and the next edges of every accepted path
-// sharing the root, and search for the best spur path to t. New candidates
-// (not in seen) are pushed onto cands and recorded in seen, so repeated
-// generation of the same deviation across rounds is suppressed.
-func (r *Router) spurCandidates(base Path, accepted []Path, t NodeID, w WeightFunc, seen map[string]struct{}, cands *candidateHeap) {
+// spurCandidates runs one Yen deviation round over base: for every spur
+// node from index start on, ban the root-path nodes and the next edges of
+// every accepted path sharing the root, and search for the best spur path
+// to t. New candidates (not in seen) are pushed onto cands and recorded in
+// seen, so repeated generation of the same deviation across rounds is
+// suppressed.
+//
+// start is Lawler's deviation index: spur indices before the point where
+// base split from its own parent were already enumerated during the
+// parent's round (base shares that prefix with its parent, so the root path
+// and ban context coincide) and would only regenerate suppressed
+// duplicates.
+func (r *Router) spurCandidates(base Path, start int, accepted []Path, t NodeID, w WeightFunc, pot *Potential, seen pathSet, cands *candidateHeap) {
+	n := len(base.Edges)
+	if start < 0 {
+		start = 0
+	}
+	if workers := r.spurParallelism(n - start); workers > 1 {
+		r.spurCandidatesParallel(base, start, accepted, t, w, pot, seen, cands, workers)
+		return
+	}
 	rootLen := 0.0
-	for i := 0; i < len(base.Edges); i++ {
-		spurNode := base.Nodes[i]
-
-		r.clearBans()
-		// Ban the next edge of every accepted path that shares this root.
-		for _, p := range accepted {
-			if i < len(p.Edges) && samePrefix(p, base, i) {
-				r.banEdge(p.Edges[i])
-			}
-		}
-		// Ban root nodes (excluding the spur node) to keep paths simple.
-		for j := 0; j < i; j++ {
-			r.banNode(base.Nodes[j])
-		}
-
-		if spur, ok := r.shortest(spurNode, t, w); ok {
+	for j := 0; j < start; j++ {
+		rootLen += w(base.Edges[j])
+	}
+	for i := start; i < n; i++ {
+		if spur, ok := r.spurSearch(base, i, accepted, t, w, pot); ok {
 			total := concatSpur(base, i, rootLen, spur)
-			key := total.Key()
-			if _, dup := seen[key]; !dup {
-				seen[key] = struct{}{}
-				heap.Push(cands, total)
+			if seen.add(total.Edges) {
+				heap.Push(cands, candidate{path: total, dev: i})
 			}
 		}
 		rootLen += w(base.Edges[i])
 	}
 	r.clearBans()
+}
+
+// spurCandidatesParallel distributes the spur searches of one round across
+// pool routers. Every goroutine works on its own Router (private bans and
+// scratch arrays) against the shared read-only graph, writing results into
+// disjoint slice slots; the seen-set and heap updates then run serially in
+// spur-index order, so the candidate stream is exactly the serial one.
+func (r *Router) spurCandidatesParallel(base Path, start int, accepted []Path, t NodeID, w WeightFunc, pot *Potential, seen pathSet, cands *candidateHeap, workers int) {
+	n := len(base.Edges)
+	// prefix[i] is the weight of base's first i edges, summed left to right
+	// exactly as the serial accumulation would, so Lengths are bit-equal.
+	prefix := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		prefix[i+1] = prefix[i] + w(base.Edges[i])
+	}
+
+	spurs := make([]Path, n-start)
+	found := make([]bool, n-start)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wr := r.spurRouter(wi)
+		wg.Add(1)
+		go func(wr *Router, offset int) {
+			defer wg.Done()
+			for i := start + offset; i < n; i += workers {
+				if spur, ok := wr.spurSearch(base, i, accepted, t, w, pot); ok {
+					spurs[i-start] = spur
+					found[i-start] = true
+				}
+			}
+			wr.clearBans()
+		}(wr, wi)
+	}
+	wg.Wait()
+
+	for i := start; i < n; i++ {
+		if !found[i-start] {
+			continue
+		}
+		total := concatSpur(base, i, prefix[i], spurs[i-start])
+		if seen.add(total.Edges) {
+			heap.Push(cands, candidate{path: total, dev: i})
+		}
+	}
+}
+
+// spurSearch establishes the Yen ban context for spur index i on r (the
+// root nodes before the spur node, and the next edge of every accepted path
+// sharing base's root) and runs the goal-directed search from the spur node
+// to t.
+func (r *Router) spurSearch(base Path, i int, accepted []Path, t NodeID, w WeightFunc, pot *Potential) (Path, bool) {
+	spurNode := base.Nodes[i]
+	if math.IsInf(pot.At(spurNode), 1) {
+		return Path{}, false // spur node cannot reach t even unbanned
+	}
+	r.clearBans()
+	for _, p := range accepted {
+		if i < len(p.Edges) && samePrefix(p, base, i) {
+			r.banEdge(p.Edges[i])
+		}
+	}
+	for j := 0; j < i; j++ {
+		r.banNode(base.Nodes[j])
+	}
+	return r.shortestAStar(spurNode, t, w, pot)
 }
 
 // samePrefix reports whether p and q share their first i edges.
@@ -125,22 +284,65 @@ func concatSpur(base Path, i int, rootLen float64, spur Path) Path {
 	return Path{Nodes: nodes, Edges: edges, Length: rootLen + spur.Length}
 }
 
+// pathSet is the candidate de-duplication set: a 64-bit hash keys buckets
+// of exact edge sequences, replacing the per-candidate string key (which
+// allocated 4 bytes per edge per probe). A hash collision degrades to a
+// linear compare, never a wrong dedup decision. Stored slices are retained;
+// callers must not mutate them afterwards.
+type pathSet map[uint64][][]EdgeID
+
+// add inserts the edge sequence and reports whether it was absent.
+func (s pathSet) add(edges []EdgeID) bool {
+	h := hashEdges(edges)
+	for _, have := range s[h] {
+		if edgesEqual(have, edges) {
+			return false
+		}
+	}
+	s[h] = append(s[h], edges)
+	return true
+}
+
+func edgesEqual(a, b []EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, e := range a {
+		if b[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// candidate pairs a Yen candidate path with the spur index where it
+// deviates from the accepted path it was generated from (Lawler's
+// deviation index: spur enumeration resumes there if it is accepted).
+type candidate struct {
+	path Path
+	dev  int
+}
+
 // candidateHeap orders candidate paths by length, then hop count, then edge
 // sequence so results are deterministic across runs.
-type candidateHeap []Path
+type candidateHeap []candidate
 
 func (h candidateHeap) Len() int { return len(h) }
 
-func (h candidateHeap) Less(i, j int) bool {
-	if h[i].Length != h[j].Length {
-		return h[i].Length < h[j].Length
+func (h candidateHeap) Less(i, j int) bool { return pathLess(h[i].path, h[j].path) }
+
+// pathLess is the deterministic candidate order: length, then hop count,
+// then lexicographic edge sequence.
+func pathLess(a, b Path) bool {
+	if a.Length != b.Length {
+		return a.Length < b.Length
 	}
-	if len(h[i].Edges) != len(h[j].Edges) {
-		return len(h[i].Edges) < len(h[j].Edges)
+	if len(a.Edges) != len(b.Edges) {
+		return len(a.Edges) < len(b.Edges)
 	}
-	for k := range h[i].Edges {
-		if h[i].Edges[k] != h[j].Edges[k] {
-			return h[i].Edges[k] < h[j].Edges[k]
+	for k := range a.Edges {
+		if a.Edges[k] != b.Edges[k] {
+			return a.Edges[k] < b.Edges[k]
 		}
 	}
 	return false
@@ -148,7 +350,7 @@ func (h candidateHeap) Less(i, j int) bool {
 
 func (h candidateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *candidateHeap) Push(x any) { *h = append(*h, x.(Path)) }
+func (h *candidateHeap) Push(x any) { *h = append(*h, x.(candidate)) }
 
 func (h *candidateHeap) Pop() any {
 	old := *h

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// jitteredGrid builds a lattice with continuous per-edge weights, the
+// city-like workload shape, big enough that the parallel fan-out actually
+// engages (spur counts past minParallelSpurs).
+func jitteredGrid(rows, cols int, seed int64) (*Graph, WeightFunc) {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(rows * cols)
+	var weights []float64
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	add := func(a, b NodeID) {
+		g.MustAddEdge(a, b)
+		weights = append(weights, 1+rng.Float64())
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				add(id(r, c), id(r, c+1))
+				add(id(r, c+1), id(r, c))
+			}
+			if r+1 < rows {
+				add(id(r, c), id(r+1, c))
+				add(id(r+1, c), id(r, c))
+			}
+		}
+	}
+	return g, func(e EdgeID) float64 { return weights[e] }
+}
+
+// TestKShortestParallelRace exercises the parallel spur fan-out under the
+// race detector (CI runs this package with -race): several routers share
+// one read-only graph, each fanning spur searches out over its own worker
+// pool, and every one must produce the serial router's exact output.
+func TestKShortestParallelRace(t *testing.T) {
+	g, w := jitteredGrid(9, 9, 42)
+	s, tgt := NodeID(0), NodeID(80)
+	const k = 40
+
+	serial := NewRouter(g)
+	serial.SetSpurWorkers(1)
+	want := serial.KShortest(s, tgt, k, w)
+	if len(want) != k {
+		t.Fatalf("serial run found %d paths, want %d", len(want), k)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			r := NewRouter(g)
+			r.SetSpurWorkers(workers)
+			got := r.KShortest(s, tgt, k, w)
+			if err := samePathList(got, want); err != nil {
+				errs <- err
+			}
+		}(2 + i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestKShortestParallelReusesRouter checks that one router with fan-out
+// enabled stays deterministic across repeated queries (pool routers and
+// scratch arrays are reused between calls).
+func TestKShortestParallelReusesRouter(t *testing.T) {
+	g, w := jitteredGrid(7, 7, 7)
+	r := NewRouter(g)
+	r.SetSpurWorkers(4)
+	want := r.KShortest(0, 48, 25, w)
+	for i := 0; i < 3; i++ {
+		if err := samePathList(r.KShortest(0, 48, 25, w), want); err != nil {
+			t.Fatalf("repeat %d: %v", i, err)
+		}
+	}
+}
