@@ -32,6 +32,7 @@
 package altroute
 
 import (
+	"context"
 	"io"
 
 	"altroute/internal/citygen"
@@ -117,6 +118,15 @@ var (
 	ErrInfeasible      = core.ErrInfeasible
 	ErrBudgetExceeded  = core.ErrBudgetExceeded
 	ErrRankUnavailable = core.ErrRankUnavailable
+	// ErrTimeout marks an attack that exceeded Options.Timeout or an
+	// ancestor context deadline (LP-PathCover instead degrades to a greedy
+	// cover when it already has constraints; see Result.Degraded).
+	ErrTimeout = core.ErrTimeout
+	// ErrCancelled marks an attack cancelled through its context.
+	ErrCancelled = core.ErrCancelled
+	// ErrPanic marks an attack that panicked; AttackCtx recovers the panic
+	// into this error with the offending stack attached.
+	ErrPanic = core.ErrPanic
 )
 
 // City presets (paper Table I).
@@ -176,6 +186,14 @@ func Attack(alg Algorithm, p Problem, opts Options) (Result, error) {
 	return core.Run(alg, p, opts)
 }
 
+// AttackCtx is Attack under a context: cancellation and deadlines propagate
+// cooperatively into the attack's search loops and LP pivots, panics are
+// recovered into ErrPanic failures, and a timed-out LP-PathCover degrades to
+// the greedy cover of its constraint pool (Result.Degraded).
+func AttackCtx(ctx context.Context, alg Algorithm, p Problem, opts Options) (Result, error) {
+	return core.RunCtx(ctx, alg, p, opts)
+}
+
 // Algorithms lists the paper's four algorithms in presentation order.
 func Algorithms() []Algorithm { return core.Algorithms() }
 
@@ -191,6 +209,12 @@ type (
 // route (GreedyPathCover or LP-PathCover only).
 func AttackMulti(alg Algorithm, p MultiProblem, opts Options) (Result, error) {
 	return core.RunMulti(alg, p, opts)
+}
+
+// AttackMultiCtx is AttackMulti under a context, with the same failure
+// semantics as AttackCtx.
+func AttackMultiCtx(ctx context.Context, alg Algorithm, p MultiProblem, opts Options) (Result, error) {
+	return core.RunMultiCtx(ctx, alg, p, opts)
 }
 
 // ParseAlgorithm parses an algorithm name.

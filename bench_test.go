@@ -15,9 +15,11 @@
 package altroute_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"altroute"
 	"altroute/internal/citygen"
@@ -422,6 +424,65 @@ func BenchmarkTableParallel(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkRunCtxOverhead guards the cost of the cooperative cancellation
+// checks threaded through the attack pipeline. The same Chicago
+// GreedyPathCover workload runs under a background context (every poll
+// passes trivially) and under a live one-hour deadline (the worst-case poll:
+// deadline contexts do real work in Err()). The two must stay within a few
+// percent of each other — the polls sit at round/spur/pivot granularity,
+// never in per-edge inner loops, precisely to keep this true.
+func BenchmarkRunCtxOverhead(b *testing.B) {
+	net, units := benchWorkload(b, citygen.Chicago, roadnet.WeightTime)
+	w := net.Weight(roadnet.WeightTime)
+	cost := net.Cost(roadnet.CostUniform)
+	attack := func(b *testing.B, ctx context.Context) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, u := range units {
+				p := core.Problem{
+					G: net.Graph(), Source: u.Source, Dest: u.Dest,
+					PStar: u.PStar, Weight: w, Cost: cost,
+				}
+				res, err := core.RunCtx(ctx, core.AlgGreedyPathCover, p, core.Options{Seed: benchSeed})
+				if err != nil || res.Degraded {
+					b.Fatalf("unit %v: err=%v degraded=%v", u.Hospital, err, res.Degraded)
+				}
+			}
+		}
+	}
+	b.Run("GreedyPathCover/background", func(b *testing.B) {
+		attack(b, context.Background())
+	})
+	b.Run("GreedyPathCover/deadline", func(b *testing.B) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		defer cancel()
+		attack(b, ctx)
+	})
+
+	// The deepest poll site in isolation: Yen's spur loop on the same city.
+	h := net.POIsOfKind(citygen.KindHospital)[0]
+	yen := func(b *testing.B, ctx context.Context) {
+		b.Helper()
+		r := altroute.NewRouter(net.Graph())
+		if ctx != nil {
+			r.SetContext(ctx)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.KShortest(altroute.NodeID(i%net.NumIntersections()), h.Node, 100, w)
+		}
+	}
+	b.Run("YenK100/background", func(b *testing.B) {
+		yen(b, context.Background())
+	})
+	b.Run("YenK100/deadline", func(b *testing.B) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		defer cancel()
+		yen(b, ctx)
 	})
 }
 

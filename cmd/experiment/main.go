@@ -23,13 +23,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
+	"time"
 
 	"altroute"
 	"altroute/internal/citygen"
@@ -82,6 +87,9 @@ type runner struct {
 	rank    int
 	sources int
 	workers int
+	timeout time.Duration
+	ctx     context.Context
+	ckpt    *experiment.Checkpoint
 	nets    map[citygen.City]*altroute.Network
 }
 
@@ -108,6 +116,8 @@ func (r *runner) spec(ts tableSpec) (experiment.Spec, error) {
 		Seed:               r.seed,
 		PathRank:           r.rank,
 		SourcesPerHospital: r.sources,
+		Options:            altroute.Options{Timeout: r.timeout},
+		Checkpoint:         r.ckpt,
 	}, nil
 }
 
@@ -122,6 +132,8 @@ func run(args []string) error {
 		rank     = fs.Int("rank", 0, "p* path rank (default: 100*scale, min 10)")
 		sources  = fs.Int("sources", 10, "random sources per hospital")
 		workers  = fs.Int("workers", 0, "parallel cell workers (0 = all cores, 1 = serial)")
+		timeout  = fs.Duration("timeout", 0, "per-attack deadline (0 = none); timed-out LP-PathCover attacks degrade to greedy covers")
+		ckptPath = fs.String("checkpoint", "", "journal completed attacks to this file and resume from it")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -159,7 +171,25 @@ func run(args []string) error {
 			*rank = 20
 		}
 	}
-	r := &runner{scale: *scale, seed: *seed, rank: *rank, sources: *sources, workers: *workers, nets: map[citygen.City]*altroute.Network{}}
+	// SIGINT/SIGTERM cancel the run context: the table runners stop at their
+	// next poll point, the partial table is rendered, and the checkpoint
+	// (if any) is flushed so the next invocation resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	r := &runner{scale: *scale, seed: *seed, rank: *rank, sources: *sources,
+		workers: *workers, timeout: *timeout, ctx: ctx,
+		nets: map[citygen.City]*altroute.Network{}}
+	if *ckptPath != "" {
+		ckpt, err := experiment.OpenCheckpoint(*ckptPath, experiment.Header{
+			Seed: *seed, Scale: *scale, PathRank: *rank, Sources: *sources,
+		})
+		if err != nil {
+			return err
+		}
+		defer ckpt.Close()
+		r.ckpt = ckpt
+	}
 
 	if !*all && *tableNum == 0 && *figDir == "" {
 		fs.Usage()
@@ -185,6 +215,13 @@ func run(args []string) error {
 			return err
 		}
 		table, err := r.runTable(spec)
+		if errors.Is(err, experiment.ErrInterrupted) {
+			// Flush what we have: the partial table plus (via the deferred
+			// Close) the checkpoint journal, then report the interruption.
+			fmt.Printf("\n=== TABLE %s (paper Table %d) — PARTIAL, run interrupted ===\n", roman(n), n)
+			table.Render(os.Stdout)
+			return fmt.Errorf("table %d: %w", n, err)
+		}
 		if err != nil {
 			return fmt.Errorf("table %d: %w", n, err)
 		}
@@ -211,17 +248,17 @@ func run(args []string) error {
 	return nil
 }
 
-// runTable executes one table, spreading cells across workers unless the
-// serial runner was requested.
+// runTable executes one table under the run context, spreading cells across
+// workers unless the serial runner was requested.
 func (r *runner) runTable(spec experiment.Spec) (experiment.Table, error) {
 	if r.workers == 1 {
-		return experiment.RunTable(spec)
+		return experiment.RunTableCtx(r.ctx, spec)
 	}
 	units, err := experiment.SampleUnits(spec.Net, spec)
 	if err != nil {
 		return experiment.Table{}, err
 	}
-	return experiment.RunTableOnUnitsParallel(spec.Net, units, spec, r.workers)
+	return experiment.RunTableOnUnitsParallelCtx(r.ctx, spec.Net, units, spec, r.workers)
 }
 
 func printTableI(r *runner) error {

@@ -159,6 +159,48 @@ func TestRunFigures(t *testing.T) {
 	}
 }
 
+// TestRunCheckpointReplay smoke-tests -checkpoint: a second run against the
+// same journal replays every attack (identical table, journaled runtimes and
+// all) and a journal from different run parameters is refused.
+func TestRunCheckpointReplay(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	args := []string{"-table", "3", "-scale", "0.02", "-sources", "1", "-rank", "6", "-workers", "1", "-checkpoint", ckpt}
+	first, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatalf("first run: %v\n%s", err, first)
+	}
+	if info, err := os.Stat(ckpt); err != nil || info.Size() == 0 {
+		t.Fatalf("journal missing or empty after run: %v", err)
+	}
+	second, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatalf("replay run: %v\n%s", err, second)
+	}
+	if first != second {
+		t.Errorf("replayed table differs from original:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	// A different seed means different units: the journal must be refused.
+	bad := []string{"-table", "3", "-scale", "0.02", "-sources", "1", "-rank", "6", "-seed", "2", "-checkpoint", ckpt}
+	if _, err := capture(t, func() error { return run(bad) }); err == nil {
+		t.Error("mismatched checkpoint accepted")
+	}
+}
+
+// TestRunTimeoutFlag smoke-tests -timeout: an absurdly small per-attack
+// deadline must not crash the run; failed attacks land in the failure
+// columns instead.
+func TestRunTimeoutFlag(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-table", "3", "-scale", "0.02", "-sources", "1", "-rank", "6", "-workers", "1", "-timeout", "1ns"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "TABLE III") {
+		t.Errorf("output missing table:\n%s", out)
+	}
+}
+
 func TestRunNothingToDo(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Error("no-op invocation should error with usage")

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
+	"altroute/internal/faultinject"
 	"altroute/internal/graph"
 )
 
@@ -67,6 +71,15 @@ type Options struct {
 	// instead of scoring once on the intact graph. Slower; occasionally
 	// cheaper cuts. Default false, matching PATHATTACK.
 	RecomputeEigen bool
+	// Timeout is the per-attack deadline. When it expires, LP-PathCover
+	// degrades to the greedy cover of its current constraint pool
+	// (Result.Degraded); every other algorithm aborts with ErrTimeout.
+	// 0 means no per-attack deadline (an ancestor context deadline, if
+	// any, still applies).
+	Timeout time.Duration
+	// MaxPivots bounds simplex pivots per LP solve (LP-PathCover only);
+	// 0 uses the solver default. See lp.Problem.MaxPivots.
+	MaxPivots int
 }
 
 func (o *Options) fill() {
@@ -95,26 +108,65 @@ type Result struct {
 	ConstraintPaths int
 	// Runtime is the wall-clock duration of the attack computation.
 	Runtime time.Duration
+	// Degraded marks a best-effort plan produced under failure: the attack
+	// deadline expired mid-search (the cut covers every violating path
+	// found so far but p* may not yet be exclusive), or the LP solver broke
+	// down and the greedy cover substituted for it. DegradedReason says
+	// which.
+	Degraded bool
+	// DegradedReason is a human-readable explanation when Degraded is set.
+	DegradedReason string
 }
 
 // Run executes the chosen algorithm on p. The input graph is left exactly
 // as it was found; apply the returned cut with Apply to commit the attack.
+// Run is a thin context.Background() wrapper over RunCtx.
 func Run(alg Algorithm, p Problem, opts Options) (Result, error) {
+	return RunCtx(context.Background(), alg, p, opts)
+}
+
+// RunCtx executes the chosen algorithm on p under ctx. The attack is
+// cancelled cooperatively: the constraint-generation/cut loops, Yen's spur
+// searches, and the simplex pivot loop all poll the context, so
+// cancellation latency is bounded by a single spur search or a few dozen
+// pivots.
+//
+// Failure semantics:
+//
+//   - Options.Timeout (or an ancestor deadline) expiring surfaces as
+//     ErrTimeout — except for LP-PathCover with a non-empty constraint
+//     pool, which returns the pool's greedy cover flagged Degraded.
+//   - Cancellation surfaces as ErrCancelled; the original cause is
+//     wrapped and reachable via errors.Is/As.
+//   - A panic anywhere in the attack is recovered into an ErrPanic-wrapped
+//     error carrying the panic value and stack, so one poisoned instance
+//     costs one failed call, not the process.
+func RunCtx(ctx context.Context, alg Algorithm, p Problem, opts Options) (res Result, err error) {
 	opts.fill()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, opts.Timeout, ErrTimeout)
+		defer cancel()
+	}
 	start := time.Now()
-	var (
-		res Result
-		err error
-	)
+	defer func() {
+		if rec := recover(); rec != nil {
+			res = Result{}
+			err = panicErr(alg, rec)
+		}
+	}()
 	switch alg {
 	case AlgLPPathCover:
-		res, err = lpPathCover(p, opts)
+		res, err = lpPathCover(ctx, p, opts)
 	case AlgGreedyPathCover:
-		res, err = greedyPathCover(p, opts)
+		res, err = greedyPathCover(ctx, p, opts)
 	case AlgGreedyEdge:
-		res, err = greedyEdge(p, opts)
+		res, err = greedyEdge(ctx, p, opts)
 	case AlgGreedyEig:
-		res, err = greedyEig(p, opts)
+		res, err = greedyEig(ctx, p, opts)
 	default:
 		return Result{}, fmt.Errorf("%w: unknown algorithm %d", ErrInvalidProblem, alg)
 	}
@@ -124,4 +176,39 @@ func Run(alg Algorithm, p Problem, opts Options) (Result, error) {
 	res.Algorithm = alg
 	res.Runtime = time.Since(start)
 	return res, nil
+}
+
+// panicErr converts a recovered panic into a per-attack failure that
+// records the panic value and the stack it unwound from.
+func panicErr(alg Algorithm, rec any) error {
+	return fmt.Errorf("%w: %v (%v)\n%s", ErrPanic, rec, alg, debug.Stack())
+}
+
+// ctxErr maps a done context onto the typed sentinels, wrapping the
+// original cause so errors.Is sees both (e.g. ErrTimeout and
+// context.DeadlineExceeded).
+func ctxErr(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	switch {
+	case cause == nil:
+		return nil
+	case errors.Is(cause, ErrTimeout), errors.Is(cause, ErrCancelled):
+		return cause
+	case errors.Is(cause, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrTimeout, cause)
+	default:
+		return fmt.Errorf("%w: %w", ErrCancelled, cause)
+	}
+}
+
+// injectRound fires the chaos-test fault points placed at the top of every
+// attack round. A stall blocks until the context dies, simulating a hung
+// solve (arm it only with a deadline); a panic exercises RunCtx's recovery.
+func injectRound(ctx context.Context) {
+	if faultinject.Fires(ctx, faultinject.PointAttackStall) {
+		<-ctx.Done()
+	}
+	if faultinject.Fires(ctx, faultinject.PointAttackPanic) {
+		panic(fmt.Sprintf("injected panic at %s", faultinject.PointAttackPanic))
+	}
 }

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"altroute/internal/faultinject"
+)
+
+// injected returns a context armed with the given fault rules.
+func injected(seed int64, arm func(*faultinject.Injector)) context.Context {
+	in := faultinject.New(seed)
+	arm(in)
+	return faultinject.With(context.Background(), in)
+}
+
+func TestChaosLPSolveFailureDegradesToGreedy(t *testing.T) {
+	w, pstar := threeRoutes(t)
+	p := problemFor(w, pstar, 0)
+	ctx := injected(1, func(in *faultinject.Injector) {
+		in.Arm(faultinject.PointLPSolve, faultinject.Rule{Every: 1})
+	})
+	res, err := RunCtx(ctx, AlgLPPathCover, p, Options{})
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("result not flagged Degraded despite every LP solve failing")
+	}
+	if !strings.Contains(res.DegradedReason, "greedy cover") {
+		t.Errorf("DegradedReason = %q", res.DegradedReason)
+	}
+	// The greedy fallback still produces a valid attack on this instance.
+	assertAttackValid(t, p, res)
+}
+
+func TestChaosLPSolveFailureDegradesMulti(t *testing.T) {
+	w, pstar := threeRoutes(t)
+	ctx := injected(1, func(in *faultinject.Injector) {
+		in.Arm(faultinject.PointLPSolve, faultinject.Rule{Every: 1})
+	})
+	mp := MultiProblem{
+		G:       w.g,
+		Victims: []VictimSpec{{Source: pstar.Source(), Dest: pstar.Target(), PStar: pstar}},
+		Weight:  w.wf(),
+		Cost:    w.cf(),
+	}
+	res, err := RunMultiCtx(ctx, AlgLPPathCover, mp, Options{})
+	if err != nil {
+		t.Fatalf("RunMultiCtx: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("multi-victim result not flagged Degraded")
+	}
+	assertAttackValid(t, problemFor(w, pstar, 0), res)
+}
+
+func TestChaosStallPastDeadlineTimesOut(t *testing.T) {
+	// A first-round stall models a hung solve before any constraints exist:
+	// no pool to degrade to, so every algorithm — LP-PathCover included —
+	// must surface ErrTimeout.
+	for _, alg := range Algorithms() {
+		t.Run(alg.String(), func(t *testing.T) {
+			w, pstar := threeRoutes(t)
+			p := problemFor(w, pstar, 0)
+			ctx := injected(1, func(in *faultinject.Injector) {
+				in.Arm(faultinject.PointAttackStall, faultinject.Rule{OnHit: 1})
+			})
+			_, err := RunCtx(ctx, alg, p, Options{Timeout: 30 * time.Millisecond})
+			if !errors.Is(err, ErrTimeout) {
+				t.Fatalf("err = %v, want ErrTimeout", err)
+			}
+		})
+	}
+}
+
+func TestChaosLPStallAfterFirstRoundDegrades(t *testing.T) {
+	// Stalling on the second round leaves one violating path in the pool;
+	// LP-PathCover must return its greedy cover flagged Degraded instead of
+	// failing outright.
+	w, pstar := threeRoutes(t)
+	p := problemFor(w, pstar, 0)
+	ctx := injected(1, func(in *faultinject.Injector) {
+		in.Arm(faultinject.PointAttackStall, faultinject.Rule{OnHit: 2})
+	})
+	res, err := RunCtx(ctx, AlgLPPathCover, p, Options{Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("result not flagged Degraded")
+	}
+	if !strings.Contains(res.DegradedReason, "deadline") {
+		t.Errorf("DegradedReason = %q, want a deadline explanation", res.DegradedReason)
+	}
+	if res.ConstraintPaths == 0 || len(res.Removed) == 0 {
+		t.Errorf("degraded result has no cover: %+v", res)
+	}
+	// GreedyPathCover has no degradation path: same stall, typed error.
+	ctx = injected(1, func(in *faultinject.Injector) {
+		in.Arm(faultinject.PointAttackStall, faultinject.Rule{OnHit: 2})
+	})
+	if _, err := RunCtx(ctx, AlgGreedyPathCover, p, Options{Timeout: 30 * time.Millisecond}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("GreedyPathCover err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestChaosPanicRecovered(t *testing.T) {
+	for _, alg := range Algorithms() {
+		t.Run(alg.String(), func(t *testing.T) {
+			w, pstar := threeRoutes(t)
+			p := problemFor(w, pstar, 0)
+			ctx := injected(1, func(in *faultinject.Injector) {
+				in.Arm(faultinject.PointAttackPanic, faultinject.Rule{OnHit: 1})
+			})
+			_, err := RunCtx(ctx, alg, p, Options{})
+			if !errors.Is(err, ErrPanic) {
+				t.Fatalf("err = %v, want ErrPanic", err)
+			}
+			if !strings.Contains(err.Error(), "injected panic") {
+				t.Errorf("recovered error lost the panic value: %v", err)
+			}
+			if !strings.Contains(err.Error(), "goroutine") {
+				t.Errorf("recovered error carries no stack trace: %.120s", err.Error())
+			}
+			// The process survived and the instance still works untainted.
+			res, err := Run(alg, p, Options{})
+			if err != nil {
+				t.Fatalf("rerun after panic: %v", err)
+			}
+			assertAttackValid(t, p, res)
+		})
+	}
+}
+
+func TestChaosCancellationSurfacesErrCancelled(t *testing.T) {
+	for _, alg := range Algorithms() {
+		t.Run(alg.String(), func(t *testing.T) {
+			w, pstar := threeRoutes(t)
+			p := problemFor(w, pstar, 0)
+			cause := errors.New("operator abort")
+			ctx, cancel := context.WithCancelCause(context.Background())
+			cancel(cause)
+			_, err := RunCtx(ctx, alg, p, Options{})
+			if !errors.Is(err, ErrCancelled) {
+				t.Fatalf("err = %v, want ErrCancelled", err)
+			}
+			if !errors.Is(err, cause) {
+				t.Fatalf("err = %v does not wrap the cancellation cause", err)
+			}
+		})
+	}
+}
+
+func TestRunCtxMatchesRunWhenUndisturbed(t *testing.T) {
+	// A context with a generous deadline must not change any result field
+	// except wall-clock runtime.
+	for _, alg := range Algorithms() {
+		w, pstar := threeRoutes(t)
+		p := problemFor(w, pstar, 0)
+		plain, err := Run(alg, p, Options{})
+		if err != nil {
+			t.Fatalf("%v: Run: %v", alg, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+		res, err := RunCtx(ctx, alg, p, Options{})
+		cancel()
+		if err != nil {
+			t.Fatalf("%v: RunCtx: %v", alg, err)
+		}
+		plain.Runtime, res.Runtime = 0, 0
+		if plain.TotalCost != res.TotalCost || len(plain.Removed) != len(res.Removed) ||
+			plain.Rounds != res.Rounds || plain.Degraded != res.Degraded {
+			t.Errorf("%v: RunCtx diverged from Run: %+v vs %+v", alg, res, plain)
+		}
+	}
+}
+
+func TestRunCtxNilContext(t *testing.T) {
+	w, pstar := threeRoutes(t)
+	p := problemFor(w, pstar, 0)
+	res, err := RunCtx(nil, AlgGreedyPathCover, p, Options{}) //nolint:staticcheck // nil ctx tolerance is the contract under test
+	if err != nil {
+		t.Fatalf("RunCtx(nil): %v", err)
+	}
+	assertAttackValid(t, p, res)
+}

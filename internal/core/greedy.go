@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"altroute/internal/graph"
@@ -9,8 +10,8 @@ import (
 // greedyEdge implements the paper's GreedyEdge baseline: while p* is not
 // the exclusive shortest path, take the current shortest (or tied) s->d
 // path and cut its lowest-weight edge that is not on p*.
-func greedyEdge(p Problem, opts Options) (Result, error) {
-	return naiveCutLoop(p, opts, func(viol graph.Path, pstarSet map[graph.EdgeID]struct{}) graph.EdgeID {
+func greedyEdge(ctx context.Context, p Problem, opts Options) (Result, error) {
+	return naiveCutLoop(ctx, p, opts, func(viol graph.Path, pstarSet map[graph.EdgeID]struct{}) graph.EdgeID {
 		best := graph.InvalidEdge
 		bestW := 0.0
 		for _, e := range viol.Edges {
@@ -32,9 +33,9 @@ func greedyEdge(p Problem, opts Options) (Result, error) {
 // single computation on the intact graph (PATHATTACK's formulation);
 // Options.RecomputeEigen rescoring after every cut is available as an
 // ablation.
-func greedyEig(p Problem, opts Options) (Result, error) {
+func greedyEig(ctx context.Context, p Problem, opts Options) (Result, error) {
 	scores := graph.EdgeEigenScores(p.G, graph.EigenOptions{})
-	return naiveCutLoop(p, opts, func(viol graph.Path, pstarSet map[graph.EdgeID]struct{}) graph.EdgeID {
+	return naiveCutLoop(ctx, p, opts, func(viol graph.Path, pstarSet map[graph.EdgeID]struct{}) graph.EdgeID {
 		if opts.RecomputeEigen {
 			scores = graph.EdgeEigenScores(p.G, graph.EigenOptions{})
 		}
@@ -61,11 +62,12 @@ func greedyEig(p Problem, opts Options) (Result, error) {
 // a violating path, let pick choose one of its cuttable edges, cut it, and
 // repeat. Cuts are monotone (never reconsidered), which is what makes these
 // algorithms fast and sub-optimal.
-func naiveCutLoop(p Problem, opts Options, pick func(graph.Path, map[graph.EdgeID]struct{}) graph.EdgeID) (Result, error) {
+func naiveCutLoop(ctx context.Context, p Problem, opts Options, pick func(graph.Path, map[graph.EdgeID]struct{}) graph.EdgeID) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
 	r := graph.NewRouter(p.G)
+	r.SetContext(ctx)
 	pstarSet := p.PStar.EdgeSet()
 	budget := p.budgetOrInf()
 	// Computed before the first cut; cuts only disable edges, so the
@@ -78,10 +80,16 @@ func naiveCutLoop(p Problem, opts Options, pick func(graph.Path, map[graph.EdgeI
 	var res Result
 	total := 0.0
 	for round := 0; ; round++ {
+		injectRound(ctx)
 		if round >= opts.MaxRounds {
 			return Result{}, fmt.Errorf("%w: no solution within %d cuts", ErrInfeasible, opts.MaxRounds)
 		}
 		viol, violated := p.violating(r, pot)
+		// The context check must precede the success test: a cancelled
+		// oracle can report "no violation" spuriously.
+		if ctx.Err() != nil {
+			return Result{}, ctxErr(ctx)
+		}
 		if !violated {
 			res.Removed = tx.Disabled()
 			res.TotalCost = total

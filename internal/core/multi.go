@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"altroute/internal/graph"
 )
@@ -72,15 +74,32 @@ func (p *MultiProblem) unionPStarSet() map[graph.EdgeID]struct{} {
 // victim); AlgGreedyEdge and AlgGreedyEig return ErrInvalidProblem.
 //
 // The graph is restored before returning; commit the cut with Apply.
+// RunMulti is a thin context.Background() wrapper over RunMultiCtx.
 func RunMulti(alg Algorithm, p MultiProblem, opts Options) (Result, error) {
+	return RunMultiCtx(context.Background(), alg, p, opts)
+}
+
+// RunMultiCtx is RunMulti under a context, with the same cancellation,
+// deadline, degradation, and panic-isolation semantics as RunCtx.
+func RunMultiCtx(ctx context.Context, alg Algorithm, p MultiProblem, opts Options) (res Result, err error) {
 	opts.fill()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, opts.Timeout, ErrTimeout)
+		defer cancel()
+	}
 	var solve coverSolver
+	degradeToGreedy := false
 	switch alg {
 	case AlgGreedyPathCover:
-		solve = greedyCover
+		solve = greedySolver
 	case AlgLPPathCover:
-		solve = func(pool []graph.Path, pr *Problem, pstarSet map[graph.EdgeID]struct{}) ([]graph.EdgeID, error) {
-			return lpCover(pool, pr, pstarSet, opts)
+		degradeToGreedy = true
+		solve = func(ctx context.Context, pool []graph.Path, pr *Problem, pstarSet map[graph.EdgeID]struct{}) ([]graph.EdgeID, bool, error) {
+			return lpCover(ctx, pool, pr, pstarSet, opts)
 		}
 	default:
 		return Result{}, fmt.Errorf("%w: algorithm %v does not support multi-victim attacks (use GreedyPathCover or LP-PathCover)",
@@ -89,19 +108,28 @@ func RunMulti(alg Algorithm, p MultiProblem, opts Options) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
-	res, err := multiCoverLoop(p, opts, solve)
+	start := time.Now()
+	defer func() {
+		if rec := recover(); rec != nil {
+			res = Result{}
+			err = panicErr(alg, rec)
+		}
+	}()
+	res, err = multiCoverLoop(ctx, p, opts, solve, degradeToGreedy)
 	if err != nil {
 		return Result{}, err
 	}
 	res.Algorithm = alg
+	res.Runtime = time.Since(start)
 	return res, nil
 }
 
 // multiCoverLoop is pathCoverLoop generalized over victims: every round
 // queries each victim's exclusivity oracle under the current cut, adds all
 // violations to the shared pool, and re-solves the cover.
-func multiCoverLoop(p MultiProblem, opts Options, solve coverSolver) (Result, error) {
+func multiCoverLoop(ctx context.Context, p MultiProblem, opts Options, solve coverSolver, degradeToGreedy bool) (Result, error) {
 	r := graph.NewRouter(p.G)
+	r.SetContext(ctx)
 	protected := p.unionPStarSet()
 	budget := p.Budget
 	if budget <= 0 {
@@ -121,7 +149,9 @@ func multiCoverLoop(p MultiProblem, opts Options, solve coverSolver) (Result, er
 
 	var pool []graph.Path
 	var cut []graph.EdgeID
+	degraded := false
 	for round := 0; round < opts.MaxRounds; round++ {
+		injectRound(ctx)
 		tx := p.G.Begin()
 		for _, e := range cut {
 			tx.Disable(e)
@@ -146,21 +176,36 @@ func multiCoverLoop(p MultiProblem, opts Options, solve coverSolver) (Result, er
 			pool = append(pool, viol)
 		}
 		tx.Rollback()
+		// Checked before trusting violations == 0: a cancelled oracle can
+		// miss violations.
+		if ctx.Err() != nil {
+			return degradeOrErr(ctx, &proxy, pool, protected, round, degradeToGreedy)
+		}
 
 		if violations == 0 {
 			sort.Slice(cut, func(i, j int) bool { return cut[i] < cut[j] })
-			return Result{
+			res := Result{
 				Removed:         cut,
 				TotalCost:       TotalCost(p.Cost, cut),
 				Rounds:          round,
 				ConstraintPaths: len(pool),
-			}, nil
+				Degraded:        degraded,
+			}
+			if degraded {
+				res.DegradedReason = "LP solve failed; greedy cover substituted"
+			}
+			return res, nil
 		}
+		var solDegraded bool
 		var err error
-		cut, err = solve(pool, &proxy, protected)
+		cut, solDegraded, err = solve(ctx, pool, &proxy, protected)
 		if err != nil {
+			if ctx.Err() != nil {
+				return degradeOrErr(ctx, &proxy, pool, protected, round, degradeToGreedy)
+			}
 			return Result{}, err
 		}
+		degraded = degraded || solDegraded
 		if c := TotalCost(p.Cost, cut); c > budget {
 			return Result{}, fmt.Errorf("%w: multi-victim cover costs %.3f > budget %.3f",
 				ErrBudgetExceeded, c, p.Budget)

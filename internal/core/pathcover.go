@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -12,16 +14,23 @@ import (
 
 // coverSolver computes an edge cut covering every path in pool (each pool
 // path must contain at least one chosen edge). Implementations assume every
-// pool path has at least one cuttable edge.
-type coverSolver func(pool []graph.Path, p *Problem, pstarSet map[graph.EdgeID]struct{}) ([]graph.EdgeID, error)
+// pool path has at least one cuttable edge. degraded reports that the cut
+// came from a fallback path (LP breakdown → greedy cover).
+type coverSolver func(ctx context.Context, pool []graph.Path, p *Problem, pstarSet map[graph.EdgeID]struct{}) (cut []graph.EdgeID, degraded bool, err error)
+
+// greedySolver adapts greedyCover to the coverSolver interface.
+func greedySolver(_ context.Context, pool []graph.Path, p *Problem, pstarSet map[graph.EdgeID]struct{}) ([]graph.EdgeID, bool, error) {
+	cut, err := greedyCover(pool, p, pstarSet)
+	return cut, false, err
+}
 
 // greedyPathCover implements the paper's GreedyPathCover: constraint
 // generation with a greedy weighted Set Cover inner solver. Each round
 // finds a live path no longer than p* (a violated covering constraint),
 // adds it to the constraint pool, and re-solves the cover over the whole
 // pool, cutting the edges that hit the most constraint paths per unit cost.
-func greedyPathCover(p Problem, opts Options) (Result, error) {
-	return pathCoverLoop(p, opts, greedyCover)
+func greedyPathCover(ctx context.Context, p Problem, opts Options) (Result, error) {
+	return pathCoverLoop(ctx, p, opts, greedySolver, false)
 }
 
 // lpPathCover implements the paper's LP-PathCover: the same constraint
@@ -30,11 +39,11 @@ func greedyPathCover(p Problem, opts Options) (Result, error) {
 // threshold rounding, randomized rounding trials, and redundancy pruning.
 // It finds the cheapest cuts but is the slowest algorithm, matching the
 // paper's 5-10x runtime gap over GreedyPathCover.
-func lpPathCover(p Problem, opts Options) (Result, error) {
-	solver := func(pool []graph.Path, pr *Problem, pstarSet map[graph.EdgeID]struct{}) ([]graph.EdgeID, error) {
-		return lpCover(pool, pr, pstarSet, opts)
+func lpPathCover(ctx context.Context, p Problem, opts Options) (Result, error) {
+	solver := func(ctx context.Context, pool []graph.Path, pr *Problem, pstarSet map[graph.EdgeID]struct{}) ([]graph.EdgeID, bool, error) {
+		return lpCover(ctx, pool, pr, pstarSet, opts)
 	}
-	return pathCoverLoop(p, opts, solver)
+	return pathCoverLoop(ctx, p, opts, solver, true)
 }
 
 // pathCoverLoop is the shared constraint-generation skeleton: maintain a
@@ -44,11 +53,15 @@ func lpPathCover(p Problem, opts Options) (Result, error) {
 // mistakes). Terminates because every round's oracle path is distinct from
 // all pool paths (each pool path contains a cut edge; the oracle path is
 // live), and the number of simple paths is finite.
-func pathCoverLoop(p Problem, opts Options, solve coverSolver) (Result, error) {
+// degradeToGreedy selects the failure behaviour on an expired deadline:
+// LP-PathCover (true) falls back to the greedy cover of the constraint pool
+// built so far; the others surface the typed error.
+func pathCoverLoop(ctx context.Context, p Problem, opts Options, solve coverSolver, degradeToGreedy bool) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
 	r := graph.NewRouter(p.G)
+	r.SetContext(ctx)
 	pstarSet := p.PStar.EdgeSet()
 	budget := p.budgetOrInf()
 	// One reverse Dijkstra on the unmodified graph serves every oracle
@@ -58,22 +71,35 @@ func pathCoverLoop(p Problem, opts Options, solve coverSolver) (Result, error) {
 
 	var pool []graph.Path
 	var cut []graph.EdgeID
+	degraded := false
 	for round := 0; round < opts.MaxRounds; round++ {
+		injectRound(ctx)
 		tx := p.G.Begin()
 		for _, e := range cut {
 			tx.Disable(e)
 		}
 		viol, violated := p.violating(r, pot)
 		tx.Rollback()
+		// A cancelled oracle can report "no violation" spuriously (its spur
+		// round was cut short), so the context check must come before the
+		// success test.
+		if ctx.Err() != nil {
+			return degradeOrErr(ctx, &p, pool, pstarSet, round, degradeToGreedy)
+		}
 
 		if !violated {
 			sort.Slice(cut, func(i, j int) bool { return cut[i] < cut[j] })
-			return Result{
+			res := Result{
 				Removed:         cut,
 				TotalCost:       TotalCost(p.Cost, cut),
 				Rounds:          round,
 				ConstraintPaths: len(pool),
-			}, nil
+				Degraded:        degraded,
+			}
+			if degraded {
+				res.DegradedReason = "LP solve failed; greedy cover substituted"
+			}
+			return res, nil
 		}
 
 		if !hasCuttableEdge(viol, &p, pstarSet) {
@@ -81,17 +107,49 @@ func pathCoverLoop(p Problem, opts Options, solve coverSolver) (Result, error) {
 		}
 		pool = append(pool, viol)
 
+		var solDegraded bool
 		var err error
-		cut, err = solve(pool, &p, pstarSet)
+		cut, solDegraded, err = solve(ctx, pool, &p, pstarSet)
 		if err != nil {
+			if ctx.Err() != nil {
+				return degradeOrErr(ctx, &p, pool, pstarSet, round, degradeToGreedy)
+			}
 			return Result{}, err
 		}
+		degraded = degraded || solDegraded
 		if c := TotalCost(p.Cost, cut); c > budget {
 			return Result{}, fmt.Errorf("%w: cover of %d constraint paths costs %.3f > budget %.3f",
 				ErrBudgetExceeded, len(pool), c, p.Budget)
 		}
 	}
 	return Result{}, fmt.Errorf("%w: no solution within %d constraint rounds", ErrInfeasible, opts.MaxRounds)
+}
+
+// degradeOrErr handles an interrupted constraint-generation loop. On a
+// timeout with degradation enabled and a non-empty pool, it returns the
+// greedy cover of the pool as a best-effort Degraded result: the cut blocks
+// every violating path found so far, though p* may not yet be exclusive.
+// Everything else (cancellation, an empty pool, a first-round timeout)
+// becomes the typed sentinel error.
+func degradeOrErr(ctx context.Context, p *Problem, pool []graph.Path, pstarSet map[graph.EdgeID]struct{}, rounds int, degradeToGreedy bool) (Result, error) {
+	err := ctxErr(ctx)
+	if !degradeToGreedy || len(pool) == 0 || !errors.Is(err, ErrTimeout) {
+		return Result{}, err
+	}
+	cut, gerr := greedyCover(pool, p, pstarSet)
+	if gerr != nil {
+		return Result{}, err
+	}
+	sort.Slice(cut, func(i, j int) bool { return cut[i] < cut[j] })
+	return Result{
+		Removed:         cut,
+		TotalCost:       TotalCost(p.Cost, cut),
+		Rounds:          rounds,
+		ConstraintPaths: len(pool),
+		Degraded:        true,
+		DegradedReason: fmt.Sprintf("deadline expired after %d rounds; returning greedy cover of the %d-path constraint pool",
+			rounds, len(pool)),
+	}, nil
 }
 
 func hasCuttableEdge(path graph.Path, p *Problem, pstarSet map[graph.EdgeID]struct{}) bool {
@@ -158,8 +216,9 @@ func greedyCover(pool []graph.Path, p *Problem, pstarSet map[graph.EdgeID]struct
 // rounds it: the deterministic x_e >= 1/f threshold (f = largest number of
 // cuttable edges on any pool path) always yields a feasible cover;
 // randomized rounding trials may find cheaper ones; both are pruned of
-// redundant edges before the cheapest is returned.
-func lpCover(pool []graph.Path, p *Problem, pstarSet map[graph.EdgeID]struct{}, opts Options) ([]graph.EdgeID, error) {
+// redundant edges before the cheapest is returned. The degraded return
+// reports that the LP broke down and the greedy cover substituted for it.
+func lpCover(ctx context.Context, pool []graph.Path, p *Problem, pstarSet map[graph.EdgeID]struct{}, opts Options) ([]graph.EdgeID, bool, error) {
 	// Collect the candidate edges (union of cuttable edges across pool).
 	idx := make(map[graph.EdgeID]int)
 	var edges []graph.EdgeID
@@ -181,7 +240,7 @@ func lpCover(pool []graph.Path, p *Problem, pstarSet map[graph.EdgeID]struct{}, 
 		}
 	}
 
-	prob := lp.Problem{Objective: make([]float64, len(edges))}
+	prob := lp.Problem{Objective: make([]float64, len(edges)), MaxPivots: opts.MaxPivots}
 	for j, e := range edges {
 		prob.Objective[j] = p.Cost(e)
 	}
@@ -195,12 +254,19 @@ func lpCover(pool []graph.Path, p *Problem, pstarSet map[graph.EdgeID]struct{}, 
 		prob.Rows = append(prob.Rows, lp.Constraint{Coeffs: coeffs, Sense: lp.GE, RHS: 1})
 	}
 
-	sol, err := lp.Solve(prob)
+	sol, err := lp.SolveCtx(ctx, prob)
 	if err != nil || sol.Status != lp.Optimal {
+		// An interrupted solve is not a solver failure: surface the typed
+		// error so the outer loop can degrade or abort as configured.
+		if ctx.Err() != nil {
+			return nil, false, ctxErr(ctx)
+		}
 		// The covering LP is always feasible when every path has a
-		// cuttable edge; a numerical breakdown falls back to the greedy
-		// cover rather than failing the whole attack.
-		return greedyCover(pool, p, pstarSet)
+		// cuttable edge; a numerical breakdown (or an injected fault) falls
+		// back to the greedy cover rather than failing the whole attack —
+		// flagged degraded so callers can see the plan is not LP-quality.
+		cut, gerr := greedyCover(pool, p, pstarSet)
+		return cut, true, gerr
 	}
 
 	covers := func(cut map[graph.EdgeID]struct{}) bool {
@@ -254,7 +320,7 @@ func lpCover(pool []graph.Path, p *Problem, pstarSet map[graph.EdgeID]struct{}, 
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	return out, false, nil
 }
 
 // prune removes redundant edges from cut, most expensive first, keeping it

@@ -50,6 +50,18 @@ var (
 	// ErrRankUnavailable is returned by PStarByRank when the graph has
 	// fewer than rank simple paths between the endpoints.
 	ErrRankUnavailable = errors.New("core: path rank unavailable")
+	// ErrTimeout is returned when an attack exceeds its deadline
+	// (Options.Timeout or an ancestor context deadline). LP-PathCover
+	// instead degrades to a greedy cover of its constraint pool when it has
+	// one (Result.Degraded).
+	ErrTimeout = errors.New("core: attack deadline exceeded")
+	// ErrCancelled is returned when the attack's context is cancelled
+	// before the attack completes.
+	ErrCancelled = errors.New("core: attack cancelled")
+	// ErrPanic is returned when an attack algorithm panicked. RunCtx
+	// recovers the panic and wraps its value and stack trace, so one
+	// poisoned instance costs one failed attack, never the process.
+	ErrPanic = errors.New("core: attack panicked")
 )
 
 // Problem is one Force Path Cut instance.

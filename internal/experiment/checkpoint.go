@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrCheckpointMismatch is returned by OpenCheckpoint when the journal on
+// disk was written by a run with a different fingerprint (seed, scale, path
+// rank, or sources): its records would be meaningless for this run.
+var ErrCheckpointMismatch = errors.New("experiment: checkpoint belongs to a different run")
+
+// Header fingerprints the run a checkpoint belongs to. Units are sampled
+// deterministically from these parameters, so two runs with equal headers
+// agree on what "unit 3 of Boston/TIME" means — the property that makes
+// journal replay sound.
+type Header struct {
+	Seed     int64   `json:"seed"`
+	Scale    float64 `json:"scale"`
+	PathRank int     `json:"path_rank"`
+	Sources  int     `json:"sources"`
+}
+
+// Record journals one completed (table, algorithm, cost type, unit) attack.
+// Either outcome is journaled: successes carry the result fields, failures
+// carry the failure kind. Interruptions of the run context are NOT journaled
+// — they describe the run, not the unit, and must be recomputed on resume.
+type Record struct {
+	City      string `json:"city"`
+	Weight    string `json:"weight"`
+	Algorithm string `json:"algorithm"`
+	CostType  string `json:"cost_type"`
+	Unit      int    `json:"unit"`
+	// OK marks a successful attack; the three result fields below are only
+	// meaningful when it is set.
+	OK       bool    `json:"ok"`
+	RuntimeS float64 `json:"runtime_s,omitempty"`
+	Edges    int     `json:"edges,omitempty"`
+	Cost     float64 `json:"cost,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
+	// FailKind is the FailureKind of the attack error when OK is false.
+	FailKind string `json:"fail_kind,omitempty"`
+}
+
+type recordKey struct {
+	city, weight, alg, ct string
+	unit                  int
+}
+
+func (r Record) key() recordKey {
+	return recordKey{city: r.City, weight: r.Weight, alg: r.Algorithm, ct: r.CostType, unit: r.Unit}
+}
+
+// line is the JSONL wire form: exactly one of the fields is set per line.
+type line struct {
+	Header *Header `json:"header,omitempty"`
+	Record *Record `json:"record,omitempty"`
+}
+
+// Checkpoint is an append-only JSONL journal of completed attack units,
+// letting an interrupted table run resume without redoing finished work.
+// One checkpoint spans every table of a run (records are keyed by city and
+// weight type too). A nil *Checkpoint is valid and disables journaling.
+//
+// The file tolerates a truncated final line (the run was killed mid-write):
+// that record is dropped and recomputed. Records are flushed per append, not
+// fsynced — a power failure may cost the tail, never the file's integrity.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	done map[recordKey]Record
+}
+
+// OpenCheckpoint opens (or creates) the journal at path. An existing journal
+// must carry an equal Header or ErrCheckpointMismatch is returned; its
+// records are loaded for Lookup and subsequent Appends extend the same file.
+func OpenCheckpoint(path string, h Header) (*Checkpoint, error) {
+	c := &Checkpoint{done: map[recordKey]Record{}}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh journal.
+	case err != nil:
+		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+	default:
+		if err := c.load(data, h); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	c.f = f
+	c.w = bufio.NewWriter(f)
+	if len(data) == 0 {
+		if err := c.append(line{Header: &h}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if data[len(data)-1] != '\n' {
+		// The previous run was killed mid-write, leaving a torn final line.
+		// Terminate it so the next record starts on a line of its own
+		// instead of riding on (and corrupting itself with) the fragment.
+		if _, err := c.w.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// load parses an existing journal and verifies its header.
+func (c *Checkpoint) load(data []byte, h Header) error {
+	sawHeader := false
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			// A line torn by a mid-write kill. Drop it (the unit is simply
+			// recomputed) but keep scanning: a resumed run appends intact
+			// records after the tear.
+			continue
+		}
+		switch {
+		case l.Header != nil:
+			if *l.Header != h {
+				return fmt.Errorf("%w: journal %+v, run %+v", ErrCheckpointMismatch, *l.Header, h)
+			}
+			sawHeader = true
+		case l.Record != nil:
+			c.done[l.Record.key()] = *l.Record
+		}
+	}
+	if !sawHeader {
+		return fmt.Errorf("%w: journal has no header", ErrCheckpointMismatch)
+	}
+	return nil
+}
+
+// Lookup returns the journaled record for the unit, if any. Safe on a nil
+// checkpoint (always misses) and for concurrent use.
+func (c *Checkpoint) Lookup(city, weight, alg, ct string, unit int) (Record, bool) {
+	if c == nil {
+		return Record{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.done[recordKey{city: city, weight: weight, alg: alg, ct: ct, unit: unit}]
+	return rec, ok
+}
+
+// Append journals a completed unit. Safe on a nil checkpoint (no-op) and for
+// concurrent use; each record is flushed to the OS before returning.
+func (c *Checkpoint) Append(rec Record) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.append(line{Record: &rec}); err != nil {
+		return err
+	}
+	c.done[rec.key()] = rec
+	return nil
+}
+
+// append writes one JSONL line and flushes. Callers hold c.mu (or are still
+// single-threaded in OpenCheckpoint).
+func (c *Checkpoint) append(l line) error {
+	b, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := c.w.Write(b); err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of journaled records.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Close flushes and closes the journal. Safe on nil.
+func (c *Checkpoint) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	ferr := c.w.Flush()
+	cerr := c.f.Close()
+	c.f = nil
+	if ferr != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", ferr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", cerr)
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"altroute/internal/core"
+	"altroute/internal/faultinject"
+	"altroute/internal/roadnet"
+)
+
+// zeroRuntimes clears the one wall-clock-dependent field so tables can be
+// compared bit-for-bit.
+func zeroRuntimes(t Table) Table {
+	cells := make([]Cell, len(t.Cells))
+	copy(cells, t.Cells)
+	for i := range cells {
+		cells[i].AvgRuntimeS = 0
+	}
+	t.Cells = cells
+	return t
+}
+
+func testHeader() Header {
+	return Header{Seed: 11, Scale: 0.015, PathRank: 8, Sources: 2}
+}
+
+func TestCheckpointKillAndResumeBitIdentical(t *testing.T) {
+	net, spec := buildSmall(t)
+	spec.Algorithms = []core.Algorithm{core.AlgGreedyEdge, core.AlgGreedyEig}
+	spec.CostTypes = []roadnet.CostType{roadnet.CostUniform, roadnet.CostLanes}
+	units, err := SampleUnits(net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reference: one uninterrupted run, no checkpoint.
+	want, err := RunTableOnUnitsCtx(context.Background(), net, units, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ckpt, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: "kill" the run mid-table. An injected stall on the 5th
+	// attack round hangs until the run deadline expires, deterministically
+	// interrupting the serial runner partway through the grid.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	ctx = faultinject.With(ctx, faultinject.New(1).Arm(faultinject.PointAttackStall, faultinject.Rule{OnHit: 5}))
+	spec.Checkpoint = ckpt
+	partial, err := RunTableOnUnitsCtx(ctx, net, units, spec)
+	cancel()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("phase 1 err = %v, want ErrInterrupted", err)
+	}
+	if len(partial.Cells) >= len(want.Cells) && partial.Cells[len(partial.Cells)-1].Runs+partial.Cells[len(partial.Cells)-1].Failures == len(units) {
+		t.Fatal("phase 1 was not actually interrupted mid-grid")
+	}
+	journaled := ckpt.Len()
+	if journaled == 0 {
+		t.Fatal("phase 1 journaled nothing")
+	}
+	if journaled >= len(want.Cells)*len(units) {
+		t.Fatalf("phase 1 journaled everything (%d records); the kill came too late", journaled)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: resume from the journal with a fresh process-equivalent
+	// checkpoint handle and no faults.
+	ckpt2, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer ckpt2.Close()
+	if ckpt2.Len() != journaled {
+		t.Fatalf("reopened journal has %d records, want %d", ckpt2.Len(), journaled)
+	}
+	spec.Checkpoint = ckpt2
+	got, err := RunTableOnUnitsCtx(context.Background(), net, units, spec)
+	if err != nil {
+		t.Fatalf("phase 2: %v", err)
+	}
+
+	if !reflect.DeepEqual(zeroRuntimes(got), zeroRuntimes(want)) {
+		t.Errorf("resumed table differs from uninterrupted run:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// A third run replays everything from the journal: no attack executes.
+	before := ckpt2.Len()
+	again, err := RunTableOnUnitsCtx(context.Background(), net, units, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt2.Len() != before {
+		t.Errorf("full replay appended %d new records", ckpt2.Len()-before)
+	}
+	if !reflect.DeepEqual(again, got) {
+		t.Error("full replay differs from the resumed run (runtimes must come from the journal)")
+	}
+}
+
+func TestCheckpointParallelResumeMatchesSerial(t *testing.T) {
+	net, spec := buildSmall(t)
+	spec.Algorithms = []core.Algorithm{core.AlgGreedyEdge}
+	units, err := SampleUnits(net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunTableOnUnitsCtx(context.Background(), net, units, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ckpt, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt.Close()
+	spec.Checkpoint = ckpt
+
+	// Interrupt a parallel run, then resume in parallel too.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	ctx = faultinject.With(ctx, faultinject.New(1).Arm(faultinject.PointAttackStall, faultinject.Rule{OnHit: 3}))
+	if _, err := RunTableOnUnitsParallelCtx(ctx, net, units, spec, 2); !errors.Is(err, ErrInterrupted) {
+		cancel()
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	cancel()
+	got, err := RunTableOnUnitsParallelCtx(context.Background(), net, units, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zeroRuntimes(got), zeroRuntimes(want)) {
+		t.Errorf("parallel resume differs from serial run:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCheckpointHeaderMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ckpt, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := testHeader()
+	other.Seed++
+	if _, err := OpenCheckpoint(path, other); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestCheckpointTruncatedTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ckpt, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{City: "Boston", Weight: "TIME", Algorithm: "GreedyEdge", CostType: "UNIFORM", Unit: 0, OK: true, Edges: 2, Cost: 2}
+	if err := ckpt.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-write: a torn, unterminated record line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"record":{"city":"Bos`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reopened, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer reopened.Close()
+	if reopened.Len() != 1 {
+		t.Fatalf("records = %d, want 1 (torn tail dropped)", reopened.Len())
+	}
+	if got, ok := reopened.Lookup("Boston", "TIME", "GreedyEdge", "UNIFORM", 0); !ok || got != rec {
+		t.Errorf("Lookup = %+v, %v; want the intact record", got, ok)
+	}
+	// The journal must still be appendable after a torn tail: a resumed run
+	// writes records on their own fresh lines.
+	rec2 := rec
+	rec2.Unit = 1
+	if err := reopened.Append(rec2); err != nil {
+		t.Fatal(err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	if got, ok := final.Lookup("Boston", "TIME", "GreedyEdge", "UNIFORM", 1); !ok || got != rec2 {
+		t.Errorf("post-tear append lost on reopen: %+v, %v", got, ok)
+	}
+}
+
+func TestCheckpointNilSafe(t *testing.T) {
+	var c *Checkpoint
+	if _, ok := c.Lookup("x", "y", "z", "w", 0); ok {
+		t.Error("nil checkpoint Lookup hit")
+	}
+	if err := c.Append(Record{}); err != nil {
+		t.Errorf("nil Append: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Error("nil Len != 0")
+	}
+}

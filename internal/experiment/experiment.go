@@ -13,12 +13,15 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 
 	"altroute/internal/citygen"
 	"altroute/internal/core"
+	"altroute/internal/faultinject"
 	"altroute/internal/graph"
 	"altroute/internal/metrics"
 	"altroute/internal/roadnet"
@@ -52,6 +55,10 @@ type Spec struct {
 	Budget float64
 	// Options tunes the attack algorithms.
 	Options core.Options
+	// Checkpoint, when non-nil, journals every completed (algorithm, cost
+	// type, unit) attack and replays journaled results instead of
+	// recomputing them, so an interrupted run resumes where it stopped.
+	Checkpoint *Checkpoint
 }
 
 func (s *Spec) fill() {
@@ -88,6 +95,12 @@ var ErrNoHospitals = errors.New("experiment: network has no hospital POIs")
 // ErrSampling is returned when not enough viable sources exist.
 var ErrSampling = errors.New("experiment: could not sample enough viable sources")
 
+// ErrInterrupted is returned by the context-aware table runners when the run
+// context dies before the grid completes. The partial table accumulated so
+// far is returned alongside it; re-running with the same Spec.Checkpoint
+// resumes from the journal.
+var ErrInterrupted = errors.New("experiment: run interrupted")
+
 // buildNetwork returns the spec's network, generating it if needed.
 func buildNetwork(spec *Spec) (*roadnet.Network, error) {
 	if spec.Net != nil {
@@ -100,6 +113,10 @@ func buildNetwork(spec *Spec) (*roadnet.Network, error) {
 // hospital and computes p* (the PathRank-th shortest path) for each,
 // resampling sources for which the rank is unavailable (too close or too
 // thinly connected).
+//
+// On ErrSampling the units sampled before the exhausted hospital are
+// returned alongside the error, so a caller content with partial coverage
+// can proceed with them.
 func SampleUnits(net *roadnet.Network, spec Spec) ([]Unit, error) {
 	spec.fill()
 	hospitals := net.POIsOfKind(citygen.KindHospital)
@@ -115,7 +132,7 @@ func SampleUnits(net *roadnet.Network, spec Spec) ([]Unit, error) {
 		found := 0
 		for attempt := 0; found < spec.SourcesPerHospital; attempt++ {
 			if attempt > 80*spec.SourcesPerHospital {
-				return nil, fmt.Errorf("%w: hospital %q yielded %d/%d sources",
+				return units, fmt.Errorf("%w: hospital %q yielded %d/%d sources",
 					ErrSampling, h.Name, found, spec.SourcesPerHospital)
 			}
 			src := graph.NodeID(rng.Intn(n))
@@ -145,9 +162,68 @@ type Cell struct {
 	ACRE float64
 	// Runs is the number of successful attacks averaged.
 	Runs int
-	// Failures counts attacks that returned an error (budget exceeded or
-	// infeasible); they are excluded from the averages.
+	// Failures counts attacks that returned an error; they are excluded
+	// from the averages.
 	Failures int
+	// FailuresByKind breaks Failures down by FailureKind (timeout, panic,
+	// budget, ...). Nil when the cell has no failures.
+	FailuresByKind map[string]int
+	// Degraded counts successful runs whose Result was flagged Degraded
+	// (best-effort plans produced under timeout or LP breakdown). They are
+	// included in Runs and the averages.
+	Degraded int
+}
+
+// replay folds one journaled or freshly-computed unit outcome into the
+// cell's accumulators (finalize turns the sums into averages).
+func (c *Cell) replay(rec Record) {
+	if !rec.OK {
+		c.Failures++
+		if c.FailuresByKind == nil {
+			c.FailuresByKind = map[string]int{}
+		}
+		c.FailuresByKind[rec.FailKind]++
+		return
+	}
+	c.Runs++
+	c.AvgRuntimeS += rec.RuntimeS
+	c.ANER += float64(rec.Edges)
+	c.ACRE += rec.Cost
+	if rec.Degraded {
+		c.Degraded++
+	}
+}
+
+// finalize converts the replayed sums into the paper's per-cell averages.
+func (c *Cell) finalize() {
+	if c.Runs > 0 {
+		c.AvgRuntimeS /= float64(c.Runs)
+		c.ANER /= float64(c.Runs)
+		c.ACRE /= float64(c.Runs)
+	}
+}
+
+// FailureKind buckets an attack error for Cell.FailuresByKind and the
+// checkpoint journal.
+func FailureKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, core.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, core.ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, core.ErrPanic):
+		return "panic"
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, core.ErrInfeasible):
+		return "infeasible"
+	case errors.Is(err, core.ErrInvalidProblem):
+		return "invalid"
+	default:
+		return "other"
+	}
 }
 
 // Table is one full experiment table (paper Tables II-VIII).
@@ -170,7 +246,14 @@ func (t *Table) Cell(alg core.Algorithm, ct roadnet.CostType) *Cell {
 }
 
 // RunTable executes the full grid for one city and weight type.
+// RunTable is a thin context.Background() wrapper over RunTableCtx.
 func RunTable(spec Spec) (Table, error) {
+	return RunTableCtx(context.Background(), spec)
+}
+
+// RunTableCtx is RunTable under a context: the run can be cancelled between
+// attacks, returning the partial table joined with ErrInterrupted.
+func RunTableCtx(ctx context.Context, spec Spec) (Table, error) {
 	spec.fill()
 	net, err := buildNetwork(&spec)
 	if err != nil {
@@ -180,12 +263,28 @@ func RunTable(spec Spec) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	return RunTableOnUnits(net, units, spec)
+	return RunTableOnUnitsCtx(ctx, net, units, spec)
 }
 
 // RunTableOnUnits executes the algorithm x cost grid over prepared units.
+// It is a thin context.Background() wrapper over RunTableOnUnitsCtx.
 func RunTableOnUnits(net *roadnet.Network, units []Unit, spec Spec) (Table, error) {
+	return RunTableOnUnitsCtx(context.Background(), net, units, spec)
+}
+
+// RunTableOnUnitsCtx executes the grid over prepared units under ctx.
+//
+// Cancellation is cooperative at unit granularity (and, through
+// core.RunCtx, inside each attack): when ctx dies, the cells finished so
+// far — plus the partially-filled current cell — are returned with an
+// ErrInterrupted error. With Spec.Checkpoint set, every completed unit is
+// journaled and replayed on the next run, so interrupt-and-rerun converges
+// on the same Table an uninterrupted run produces.
+func RunTableOnUnitsCtx(ctx context.Context, net *roadnet.Network, units []Unit, spec Spec) (Table, error) {
 	spec.fill()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	w := net.Weight(spec.WeightType)
 	table := Table{
 		City:       net.Name(),
@@ -195,39 +294,92 @@ func RunTableOnUnits(net *roadnet.Network, units []Unit, spec Spec) (Table, erro
 	}
 	for _, alg := range spec.Algorithms {
 		for _, ct := range spec.CostTypes {
-			cell := Cell{Algorithm: alg, CostType: ct}
-			cost := net.Cost(ct)
-			for _, u := range units {
-				p := core.Problem{
-					G:      net.Graph(),
-					Source: u.Source,
-					Dest:   u.Dest,
-					PStar:  u.PStar,
-					Weight: w,
-					Cost:   cost,
-					Budget: spec.Budget,
-				}
-				opts := spec.Options
-				opts.Seed = spec.Seed
-				res, err := core.Run(alg, p, opts)
-				if err != nil {
-					cell.Failures++
-					continue
-				}
-				cell.Runs++
-				cell.AvgRuntimeS += res.Runtime.Seconds()
-				cell.ANER += float64(len(res.Removed))
-				cell.ACRE += res.TotalCost
-			}
-			if cell.Runs > 0 {
-				cell.AvgRuntimeS /= float64(cell.Runs)
-				cell.ANER /= float64(cell.Runs)
-				cell.ACRE /= float64(cell.Runs)
-			}
+			cell, err := runCell(ctx, net.Graph(), w, net.Cost(ct), table.City, alg, ct, units, spec)
 			table.Cells = append(table.Cells, cell)
+			if err != nil {
+				return table, err
+			}
 		}
 	}
 	return table, nil
+}
+
+// runCell computes one (algorithm, cost type) cell over the units, shared by
+// the serial and parallel runners so both produce bit-identical cells. Units
+// found in spec.Checkpoint are replayed instead of recomputed; freshly
+// computed units are journaled. A dead ctx stops the loop: the partial cell
+// is returned with ErrInterrupted wrapping the context's cause.
+func runCell(ctx context.Context, g *graph.Graph, w, cost graph.WeightFunc, city string, alg core.Algorithm, ct roadnet.CostType, units []Unit, spec Spec) (Cell, error) {
+	cell := Cell{Algorithm: alg, CostType: ct}
+	wt := spec.WeightType.String()
+	interrupted := func() (Cell, error) {
+		cell.finalize()
+		return cell, fmt.Errorf("%w: %w", ErrInterrupted, context.Cause(ctx))
+	}
+	for i, u := range units {
+		if rec, ok := spec.Checkpoint.Lookup(city, wt, alg.String(), ct.String(), i); ok {
+			cell.replay(rec)
+			continue
+		}
+		if ctx.Err() != nil {
+			return interrupted()
+		}
+		p := core.Problem{
+			G:      g,
+			Source: u.Source,
+			Dest:   u.Dest,
+			PStar:  u.PStar,
+			Weight: w,
+			Cost:   cost,
+			Budget: spec.Budget,
+		}
+		opts := spec.Options
+		opts.Seed = spec.Seed
+		res, err := attackUnit(ctx, alg, p, opts)
+		if err != nil && ctx.Err() != nil &&
+			(errors.Is(err, core.ErrCancelled) || errors.Is(err, core.ErrTimeout)) {
+			// The run context died mid-attack. That outcome describes the
+			// run, not the unit — journaling it would poison a resume with
+			// a spurious failure, so it is recomputed instead.
+			return interrupted()
+		}
+		rec := Record{
+			City: city, Weight: wt, Algorithm: alg.String(), CostType: ct.String(), Unit: i,
+		}
+		if err != nil {
+			rec.FailKind = FailureKind(err)
+		} else {
+			rec.OK = true
+			rec.RuntimeS = res.Runtime.Seconds()
+			rec.Edges = len(res.Removed)
+			rec.Cost = res.TotalCost
+			rec.Degraded = res.Degraded
+		}
+		if err := spec.Checkpoint.Append(rec); err != nil {
+			cell.finalize()
+			return cell, err
+		}
+		cell.replay(rec)
+	}
+	cell.finalize()
+	return cell, nil
+}
+
+// attackUnit runs one attack, recovering panics that escape core.RunCtx's
+// own recovery (i.e. panics in this harness layer) into per-unit ErrPanic
+// failures so one poisoned unit never kills a table run or a parallel
+// worker.
+func attackUnit(ctx context.Context, alg core.Algorithm, p core.Problem, opts core.Options) (res core.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res = core.Result{}
+			err = fmt.Errorf("%w: %v\n%s", core.ErrPanic, rec, debug.Stack())
+		}
+	}()
+	if faultinject.Fires(ctx, faultinject.PointWorkerPanic) {
+		panic(fmt.Sprintf("injected panic at %s", faultinject.PointWorkerPanic))
+	}
+	return core.RunCtx(ctx, alg, p, opts)
 }
 
 // CityAverage is one Table IX row: ANER and ACRE averaged over every cost

@@ -8,6 +8,7 @@ import (
 	"altroute/internal/citygen"
 	"altroute/internal/core"
 	"altroute/internal/geo"
+	"altroute/internal/graph"
 	"altroute/internal/metrics"
 	"altroute/internal/roadnet"
 )
@@ -90,6 +91,66 @@ func TestSampleUnitsImpossibleRank(t *testing.T) {
 	spec.PathRank = 50
 	if _, err := SampleUnits(net, spec); !errors.Is(err, ErrSampling) {
 		t.Errorf("err = %v, want ErrSampling", err)
+	}
+}
+
+func TestSampleUnitsPartialOnErrSampling(t *testing.T) {
+	// Two hospitals: one inside a well-connected grid, one on an isolated
+	// intersection no source can reach. Sampling must fail with ErrSampling
+	// but still hand back the first hospital's units.
+	net := roadnet.NewNetwork("split")
+	const side = 4
+	var grid [side][side]graph.NodeID
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			grid[i][j] = net.AddIntersection(geo.Point{Lat: 42 + float64(i)*0.001, Lon: -71 + float64(j)*0.001})
+		}
+	}
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			if i+1 < side {
+				if _, _, err := net.AddTwoWayRoad(grid[i][j], grid[i+1][j], roadnet.Road{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if j+1 < side {
+				if _, _, err := net.AddTwoWayRoad(grid[i][j], grid[i][j+1], roadnet.Road{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if _, err := net.AttachPOI("Grid General", citygen.KindHospital, geo.Point{Lat: 42.001, Lon: -70.999}); err != nil {
+		t.Fatal(err)
+	}
+	// A disconnected line component: unreachable from the grid, and with
+	// exactly one simple path between any of its own pairs, so no source
+	// anywhere can supply a rank-4 alternative route to its hospital.
+	prev := net.AddIntersection(geo.Point{Lat: 43, Lon: -71})
+	for i := 1; i < 5; i++ {
+		cur := net.AddIntersection(geo.Point{Lat: 43 + float64(i)*0.001, Lon: -71})
+		if _, _, err := net.AddTwoWayRoad(prev, cur, roadnet.Road{}); err != nil {
+			t.Fatal(err)
+		}
+		prev = cur
+	}
+	if _, err := net.AttachPOI("Island Medical", citygen.KindHospital, geo.Point{Lat: 43.002, Lon: -71.0001}); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := smallSpec()
+	spec.PathRank = 4
+	units, err := SampleUnits(net, spec)
+	if !errors.Is(err, ErrSampling) {
+		t.Fatalf("err = %v, want ErrSampling", err)
+	}
+	if len(units) != spec.SourcesPerHospital {
+		t.Fatalf("partial units = %d, want %d (the reachable hospital's)", len(units), spec.SourcesPerHospital)
+	}
+	for _, u := range units {
+		if u.Hospital != "Grid General" {
+			t.Errorf("partial unit for %q, want only the reachable hospital", u.Hospital)
+		}
 	}
 }
 

@@ -5,14 +5,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
+	"strings"
 )
 
 // WriteCSV exports the table as CSV with one row per (algorithm, cost
 // type) cell, for downstream analysis and plotting.
 func (t Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	header := []string{"city", "weight_type", "algorithm", "cost_type", "avg_runtime_s", "aner", "acre", "runs", "failures"}
+	header := []string{"city", "weight_type", "algorithm", "cost_type", "avg_runtime_s", "aner", "acre", "runs", "failures", "degraded", "failure_kinds"}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("experiment: csv: %w", err)
 	}
@@ -27,6 +29,8 @@ func (t Table) WriteCSV(w io.Writer) error {
 			strconv.FormatFloat(c.ACRE, 'f', 4, 64),
 			strconv.Itoa(c.Runs),
 			strconv.Itoa(c.Failures),
+			strconv.Itoa(c.Degraded),
+			formatFailureKinds(c.FailuresByKind),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("experiment: csv: %w", err)
@@ -50,13 +54,33 @@ type tableJSON struct {
 }
 
 type cellJSON struct {
-	Algorithm   string  `json:"algorithm"`
-	CostType    string  `json:"cost_type"`
-	AvgRuntimeS float64 `json:"avg_runtime_s"`
-	ANER        float64 `json:"aner"`
-	ACRE        float64 `json:"acre"`
-	Runs        int     `json:"runs"`
-	Failures    int     `json:"failures"`
+	Algorithm      string         `json:"algorithm"`
+	CostType       string         `json:"cost_type"`
+	AvgRuntimeS    float64        `json:"avg_runtime_s"`
+	ANER           float64        `json:"aner"`
+	ACRE           float64        `json:"acre"`
+	Runs           int            `json:"runs"`
+	Failures       int            `json:"failures"`
+	Degraded       int            `json:"degraded,omitempty"`
+	FailuresByKind map[string]int `json:"failures_by_kind,omitempty"`
+}
+
+// formatFailureKinds renders a FailuresByKind map as a stable
+// "kind=n;kind=n" CSV field; empty when there are no failures.
+func formatFailureKinds(m map[string]int) string {
+	if len(m) == 0 {
+		return ""
+	}
+	kinds := make([]string, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, ";")
 }
 
 // WriteJSON exports the table as a JSON document.
@@ -70,13 +94,15 @@ func (t Table) WriteJSON(w io.Writer) error {
 	}
 	for _, c := range t.Cells {
 		doc.Cells = append(doc.Cells, cellJSON{
-			Algorithm:   c.Algorithm.String(),
-			CostType:    c.CostType.String(),
-			AvgRuntimeS: c.AvgRuntimeS,
-			ANER:        c.ANER,
-			ACRE:        c.ACRE,
-			Runs:        c.Runs,
-			Failures:    c.Failures,
+			Algorithm:      c.Algorithm.String(),
+			CostType:       c.CostType.String(),
+			AvgRuntimeS:    c.AvgRuntimeS,
+			ANER:           c.ANER,
+			ACRE:           c.ACRE,
+			Runs:           c.Runs,
+			Failures:       c.Failures,
+			Degraded:       c.Degraded,
+			FailuresByKind: c.FailuresByKind,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -17,8 +17,9 @@ func exportTable() Table {
 		WeightType: roadnet.WeightTime,
 		Units:      40,
 		Cells: []Cell{
-			{Algorithm: core.AlgLPPathCover, CostType: roadnet.CostUniform, AvgRuntimeS: 0.5, ANER: 3.78, ACRE: 3.78, Runs: 40},
-			{Algorithm: core.AlgGreedyEdge, CostType: roadnet.CostWidth, AvgRuntimeS: 0.1, ANER: 4.38, ACRE: 9.16, Runs: 39, Failures: 1},
+			{Algorithm: core.AlgLPPathCover, CostType: roadnet.CostUniform, AvgRuntimeS: 0.5, ANER: 3.78, ACRE: 3.78, Runs: 40, Degraded: 2},
+			{Algorithm: core.AlgGreedyEdge, CostType: roadnet.CostWidth, AvgRuntimeS: 0.1, ANER: 4.38, ACRE: 9.16, Runs: 39, Failures: 1,
+				FailuresByKind: map[string]int{"timeout": 1}},
 		},
 	}
 }
@@ -43,6 +44,25 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if records[2][8] != "1" {
 		t.Errorf("failures column = %q, want 1", records[2][8])
+	}
+	if records[0][9] != "degraded" || records[0][10] != "failure_kinds" {
+		t.Errorf("robustness header columns = %v", records[0][9:])
+	}
+	if records[1][9] != "2" || records[1][10] != "" {
+		t.Errorf("row 1 robustness columns = %v", records[1][9:])
+	}
+	if records[2][10] != "timeout=1" {
+		t.Errorf("failure_kinds column = %q, want timeout=1", records[2][10])
+	}
+}
+
+func TestFormatFailureKindsStableOrder(t *testing.T) {
+	got := formatFailureKinds(map[string]int{"timeout": 2, "panic": 1, "budget": 3})
+	if got != "budget=3;panic=1;timeout=2" {
+		t.Errorf("formatFailureKinds = %q", got)
+	}
+	if formatFailureKinds(nil) != "" {
+		t.Error("nil map should render empty")
 	}
 }
 
@@ -69,5 +89,11 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "weight_type") {
 		t.Error("missing weight_type field")
+	}
+	if !strings.Contains(buf.String(), `"degraded": 2`) {
+		t.Error("missing degraded field")
+	}
+	if !strings.Contains(buf.String(), `"failures_by_kind"`) {
+		t.Error("missing failures_by_kind field")
 	}
 }

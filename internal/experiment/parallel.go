@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -11,13 +12,29 @@ import (
 )
 
 // RunTableOnUnitsParallel computes the same table as RunTableOnUnits but
-// spreads the (algorithm, cost type) cells across workers. Every worker
-// runs on its own clone of the network (the attack algorithms disable
-// edges transactionally, which must not race), so results are bit-for-bit
-// identical to the serial runner, cell order included. workers <= 0 uses
-// GOMAXPROCS.
+// spreads the (algorithm, cost type) cells across workers. It is a thin
+// context.Background() wrapper over RunTableOnUnitsParallelCtx.
 func RunTableOnUnitsParallel(net *roadnet.Network, units []Unit, spec Spec, workers int) (Table, error) {
+	return RunTableOnUnitsParallelCtx(context.Background(), net, units, spec, workers)
+}
+
+// RunTableOnUnitsParallelCtx is the parallel grid runner under a context.
+// Every worker runs on its own clone of the network (the attack algorithms
+// disable edges transactionally, which must not race), so results are
+// bit-for-bit identical to the serial runner, cell order included.
+// workers <= 0 uses GOMAXPROCS.
+//
+// A worker panic is recovered into that unit's failure (counted in
+// Cell.FailuresByKind under "panic"); the other workers and cells are
+// unaffected. When ctx dies, each worker finishes its poll interval and the
+// partial table — fully-computed cells plus whatever the interrupted cells
+// accumulated — is returned with ErrInterrupted. Spec.Checkpoint journaling
+// is safe for concurrent workers.
+func RunTableOnUnitsParallelCtx(ctx context.Context, net *roadnet.Network, units []Unit, spec Spec, workers int) (Table, error) {
 	spec.fill()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -37,6 +54,7 @@ func RunTableOnUnitsParallel(net *roadnet.Network, units []Unit, spec Spec, work
 	}
 
 	results := make([]Cell, len(jobs))
+	cellErrs := make([]error, len(jobs))
 	jobCh := make(chan cellJob)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -52,32 +70,9 @@ func RunTableOnUnitsParallel(net *roadnet.Network, units []Unit, spec Spec, work
 				costs[ct] = local.Cost(ct)
 			}
 			for job := range jobCh {
-				cell := Cell{Algorithm: job.alg, CostType: job.ct}
-				cost := costs[job.ct]
-				for _, u := range units {
-					p := core.Problem{
-						G: local.Graph(), Source: u.Source, Dest: u.Dest,
-						PStar: u.PStar, Weight: weight, Cost: cost,
-						Budget: spec.Budget,
-					}
-					opts := spec.Options
-					opts.Seed = spec.Seed
-					res, err := core.Run(job.alg, p, opts)
-					if err != nil {
-						cell.Failures++
-						continue
-					}
-					cell.Runs++
-					cell.AvgRuntimeS += res.Runtime.Seconds()
-					cell.ANER += float64(len(res.Removed))
-					cell.ACRE += res.TotalCost
-				}
-				if cell.Runs > 0 {
-					cell.AvgRuntimeS /= float64(cell.Runs)
-					cell.ANER /= float64(cell.Runs)
-					cell.ACRE /= float64(cell.Runs)
-				}
+				cell, err := runCell(ctx, local.Graph(), weight, costs[job.ct], net.Name(), job.alg, job.ct, units, spec)
 				results[job.idx] = cell
+				cellErrs[job.idx] = err
 			}
 		}()
 	}
@@ -87,11 +82,17 @@ func RunTableOnUnitsParallel(net *roadnet.Network, units []Unit, spec Spec, work
 	close(jobCh)
 	wg.Wait()
 
-	return Table{
+	table := Table{
 		City:       net.Name(),
 		WeightType: spec.WeightType,
 		Cells:      results,
 		Units:      len(units),
 		Summary:    metrics.Summarize(net),
-	}, nil
+	}
+	for _, err := range cellErrs {
+		if err != nil {
+			return table, err
+		}
+	}
+	return table, nil
 }

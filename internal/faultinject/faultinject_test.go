@@ -1,0 +1,142 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.fires(PointLPSolve) {
+		t.Error("nil injector fired")
+	}
+	if in.Hits(PointLPSolve) != 0 {
+		t.Error("nil injector counted hits")
+	}
+	ctx := context.Background()
+	if Fires(ctx, PointLPSolve) {
+		t.Error("bare context fired")
+	}
+	if err := Fire(ctx, PointLPSolve); err != nil {
+		t.Errorf("bare context Fire = %v", err)
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if in.fires(PointLPSolve) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if got := in.Hits(PointLPSolve); got != 100 {
+		t.Errorf("hits = %d, want 100 (unarmed probes still count)", got)
+	}
+}
+
+func TestOnHitFiresExactlyOnce(t *testing.T) {
+	in := New(1).Arm(PointWorkerPanic, Rule{OnHit: 3})
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if in.fires(PointWorkerPanic) {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Errorf("fired on hits %v, want [3]", fired)
+	}
+}
+
+func TestEveryFiresPeriodically(t *testing.T) {
+	in := New(1).Arm(PointLPSolve, Rule{Every: 4})
+	count := 0
+	for i := 0; i < 20; i++ {
+		if in.fires(PointLPSolve) {
+			count++
+		}
+	}
+	if count != 5 {
+		t.Errorf("fired %d times over 20 hits with Every=4, want 5", count)
+	}
+}
+
+func TestProbIsDeterministicPerSeed(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := New(seed).Arm(PointAttackStall, Rule{Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.fires(PointAttackStall)
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different fire patterns")
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Errorf("Prob 0.5 fired %d/%d hits; want a mix", fires, len(a))
+	}
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-hit patterns")
+	}
+}
+
+func TestContextRoundTripAndFire(t *testing.T) {
+	in := New(1).Arm(PointLPSolve, Rule{Every: 1})
+	ctx := With(context.Background(), in)
+	if From(ctx) != in {
+		t.Fatal("From(With(ctx, in)) != in")
+	}
+	err := Fire(ctx, PointLPSolve)
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("Fire = %v, want ErrInjected", err)
+	}
+	if With(ctx, nil) != ctx {
+		t.Error("With(ctx, nil) should return ctx unchanged")
+	}
+}
+
+func TestConcurrentProbesCountEveryHit(t *testing.T) {
+	in := New(1).Arm(PointWorkerPanic, Rule{Every: 2})
+	var wg sync.WaitGroup
+	const goroutines, probes = 8, 100
+	fired := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < probes; i++ {
+				if in.fires(PointWorkerPanic) {
+					fired[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := in.Hits(PointWorkerPanic); got != goroutines*probes {
+		t.Errorf("hits = %d, want %d", got, goroutines*probes)
+	}
+	total := 0
+	for _, f := range fired {
+		total += f
+	}
+	if total != goroutines*probes/2 {
+		t.Errorf("Every=2 fired %d/%d hits, want exactly half", total, goroutines*probes)
+	}
+}

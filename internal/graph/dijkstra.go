@@ -1,6 +1,9 @@
 package graph
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Router runs shortest-path queries against a graph. It owns reusable
 // per-node scratch arrays (epoch-stamped, so clearing between queries is
@@ -32,6 +35,10 @@ type Router struct {
 	// distinct pool routers are race-free by construction.
 	spurWorkers int
 	spurPool    []*Router
+
+	// ctx, when set via SetContext, is polled between spur searches for
+	// cooperative cancellation of k-shortest queries. nil disables checks.
+	ctx context.Context
 }
 
 // NewRouter returns a Router for g. The router tracks g live: edges added,

@@ -96,6 +96,9 @@ func (r *Router) KShortest(s, t NodeID, k int, w WeightFunc) []Path {
 	var cands candidateHeap
 
 	for len(accepted) < k {
+		if r.interrupted() {
+			break // cancelled: return what we have (see SetContext)
+		}
 		last := len(accepted) - 1
 		r.spurCandidates(accepted[last], devs[last], accepted, t, w, pot, seen, &cands)
 		if cands.Len() == 0 {
@@ -183,6 +186,9 @@ func (r *Router) spurCandidates(base Path, start int, accepted []Path, t NodeID,
 		rootLen += w(base.Edges[j])
 	}
 	for i := start; i < n; i++ {
+		if r.interrupted() {
+			break // cancelled mid-round: candidates so far are still valid
+		}
 		if spur, ok := r.spurSearch(base, i, accepted, t, w, pot); ok {
 			total := concatSpur(base, i, rootLen, spur)
 			if seen.add(total.Edges) {
@@ -217,6 +223,9 @@ func (r *Router) spurCandidatesParallel(base Path, start int, accepted []Path, t
 		go func(wr *Router, offset int) {
 			defer wg.Done()
 			for i := start + offset; i < n; i += workers {
+				if r.interrupted() {
+					break // workers only read r.ctx; no race with the coordinator
+				}
 				if spur, ok := wr.spurSearch(base, i, accepted, t, w, pot); ok {
 					spurs[i-start] = spur
 					found[i-start] = true

@@ -13,9 +13,12 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"altroute/internal/faultinject"
 )
 
 // Sense is a constraint direction.
@@ -57,6 +60,10 @@ type Problem struct {
 	Objective []float64
 	// Rows are the constraints.
 	Rows []Constraint
+	// MaxPivots bounds the simplex pivots per phase; a solve that exhausts
+	// the budget reports Infeasible (numerically stuck) rather than looping.
+	// 0 uses the package default (200000).
+	MaxPivots int
 }
 
 // Status reports how solving ended.
@@ -94,6 +101,10 @@ type Solution struct {
 // ErrBadProblem is returned for structurally invalid programs.
 var ErrBadProblem = errors.New("lp: invalid problem")
 
+// ErrInterrupted is returned by SolveCtx when the context is done before
+// the solve completes; the context's cause is wrapped alongside it.
+var ErrInterrupted = errors.New("lp: solve interrupted")
+
 const (
 	eps           = 1e-9
 	maxPivots     = 200000
@@ -102,6 +113,18 @@ const (
 
 // Solve runs two-phase simplex on p.
 func Solve(p Problem) (Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx runs two-phase simplex on p with cooperative cancellation: the
+// pivot loop polls ctx every few dozen pivots and aborts with an
+// ErrInterrupted-wrapped error (carrying context.Cause) when it is done.
+// Long-running solves are thereby bounded both by the caller's deadline and
+// by the hard MaxPivots guard.
+func SolveCtx(ctx context.Context, p Problem) (Solution, error) {
+	if err := faultinject.Fire(ctx, faultinject.PointLPSolve); err != nil {
+		return Solution{}, err
+	}
 	n := len(p.Objective)
 	if n == 0 {
 		return Solution{}, fmt.Errorf("%w: no variables", ErrBadProblem)
@@ -131,8 +154,16 @@ func Solve(p Problem) (Solution, error) {
 	}
 
 	t := newTableau(p)
+	pivotBudget := p.MaxPivots
+	if pivotBudget <= 0 {
+		pivotBudget = maxPivots
+	}
 	if t.numArtificial > 0 {
-		if status := t.runPhase1(); status != Optimal {
+		status, err := t.runPhase1(ctx, pivotBudget)
+		if err != nil {
+			return Solution{}, err
+		}
+		if status != Optimal {
 			return Solution{Status: status}, nil
 		}
 		if t.phase1Objective() > phase1FeasEps {
@@ -140,7 +171,10 @@ func Solve(p Problem) (Solution, error) {
 		}
 		t.dropArtificials()
 	}
-	status := t.runPhase2()
+	status, err := t.runPhase2(ctx, pivotBudget)
+	if err != nil {
+		return Solution{}, err
+	}
 	if status != Optimal {
 		return Solution{Status: status}, nil
 	}
@@ -307,9 +341,14 @@ func (t *tableau) pivot(leave, enter int) {
 }
 
 // iterate runs simplex iterations with Bland's rule until optimality or
-// unboundedness for the given objective.
-func (t *tableau) iterate(obj []float64) Status {
+// unboundedness for the given objective. ctx is polled every 64 pivots: the
+// check costs one atomic load, negligible next to a dense pivot, yet bounds
+// cancellation latency to a handful of pivots.
+func (t *tableau) iterate(ctx context.Context, obj []float64, maxPivots int) (Status, error) {
 	for pivots := 0; pivots < maxPivots; pivots++ {
+		if pivots&63 == 0 && ctx.Err() != nil {
+			return 0, fmt.Errorf("%w: %w", ErrInterrupted, context.Cause(ctx))
+		}
 		rc := t.reducedCosts(obj)
 		enter := -1
 		for j := 0; j < t.cols; j++ {
@@ -319,7 +358,7 @@ func (t *tableau) iterate(obj []float64) Status {
 			}
 		}
 		if enter == -1 {
-			return Optimal
+			return Optimal, nil
 		}
 		leave := -1
 		bestRatio := math.Inf(1)
@@ -335,30 +374,33 @@ func (t *tableau) iterate(obj []float64) Status {
 			}
 		}
 		if leave == -1 {
-			return Unbounded
+			return Unbounded, nil
 		}
 		t.pivot(leave, enter)
 	}
 	// Pivot budget exhausted: numerically stuck. Treat as infeasible
 	// rather than looping forever; callers fall back to greedy rounding.
-	return Infeasible
+	return Infeasible, nil
 }
 
 // runPhase1 minimizes the sum of artificial variables.
-func (t *tableau) runPhase1() Status {
+func (t *tableau) runPhase1(ctx context.Context, maxPivots int) (Status, error) {
 	obj := make([]float64, t.cols)
 	for j, isArt := range t.art {
 		if isArt {
 			obj[j] = 1
 		}
 	}
-	status := t.iterate(obj)
+	status, err := t.iterate(ctx, obj, maxPivots)
+	if err != nil {
+		return 0, err
+	}
 	if status == Unbounded {
 		// Phase 1 objective is bounded below by 0; unbounded here means a
 		// numerical breakdown. Report infeasible.
-		return Infeasible
+		return Infeasible, nil
 	}
-	return status
+	return status, nil
 }
 
 // phase1Objective returns the current value of the phase-1 objective.
@@ -397,10 +439,10 @@ func (t *tableau) dropArtificials() {
 }
 
 // runPhase2 minimizes the real objective.
-func (t *tableau) runPhase2() Status {
+func (t *tableau) runPhase2(ctx context.Context, maxPivots int) (Status, error) {
 	obj := make([]float64, t.cols)
 	copy(obj, t.cost)
-	return t.iterate(obj)
+	return t.iterate(ctx, obj, maxPivots)
 }
 
 // extract reads the first n variable values out of the basis.
