@@ -1,0 +1,129 @@
+// Command lint runs the repo's determinism & concurrency invariant
+// suite (internal/lint) over Go packages and fails the build on any
+// unsuppressed finding. It is the CI gate behind the bit-identical
+// parallel-Yen and checkpoint/resume guarantees.
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...          # whole repo, production sources
+//	go run ./cmd/lint -tests ./...   # include _test.go files
+//	go run ./cmd/lint -json ./...    # machine-readable report
+//	go run ./cmd/lint internal/core  # one package
+//
+// Suppress a finding on its own line (or the line above) with a reason:
+//
+//	start := time.Now() //lint:allow wallclock measuring Result.Runtime
+//
+// Exit status: 0 when clean, 1 on findings or malformed/unused allow
+// directives, 2 on usage or I/O errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"altroute/internal/lint"
+)
+
+// errFindings distinguishes "the code is dirty" (exit 1) from driver
+// failures (exit 2).
+var errFindings = errors.New("lint: findings reported")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errFindings):
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	jsonOut := fs.Bool("json", false, "emit a JSON report instead of text lines")
+	withTests := fs.Bool("tests", false, "also lint _test.go files")
+	fs.Usage = func() {}
+	if err := fs.Parse(args); err != nil {
+		return usageError(fs)
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	opts := lint.LoadOptions{Tests: *withTests}
+	var pkgs []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		loaded, err := load(fset, pat, opts)
+		if err != nil {
+			return err
+		}
+		for _, p := range loaded {
+			if !seen[p.Dir] {
+				seen[p.Dir] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	diags := lint.Run(pkgs, lint.All())
+	if *jsonOut {
+		if err := lint.WriteJSON(out, diags); err != nil {
+			return err
+		}
+	} else if err := lint.WriteText(out, diags); err != nil {
+		return err
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("%w: %d", errFindings, len(diags))
+	}
+	return nil
+}
+
+// load resolves one pattern: "dir/..." walks recursively, anything else
+// is a single directory. "./..." therefore lints the whole tree rooted
+// at the current directory.
+func load(fset *token.FileSet, pattern string, opts lint.LoadOptions) ([]*lint.Package, error) {
+	if rest, ok := strings.CutSuffix(pattern, "..."); ok {
+		root := filepath.Clean(strings.TrimSuffix(rest, "/"))
+		if root == "" {
+			root = "."
+		}
+		return lint.Walk(fset, root, opts)
+	}
+	dir := filepath.Clean(pattern)
+	rel := dir
+	if rel == "." {
+		rel = ""
+	}
+	pkg, err := lint.LoadDir(fset, dir, rel, opts)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return []*lint.Package{pkg}, nil
+}
+
+func usageError(fs *flag.FlagSet) error {
+	var b strings.Builder
+	b.WriteString("usage: lint [-json] [-tests] [pattern ...]\n\nanalyzers:\n")
+	for _, a := range lint.All() {
+		fmt.Fprintf(&b, "  %-11s %s\n", a.Name(), a.Doc())
+	}
+	b.WriteString("\nsuppress with: //lint:allow <analyzer> <reason>")
+	return errors.New(b.String())
+}

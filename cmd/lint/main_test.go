@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"altroute/internal/lint"
+)
+
+// fixture dirs relative to this package; each must make the driver exit
+// non-zero, which is the ISSUE's acceptance criterion for the testdata
+// packages.
+var fixtures = []string{
+	"wallclock", "seededrand", "maporder", "floateq", "errcmp", "ctxflow", "suppress",
+}
+
+func fixtureDir(name string) string {
+	return filepath.Join("..", "..", "internal", "lint", "testdata", name)
+}
+
+func TestFixturesFailTheDriver(t *testing.T) {
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run([]string{fixtureDir(name)}, &out)
+			if !errors.Is(err, errFindings) {
+				t.Fatalf("want errFindings for %s, got %v (output: %s)", name, err, out.String())
+			}
+			if out.Len() == 0 {
+				t.Fatal("non-zero exit must come with diagnostics on stdout")
+			}
+		})
+	}
+}
+
+func TestJSONShapeAndDeterministicOrder(t *testing.T) {
+	var first bytes.Buffer
+	if err := run([]string{"-json", fixtureDir("ctxflow"), fixtureDir("errcmp")}, &first); !errors.Is(err, errFindings) {
+		t.Fatalf("want errFindings, got %v", err)
+	}
+
+	var rep lint.Report
+	if err := json.Unmarshal(first.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not the documented JSON shape: %v\n%s", err, first.String())
+	}
+	if rep.Count == 0 || rep.Count != len(rep.Diagnostics) {
+		t.Fatalf("count %d disagrees with %d diagnostics", rep.Count, len(rep.Diagnostics))
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Analyzer == "" || d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+			t.Fatalf("incomplete diagnostic: %+v", d)
+		}
+	}
+	ordered := sort.SliceIsSorted(rep.Diagnostics, func(i, j int) bool {
+		a, b := rep.Diagnostics[i], rep.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col <= b.Col
+	})
+	if !ordered {
+		t.Fatalf("diagnostics not position-sorted: %+v", rep.Diagnostics)
+	}
+
+	// Byte-identical across runs and across pattern order: the report is
+	// deterministic however the inputs are listed.
+	var second bytes.Buffer
+	if err := run([]string{"-json", fixtureDir("errcmp"), fixtureDir("ctxflow")}, &second); !errors.Is(err, errFindings) {
+		t.Fatalf("want errFindings, got %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("report depends on pattern order:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	src := "package clean\n\nfunc Add(a, b int) int { return a + b }\n"
+	if err := os.WriteFile(filepath.Join(dir, "clean.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{dir + "/..."}, &out); err != nil {
+		t.Fatalf("clean tree should pass, got %v (output: %s)", err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean tree should print nothing, got %s", out.String())
+	}
+}
+
+func TestWholeRepoIsClean(t *testing.T) {
+	// The CI gate: `go run ./cmd/lint ./...` from the module root must
+	// exit 0. Running it here keeps the guarantee under plain `go test`.
+	var out bytes.Buffer
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join("..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	if err := run([]string{"./..."}, &out); err != nil {
+		t.Fatalf("repo has unsuppressed lint findings:\n%s", out.String())
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	if err := run([]string{"-nope"}, &bytes.Buffer{}); err == nil || errors.Is(err, errFindings) {
+		t.Fatal("unknown flag should be a usage error")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing")}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing directory should error")
+	}
+}

@@ -4,10 +4,11 @@
 // with the victim simulator that ambulances can no longer reach the
 // hospital.
 //
-//	go run ./examples/area-isolation
+//	go run ./examples/area-isolation [-seed N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -16,8 +17,9 @@ import (
 )
 
 func main() {
-	const seed = 13
-	net, err := altroute.BuildCity(altroute.SanFrancisco, 0.04, seed)
+	seed := flag.Int64("seed", 13, "seed for city generation and ambulance dispatch sites")
+	flag.Parse()
+	net, err := altroute.BuildCity(altroute.SanFrancisco, 0.04, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func main() {
 		len(iso.Cut), iso.TotalCost)
 
 	// Simulate 15 ambulances dispatched from random intersections.
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(*seed))
 	inArea := map[altroute.NodeID]bool{}
 	for _, a := range area {
 		inArea[a] = true

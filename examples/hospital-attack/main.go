@@ -3,14 +3,14 @@
 // Hospital onto a chosen sub-optimal route, comparing all four algorithms
 // and rendering the result as a Figure 1 style SVG.
 //
-//	go run ./examples/hospital-attack [out.svg]
+//	go run ./examples/hospital-attack [-seed N] [out.svg]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"os"
 
 	"altroute"
 )
@@ -18,10 +18,11 @@ import (
 func main() {
 	const (
 		scale = 0.05
-		seed  = 2024
 		rank  = 25 // the paper uses the 100th path on full-size graphs
 	)
-	net, err := altroute.BuildCity(altroute.Boston, scale, seed)
+	seed := flag.Int64("seed", 2024, "seed for city generation, victim choice and the attack")
+	flag.Parse()
+	net, err := altroute.BuildCity(altroute.Boston, scale, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func main() {
 	fmt.Printf("target: %s (network node %d)\n", hospital.Name, hospital.Node)
 
 	// Random source, as in the paper's methodology.
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(*seed))
 	var problem altroute.Problem
 	for {
 		src := altroute.NodeID(rng.Intn(net.NumIntersections()))
@@ -55,7 +56,7 @@ func main() {
 	fmt.Printf("%-17s %10s %6s %8s %8s\n", "Algorithm", "Runtime", "Cuts", "Cost", "Paths")
 	var figure altroute.Result
 	for _, alg := range altroute.Algorithms() {
-		res, err := altroute.Attack(alg, problem, altroute.Options{Seed: seed})
+		res, err := altroute.Attack(alg, problem, altroute.Options{Seed: *seed})
 		if err != nil {
 			log.Fatalf("%v: %v", alg, err)
 		}
@@ -67,8 +68,8 @@ func main() {
 	}
 
 	out := "hospital-attack.svg"
-	if len(os.Args) > 1 {
-		out = os.Args[1]
+	if flag.NArg() > 0 {
+		out = flag.Arg(0)
 	}
 	err = altroute.WriteSVGFile(out, altroute.Scene{
 		Net:     net,

@@ -5,10 +5,11 @@
 // live-rerouting victim simulator that every driver now pays the toll —
 // quantifying the delay the attacker inflicts.
 //
-//	go run ./examples/tollroad
+//	go run ./examples/tollroad [-seed N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,8 +18,9 @@ import (
 )
 
 func main() {
-	const seed = 7
-	net, err := altroute.BuildCity(altroute.Chicago, 0.04, seed)
+	seed := flag.Int64("seed", 7, "seed for city generation, toll-segment choice and the attack")
+	flag.Parse()
+	net, err := altroute.BuildCity(altroute.Chicago, 0.04, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +42,7 @@ func main() {
 
 	// The "toll road": a random arterial segment that the natural route
 	// does not use.
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(*seed))
 	var toll altroute.EdgeID = -1
 	for tries := 0; tries < 10000; tries++ {
 		e := altroute.EdgeID(rng.Intn(net.NumSegments()))
@@ -69,7 +71,7 @@ func main() {
 		G: g, Source: source, Dest: dest, PStar: pstar,
 		Weight: w, Cost: net.Cost(altroute.CostUniform),
 	}
-	res, err := altroute.Attack(altroute.AlgGreedyPathCover, problem, altroute.Options{Seed: seed})
+	res, err := altroute.Attack(altroute.AlgGreedyPathCover, problem, altroute.Options{Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -118,7 +118,7 @@ func (c *Config) fill() error {
 // sqrt(f), so the node count scales by approximately f. Scale(1) is the
 // identity.
 func (c Config) Scale(f float64) Config {
-	if f <= 0 || f == 1 {
+	if f <= 0 || f == 1 { //lint:allow floateq exact identity sentinel on a caller-provided scale factor, not a computed sum
 		return c
 	}
 	lin := math.Sqrt(f)
@@ -433,7 +433,7 @@ func genOrganic(cfg Config, rng *rand.Rand) *roadnet.Network {
 			best := n
 			for m := n + 1; m < len(cands); m++ {
 				if cands[m].d < cands[best].d ||
-					(cands[m].d == cands[best].d && cands[m].j < cands[best].j) {
+					(cands[m].d == cands[best].d && cands[m].j < cands[best].j) { //lint:allow floateq deterministic tie-break: exact ties fall back to index order
 					best = m
 				}
 			}

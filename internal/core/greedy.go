@@ -19,7 +19,7 @@ func greedyEdge(ctx context.Context, p Problem, opts Options) (Result, error) {
 				continue
 			}
 			w := p.Weight(e)
-			if best == graph.InvalidEdge || w < bestW || (w == bestW && e < best) {
+			if best == graph.InvalidEdge || w < bestW || (w == bestW && e < best) { //lint:allow floateq deterministic tie-break: exact ties fall back to edge ID
 				best, bestW = e, w
 			}
 		}
@@ -50,7 +50,7 @@ func greedyEig(ctx context.Context, p Problem, opts Options) (Result, error) {
 				c = 1e-12 // zero-cost edges are always the best choice
 			}
 			ratio := scores[e] / c
-			if best == graph.InvalidEdge || ratio > bestRatio || (ratio == bestRatio && e < best) {
+			if best == graph.InvalidEdge || ratio > bestRatio || (ratio == bestRatio && e < best) { //lint:allow floateq deterministic tie-break: exact ties fall back to edge ID
 				best, bestRatio = e, ratio
 			}
 		}

@@ -108,7 +108,7 @@ func RunMultiCtx(ctx context.Context, alg Algorithm, p MultiProblem, opts Option
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow wallclock measuring Result.Runtime; never feeds attack decisions
 	defer func() {
 		if rec := recover(); rec != nil {
 			res = Result{}
@@ -120,7 +120,7 @@ func RunMultiCtx(ctx context.Context, alg Algorithm, p MultiProblem, opts Option
 		return Result{}, err
 	}
 	res.Algorithm = alg
-	res.Runtime = time.Since(start)
+	res.Runtime = time.Since(start) //lint:allow wallclock measuring Result.Runtime; never feeds attack decisions
 	return res, nil
 }
 

@@ -193,8 +193,8 @@ func greedyCover(pool []graph.Path, p *Problem, pstarSet map[graph.EdgeID]struct
 				score = math.Inf(1) // free edges dominate
 			}
 			if score > bestScore ||
-				(score == bestScore && c < bestCost) ||
-				(score == bestScore && c == bestCost && e < best) {
+				(score == bestScore && c < bestCost) || //lint:allow floateq deterministic tie-break: exact ties fall back to cost then edge ID
+				(score == bestScore && c == bestCost && e < best) { //lint:allow floateq deterministic tie-break: exact ties fall back to cost then edge ID
 				best, bestScore, bestCost = e, score, c
 			}
 		}

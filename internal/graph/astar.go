@@ -12,6 +12,8 @@ type Heuristic func(NodeID) float64
 // guided by the heuristic h. With an admissible h it returns an optimal
 // path while settling fewer nodes; with h ≡ 0 it degrades to Dijkstra.
 // Temporary bans are not supported (plain point-to-point queries only).
+// Under a cancelled SetContext context the search stops early and reports
+// no path; callers must re-check the context before trusting a negative.
 func (r *Router) ShortestPathAStar(s, t NodeID, w WeightFunc, h Heuristic) (Path, bool) {
 	r.grow()
 	r.clearBans()
@@ -28,6 +30,9 @@ func (r *Router) ShortestPathAStar(s, t NodeID, w WeightFunc, h Heuristic) (Path
 	r.heap.push(heapItem{dist: h(s), node: s})
 
 	for len(r.heap) > 0 {
+		if r.interrupted() {
+			return Path{}, false // cancelled mid-search (see SetContext)
+		}
 		it := r.heap.pop()
 		u := it.node
 		if r.stamp[u] != r.cur {

@@ -1,6 +1,9 @@
 package graph
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // BetweennessOptions configures EdgeBetweenness.
 type BetweennessOptions struct {
@@ -24,11 +27,22 @@ type BetweennessOptions struct {
 // The paper (§II-A) uses high edge betweenness to identify critical,
 // highly-traveled roads an attacker would target.
 func EdgeBetweenness(g *Graph, w WeightFunc, opts BetweennessOptions) []float64 {
+	score, _ := EdgeBetweennessCtx(context.Background(), g, w, opts)
+	return score
+}
+
+// EdgeBetweennessCtx is EdgeBetweenness with cooperative cancellation:
+// the context is polled once per source tree (the natural unit of work,
+// one full Dijkstra plus accumulation), and on cancellation the partial
+// scores computed so far are returned alongside the context's error.
+// Partial scores are NOT rescaled — they cover an unpredictable source
+// prefix — so callers must treat them as diagnostic only when err != nil.
+func EdgeBetweennessCtx(ctx context.Context, g *Graph, w WeightFunc, opts BetweennessOptions) ([]float64, error) {
 	n := g.NumNodes()
 	m := g.NumEdges()
 	score := make([]float64, m)
 	if n == 0 || m == 0 {
-		return score
+		return score, nil
 	}
 
 	sources := opts.Sources
@@ -49,6 +63,9 @@ func EdgeBetweenness(g *Graph, w WeightFunc, opts BetweennessOptions) []float64 
 	settled := make([]bool, n)
 
 	for _, s := range sources {
+		if err := ctx.Err(); err != nil {
+			return score, err
+		}
 		for i := 0; i < n; i++ {
 			dist[i] = math.Inf(1)
 			sigma[i] = 0
@@ -83,7 +100,7 @@ func EdgeBetweenness(g *Graph, w WeightFunc, opts BetweennessOptions) []float64 
 					sigma[v] = sigma[u]
 					preds[v] = append(preds[v][:0], e)
 					h.push(heapItem{dist: nd, node: v})
-				case nd == dist[v] && !settled[v]:
+				case nd == dist[v] && !settled[v]: //lint:allow floateq Brandes counts a path only on an exact distance tie; fixed relaxation order keeps it reproducible
 					sigma[v] += sigma[u]
 					preds[v] = append(preds[v], e)
 				}
@@ -111,12 +128,12 @@ func EdgeBetweenness(g *Graph, w WeightFunc, opts BetweennessOptions) []float64 
 			score[i] *= norm
 		}
 	}
-	return score
+	return score, nil
 }
 
 // TopEdgesByScore returns the indices of the k highest-scoring enabled
 // edges, in descending score order (ties broken by lower edge ID).
-func TopEdgesByScore(g *Graph, score []float64, k int) []EdgeID {
+func TopEdgesByScore(g *Graph, score []float64, k int) []EdgeID { //lint:allow ctxflow bounded top-k selection over an in-memory score slice, no graph search
 	if k <= 0 {
 		return nil
 	}
@@ -137,7 +154,7 @@ func TopEdgesByScore(g *Graph, score []float64, k int) []EdgeID {
 	for i := 0; i < k; i++ {
 		best := i
 		for j := i + 1; j < len(all); j++ {
-			if all[j].s > all[best].s || (all[j].s == all[best].s && all[j].e < all[best].e) {
+			if all[j].s > all[best].s || (all[j].s == all[best].s && all[j].e < all[best].e) { //lint:allow floateq deterministic tie-break: exact ties fall back to edge ID
 				best = j
 			}
 		}

@@ -7,7 +7,9 @@ import "math"
 // from t (along in-edges), settling roughly half the nodes a unidirectional
 // search would on metropolitan-scale graphs. Temporary bans are not
 // supported here — Yen spur queries stay on the unidirectional search — so
-// this is the fast path for plain point-to-point queries.
+// this is the fast path for plain point-to-point queries. Under a
+// cancelled SetContext context the search stops early and reports no
+// path; callers must re-check the context before trusting a negative.
 func (r *Router) ShortestPathBidirectional(s, t NodeID, w WeightFunc) (Path, bool) {
 	r.grow()
 	r.growBackward()
@@ -41,7 +43,12 @@ func (r *Router) ShortestPathBidirectional(s, t NodeID, w WeightFunc) (Path, boo
 		return h[0].dist
 	}
 
+	cancelled := false
 	for len(fh) > 0 || len(bh) > 0 {
+		if r.interrupted() {
+			cancelled = true // a found meet may be suboptimal: report no path
+			break
+		}
 		// Termination: no better meeting can exist.
 		if topOf(fh)+topOf(bh) >= best {
 			break
@@ -119,7 +126,7 @@ func (r *Router) ShortestPathBidirectional(s, t NodeID, w WeightFunc) (Path, boo
 	r.heap = fh
 	r.heapB = bh
 
-	if meet == InvalidNode {
+	if cancelled || meet == InvalidNode {
 		return Path{}, false
 	}
 	// Assemble: forward half via prevEdge, backward half via prevEdgeB.

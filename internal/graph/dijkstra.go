@@ -180,7 +180,9 @@ func (r *Router) buildPath(s, t NodeID) Path {
 
 // DistancesFrom runs a full single-source Dijkstra and returns the distance
 // from s to every node (+Inf where unreachable). The returned slice is newly
-// allocated.
+// allocated. Under a cancelled SetContext context the sweep stops early and
+// unsettled nodes keep +Inf; callers must re-check the context before
+// treating the table as complete.
 func (r *Router) DistancesFrom(s NodeID, w WeightFunc) []float64 {
 	r.grow()
 	r.clearBans()
@@ -197,6 +199,9 @@ func (r *Router) DistancesFrom(s NodeID, w WeightFunc) []float64 {
 	r.setDist(s, 0, InvalidEdge)
 	r.heap.push(heapItem{dist: 0, node: s})
 	for len(r.heap) > 0 {
+		if r.interrupted() {
+			break // cancelled: unsettled nodes stay +Inf (see SetContext)
+		}
 		it := r.heap.pop()
 		u := it.node
 		if it.dist > r.dist[u] || r.stamp[u] != r.cur {

@@ -45,7 +45,10 @@ func (p *Potential) At(v NodeID) float64 {
 // ReversePotential runs one full reverse Dijkstra from t (along in-edges,
 // over enabled edges; temporary bans are ignored) and returns the
 // distance-to-target table. It reuses the router's backward scratch arrays,
-// so the only allocation is the returned table itself.
+// so the only allocation is the returned table itself. Under a cancelled
+// SetContext context the sweep stops early, leaving +Inf for unsettled
+// nodes; the Yen loops that consume the potential re-check the context
+// before trusting results built from it.
 func (r *Router) ReversePotential(t NodeID, w WeightFunc) *Potential {
 	r.grow()
 	r.growBackward()
@@ -62,6 +65,9 @@ func (r *Router) ReversePotential(t NodeID, w WeightFunc) *Potential {
 	r.setDistB(t, 0, InvalidEdge)
 	r.heapB.push(heapItem{dist: 0, node: t})
 	for len(r.heapB) > 0 {
+		if r.interrupted() {
+			break // cancelled: unsettled nodes stay +Inf (see SetContext)
+		}
 		it := r.heapB.pop()
 		u := it.node
 		if it.dist > r.distB[u] || r.stampB[u] != r.curB {

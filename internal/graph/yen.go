@@ -343,7 +343,7 @@ func (h candidateHeap) Less(i, j int) bool { return pathLess(h[i].path, h[j].pat
 // pathLess is the deterministic candidate order: length, then hop count,
 // then lexicographic edge sequence.
 func pathLess(a, b Path) bool {
-	if a.Length != b.Length {
+	if a.Length != b.Length { //lint:allow floateq the deterministic path order relies on exact length bits; near-ties are resolved structurally below
 		return a.Length < b.Length
 	}
 	if len(a.Edges) != len(b.Edges) {

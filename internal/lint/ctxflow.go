@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// ctxFlow enforces the PR 2 cancellation contract on the packages that
+// do unbounded graph/LP work: an exported function whose body nests
+// loops (the syntactic signature of super-linear work — Yen rounds,
+// simplex pivots, betweenness sweeps) must participate in cooperative
+// cancellation. Participation means any of:
+//
+//   - a context.Context parameter that the body actually uses,
+//   - polling an attached context (the graph.Router `ctx` field /
+//     interrupted() pattern, or a ctxErr helper),
+//   - delegating to a *Ctx variant that carries the context.
+//
+// Genuinely bounded functions (single-pass BFS, fixed-iteration power
+// method) opt out with //lint:allow ctxflow <why it is bounded>.
+type ctxFlow struct {
+	pkgs map[string]bool // package names the contract applies to
+}
+
+// NewCtxFlow returns the ctxflow analyzer. With no arguments it targets
+// the packages named by the cancellation contract: core, graph, lp.
+func NewCtxFlow(pkgNames ...string) Analyzer {
+	if len(pkgNames) == 0 {
+		pkgNames = []string{"core", "graph", "lp"}
+	}
+	set := make(map[string]bool, len(pkgNames))
+	for _, n := range pkgNames {
+		set[n] = true
+	}
+	return ctxFlow{pkgs: set}
+}
+
+func (ctxFlow) Name() string { return "ctxflow" }
+func (ctxFlow) Doc() string {
+	return "exported nested-loop funcs in core/graph/lp must accept and check a context.Context"
+}
+
+func (c ctxFlow) Check(pkg *Package) []Diagnostic {
+	if !c.pkgs[pkg.Name] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ctxPkg := importName(f.AST, "context")
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !hasNestedLoop(fd.Body) {
+				continue
+			}
+			if checksContext(fd, ctxPkg) {
+				continue
+			}
+			out = append(out, pkg.diag(f, fd.Pos(), "ctxflow", fmt.Sprintf(
+				"exported %s runs nested loops but never consults a context.Context; accept and poll ctx (or delegate to a *Ctx variant) per the cancellation contract", fd.Name.Name)))
+		}
+	}
+	return out
+}
+
+// hasNestedLoop reports whether body contains a for/range statement
+// lexically inside another one. Function literals do not reset the
+// depth: a loop inside a worker closure inside a loop is still nested
+// work on the caller's clock.
+func hasNestedLoop(body *ast.BlockStmt) bool {
+	return nestedLoopIn(body, 0)
+}
+
+// nestedLoopIn reports whether a loop occurs under n at loop-depth >= 1.
+func nestedLoopIn(n ast.Node, depth int) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found || m == nil || m == n {
+			return !found
+		}
+		switch s := m.(type) {
+		case *ast.ForStmt:
+			if depth >= 1 || nestedLoopIn(s.Body, depth+1) {
+				found = true
+			}
+			return false // children handled by the recursive call
+		case *ast.RangeStmt:
+			if depth >= 1 || nestedLoopIn(s.Body, depth+1) {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checksContext reports whether fd satisfies the contract: it either
+// uses a context.Context parameter, polls a stored context, or
+// delegates to a *Ctx variant.
+func checksContext(fd *ast.FuncDecl, ctxPkg string) bool {
+	// 1. context.Context parameter, referenced in the body.
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(field.Type, ctxPkg) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" && identUsed(fd.Body, name.Name) {
+				return true
+			}
+		}
+	}
+	// 2/3. Polls a context or delegates: any mention of a `ctx` ident or
+	// field, a call to interrupted()/ctxErr(), or a call whose name ends
+	// in "Ctx".
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.Ident:
+			if v.Name == "ctx" {
+				ok = true
+			}
+		case *ast.SelectorExpr:
+			name := v.Sel.Name
+			if name == "ctx" || name == "interrupted" || name == "Interrupted" ||
+				name == "ctxErr" || strings.HasSuffix(name, "Ctx") {
+				ok = true
+			}
+		case *ast.CallExpr:
+			if fn, isIdent := v.Fun.(*ast.Ident); isIdent {
+				name := fn.Name
+				if name == "ctxErr" || name == "interrupted" || strings.HasSuffix(name, "Ctx") {
+					ok = true
+				}
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// isContextType matches context.Context (alias-aware) and a bare
+// Context ident (for packages that alias or dot-import).
+func isContextType(e ast.Expr, ctxPkg string) bool {
+	if name, ok := isPkgSel(e, ctxPkg); ok {
+		return name == "Context"
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "Context"
+}
+
+// identUsed reports whether name occurs as an identifier in body.
+func identUsed(body *ast.BlockStmt, name string) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

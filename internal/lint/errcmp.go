@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// errCmp flags ==/!= against sentinel error values (ErrTimeout,
+// core.ErrCancelled, io.EOF, ...). The attack pipeline wraps every
+// sentinel with %w — fmt.Errorf("%w: ...", ErrTimeout) — so identity
+// comparison silently stops matching and a timeout gets tallied as
+// "other" in FailuresByKind, skewing the failure columns of the
+// experiment grid. errors.Is unwraps; == does not. io.EOF has no
+// blanket exemption: a deliberate identity check must carry an explicit
+// //lint:allow errcmp.
+type errCmp struct{}
+
+// NewErrCmp returns the errcmp analyzer.
+func NewErrCmp() Analyzer { return errCmp{} }
+
+func (errCmp) Name() string { return "errcmp" }
+func (errCmp) Doc() string {
+	return "compare sentinel errors with errors.Is, not ==/!="
+}
+
+// sentinelName matches Go's sentinel-error naming convention plus the
+// stdlib's grandfathered io.EOF.
+var sentinelName = regexp.MustCompile(`^Err[A-Z0-9_]|^EOF$`)
+
+func (errCmp) Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			sentinel, other := "", ast.Expr(nil)
+			if name, ok := sentinelExpr(be.X); ok {
+				sentinel, other = name, be.Y
+			} else if name, ok := sentinelExpr(be.Y); ok {
+				sentinel, other = name, be.X
+			}
+			if sentinel == "" || isNil(other) {
+				return true
+			}
+			out = append(out, pkg.diag(f, be.Pos(), "errcmp", fmt.Sprintf(
+				"identity comparison against sentinel %s misses %%w-wrapped errors; use errors.Is(err, %s)", sentinel, sentinel)))
+			return true
+		})
+	}
+	return out
+}
+
+// sentinelExpr reports whether e names a sentinel error value, returning
+// its display name.
+func sentinelExpr(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if sentinelName.MatchString(v.Name) && v.Name != "EOF" {
+			return v.Name, true
+		}
+	case *ast.SelectorExpr:
+		id, ok := v.X.(*ast.Ident)
+		if ok && sentinelName.MatchString(v.Sel.Name) {
+			return id.Name + "." + v.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,270 @@
+// Package lint is a stdlib-only static-analysis framework encoding this
+// repository's determinism and concurrency invariants: the bit-identical
+// parallel Yen guarantee and the bit-identical checkpoint/resume guarantee
+// are invisible to the compiler, so the analyzers here catch the bug
+// classes that silently break them — wall-clock reads in attack paths,
+// unseeded randomness, map-iteration order leaking into output, exact
+// float comparison, sentinel-error equality on wrapped errors, and
+// long-running exported functions that ignore the cancellation contract.
+//
+// The framework is deliberately syntactic: it builds on go/ast, go/parser
+// and go/token only (no go/types, no external modules), matching the
+// repo's stdlib-only rule. Each Analyzer inspects one parsed Package and
+// returns position-sorted Diagnostics. Findings are suppressed per line
+// with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory; malformed or unused allow comments are themselves
+// reported, so suppressions cannot rot silently.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by file position. The JSON field
+// names are part of the cmd/lint -json output contract and are asserted
+// by the driver tests.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// File is one parsed source file of a Package.
+type File struct {
+	AST      *ast.File
+	Filename string // path as reported in diagnostics, relative to the lint root
+}
+
+// Package is the unit of analysis: every non-test file of one directory.
+// Analyzers see whole packages so they can resolve package-local context
+// (float-typed struct fields, map-returning helpers) without go/types.
+type Package struct {
+	Fset  *token.FileSet
+	Name  string // package name from the first file's package clause
+	Dir   string // directory relative to the lint root, e.g. "internal/core"
+	Files []*File
+}
+
+// Analyzer is a single named invariant check.
+type Analyzer interface {
+	// Name is the identifier used in //lint:allow comments and reports.
+	Name() string
+	// Doc is a one-line description for cmd/lint usage output.
+	Doc() string
+	// Check returns the analyzer's findings for one package. Order does
+	// not matter; Run sorts globally.
+	Check(pkg *Package) []Diagnostic
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		NewWallClock(),
+		NewSeededRand(),
+		NewMapOrder(),
+		NewFloatEq(),
+		NewErrCmp(),
+		NewCtxFlow(),
+	}
+}
+
+// diag is the helper every analyzer uses to address a finding.
+func (p *Package) diag(f *File, pos token.Pos, analyzer, message string) Diagnostic {
+	position := p.Fset.Position(pos)
+	return Diagnostic{
+		Analyzer: analyzer,
+		File:     f.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  message,
+	}
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	file     *File
+	line     int  // line the comment sits on
+	used     bool // set when it suppresses at least one diagnostic
+	bad      bool // malformed: missing analyzer name or reason
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows parses every //lint:allow directive in the package.
+func collectAllows(pkg *Package) []*allowDirective {
+	var allows []*allowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				a := &allowDirective{
+					file: f,
+					line: pkg.Fset.Position(c.Pos()).Line,
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					a.bad = true // needs "<analyzer> <reason>"
+				} else {
+					a.analyzer = fields[0]
+					a.reason = strings.Join(fields[1:], " ")
+				}
+				allows = append(allows, a)
+			}
+		}
+	}
+	return allows
+}
+
+// Run executes the analyzers over the packages, applies //lint:allow
+// suppression, reports malformed/unknown/unused allow directives under
+// the pseudo-analyzer "lint", and returns the surviving diagnostics in
+// deterministic position-sorted order (file, line, column, analyzer,
+// message).
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		// Index allows by (file, line) for O(1) suppression lookup. An
+		// allow on line L covers findings on L (trailing comment) and
+		// L+1 (comment on its own line above the offending statement).
+		type key struct {
+			file string
+			line int
+		}
+		idx := make(map[key][]*allowDirective)
+		for _, a := range allows {
+			if a.bad {
+				continue
+			}
+			k := key{a.file.Filename, a.line}
+			idx[k] = append(idx[k], a)
+			k.line++
+			idx[k] = append(idx[k], a)
+		}
+
+		for _, an := range analyzers {
+			name := an.Name()
+			for _, d := range an.Check(pkg) {
+				suppressed := false
+				for _, a := range idx[key{d.File, d.Line}] {
+					if a.analyzer == name {
+						a.used = true
+						suppressed = true
+					}
+				}
+				if !suppressed {
+					out = append(out, d)
+				}
+			}
+		}
+
+		for _, a := range allows {
+			switch {
+			case a.bad:
+				out = append(out, Diagnostic{
+					Analyzer: "lint",
+					File:     a.file.Filename,
+					Line:     a.line,
+					Col:      1,
+					Message:  `malformed allow directive: want "//lint:allow <analyzer> <reason>"`,
+				})
+			case !known[a.analyzer]:
+				out = append(out, Diagnostic{
+					Analyzer: "lint",
+					File:     a.file.Filename,
+					Line:     a.line,
+					Col:      1,
+					Message:  fmt.Sprintf("allow directive names unknown analyzer %q", a.analyzer),
+				})
+			case !a.used:
+				out = append(out, Diagnostic{
+					Analyzer: "lint",
+					File:     a.file.Filename,
+					Line:     a.line,
+					Col:      1,
+					Message:  fmt.Sprintf("unused allow directive for %q: nothing to suppress here", a.analyzer),
+				})
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// importName resolves the local name an import path is bound to in a
+// file: the alias when present, otherwise the path's base name. Returns
+// "" when the file does not import the path.
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndexByte(p, '/'); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// isPkgSel reports whether e is a selector <pkgName>.<sel> on a plain
+// identifier (a qualified reference to an imported package symbol) and
+// returns the selector name.
+func isPkgSel(e ast.Expr, pkgName string) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || pkgName == "" {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgName {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// golden maps each testdata fixture directory to the analyzers to run
+// over it. Fixtures encode expectations as // want "regex" comments on
+// the offending lines.
+var golden = []struct {
+	dir       string
+	analyzers func() []Analyzer
+}{
+	{"wallclock", func() []Analyzer { return []Analyzer{NewWallClock()} }},
+	{"seededrand", func() []Analyzer { return []Analyzer{NewSeededRand()} }},
+	{"maporder", func() []Analyzer { return []Analyzer{NewMapOrder()} }},
+	{"floateq", func() []Analyzer { return []Analyzer{NewFloatEq()} }},
+	{"errcmp", func() []Analyzer { return []Analyzer{NewErrCmp()} }},
+	{"ctxflow", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
+	{"suppress", All},
+}
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// wantsIn extracts the expected-diagnostic regexes per line of one file.
+func wantsIn(t *testing.T, path string) map[int][]string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[int][]string)
+	for i, line := range strings.Split(string(raw), "\n") {
+		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+			wants[i+1] = append(wants[i+1], m[1])
+		}
+	}
+	return wants
+}
+
+func TestGoldenFixtures(t *testing.T) {
+	for _, tt := range golden {
+		t.Run(tt.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", tt.dir)
+			fset := token.NewFileSet()
+			pkg, err := LoadDir(fset, dir, tt.dir, LoadOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pkg == nil {
+				t.Fatalf("no fixture files in %s", dir)
+			}
+
+			diags := Run([]*Package{pkg}, tt.analyzers())
+
+			// Index findings by (file, line).
+			got := make(map[string]map[int][]Diagnostic)
+			for _, d := range diags {
+				if got[d.File] == nil {
+					got[d.File] = make(map[int][]Diagnostic)
+				}
+				got[d.File][d.Line] = append(got[d.File][d.Line], d)
+			}
+
+			for _, f := range pkg.Files {
+				wants := wantsIn(t, filepath.Join(dir, filepath.Base(f.Filename)))
+				perLine := got[f.Filename]
+				// Every want must be matched by a diagnostic on its line.
+				for line, patterns := range wants {
+					for _, pat := range patterns {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", f.Filename, line, pat, err)
+						}
+						matched := false
+						for _, d := range perLine[line] {
+							if re.MatchString(d.Message) {
+								matched = true
+							}
+						}
+						if !matched {
+							t.Errorf("%s:%d: want diagnostic matching %q, got %v", f.Filename, line, pat, perLine[line])
+						}
+					}
+				}
+				// Every diagnostic must be anticipated by a want.
+				for line, ds := range perLine {
+					if len(wants[line]) == 0 {
+						for _, d := range ds {
+							t.Errorf("unexpected diagnostic %s", d)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunDeterministicOrder asserts position-sorted output and that the
+// order is independent of analyzer registration order.
+func TestRunDeterministicOrder(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg, err := LoadDir(fset, filepath.Join("testdata", "wallclock"), "wallclock", LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Run([]*Package{pkg}, All())
+	b := Run([]*Package{pkg}, []Analyzer{NewCtxFlow(), NewWallClock(), NewErrCmp(), NewFloatEq(), NewMapOrder(), NewSeededRand()})
+	if len(a) == 0 {
+		t.Fatal("expected findings in the wallclock fixture")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("analyzer order changed finding count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("analyzer order changed output order at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	sorted := sort.SliceIsSorted(a, func(i, j int) bool {
+		if a[i].File != a[j].File {
+			return a[i].File < a[j].File
+		}
+		if a[i].Line != a[j].Line {
+			return a[i].Line < a[j].Line
+		}
+		return a[i].Col <= a[j].Col
+	})
+	if !sorted {
+		t.Fatalf("diagnostics not position-sorted: %v", a)
+	}
+}
+
+// parseSrc builds a single-file package from source for hygiene tests.
+func parseSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{
+		Fset:  fset,
+		Name:  f.Name.Name,
+		Files: []*File{{AST: f, Filename: "src.go"}},
+	}
+}
+
+func messagesOf(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Analyzer+": "+d.Message)
+	}
+	return out
+}
+
+func TestAllowHygiene(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string // substring of a surviving diagnostic, "" for clean
+	}{
+		{
+			name: "malformed: missing reason",
+			src: "package p\n\nimport \"time\"\n\nfunc f() time.Time {\n" +
+				"\treturn time.Now() //lint:allow wallclock\n}\n",
+			want: "malformed allow directive",
+		},
+		{
+			name: "unknown analyzer name",
+			src: "package p\n\nimport \"time\"\n\nfunc f() time.Time {\n" +
+				"\treturn time.Now() //lint:allow wallclok typo in the name\n}\n",
+			want: "unknown analyzer",
+		},
+		{
+			name: "unused allow",
+			src:  "package p\n\n//lint:allow wallclock nothing here\nfunc f() {}\n",
+			want: "unused allow directive",
+		},
+		{
+			name: "used allow is clean",
+			src: "package p\n\nimport \"time\"\n\nfunc f() time.Time {\n" +
+				"\treturn time.Now() //lint:allow wallclock reason given\n}\n",
+			want: "",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			diags := Run([]*Package{parseSrc(t, tt.src)}, All())
+			if tt.want == "" {
+				if len(diags) != 0 {
+					t.Fatalf("want clean, got %v", messagesOf(diags))
+				}
+				return
+			}
+			found := false
+			for _, d := range diags {
+				if strings.Contains(d.Message, tt.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want a diagnostic containing %q, got %v", tt.want, messagesOf(diags))
+			}
+		})
+	}
+}
+
+func TestReporters(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "wallclock", File: "a.go", Line: 3, Col: 9, Message: "m1"},
+		{Analyzer: "errcmp", File: "b.go", Line: 7, Col: 2, Message: "m2"},
+	}
+
+	var text bytes.Buffer
+	if err := WriteText(&text, diags); err != nil {
+		t.Fatal(err)
+	}
+	want := "a.go:3:9: [wallclock] m1\nb.go:7:2: [errcmp] m2\n"
+	if text.String() != want {
+		t.Fatalf("text output:\n%s\nwant:\n%s", text.String(), want)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count != 2 || len(rep.Diagnostics) != 2 || rep.Diagnostics[0] != diags[0] {
+		t.Fatalf("json round-trip mismatch: %+v", rep)
+	}
+
+	// Empty reports must still carry a non-null array.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"diagnostics": []`) {
+		t.Fatalf("empty report should have an empty array, got %s", buf.String())
+	}
+}
+
+func TestWalkSkipsTestdataAndTests(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := Walk(fset, ".", LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want exactly the lint package itself, got %d packages", len(pkgs))
+	}
+	for _, f := range pkgs[0].Files {
+		if strings.HasSuffix(f.Filename, "_test.go") {
+			t.Fatalf("test file leaked into default load: %s", f.Filename)
+		}
+		if strings.Contains(f.Filename, "testdata") {
+			t.Fatalf("testdata leaked into walk: %s", f.Filename)
+		}
+	}
+	withTests, err := Walk(fset, ".", LoadOptions{Tests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withTests[0].Files) <= len(pkgs[0].Files) {
+		t.Fatal("Tests option should add _test.go files")
+	}
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadOptions controls which files Load and Walk parse.
+type LoadOptions struct {
+	// Tests includes _test.go files. The default (false) matches the CI
+	// gate: test files exercise the invariants rather than carry them, so
+	// the repo-wide sweep lints production sources only.
+	Tests bool
+}
+
+// LoadDir parses every .go file directly inside dir into one Package.
+// rel is the directory path to report in diagnostics (and to key
+// package-scoped analyzer config); it is usually dir relative to the
+// module root. Returns nil (no error) when the directory holds no
+// eligible Go files.
+func LoadDir(fset *token.FileSet, dir, rel string, opts LoadOptions) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !opts.Tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	pkg := &Package{Fset: fset, Dir: filepath.ToSlash(rel)}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		pkg.Files = append(pkg.Files, &File{
+			AST:      f,
+			Filename: filepath.ToSlash(filepath.Join(rel, name)),
+		})
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// Walk loads every package under root, recursively, skipping testdata,
+// hidden directories, and (by convention) vendor. Packages come back
+// sorted by directory so the whole pipeline is deterministic.
+func Walk(fset *token.FileSet, root string, opts LoadOptions) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		pkg, err := LoadDir(fset, path, rel, opts)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	return pkgs, nil
+}

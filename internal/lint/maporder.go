@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// mapOrder flags the pattern that most directly corrupts reproducible
+// output: ranging over a map and appending to a slice that is never
+// sorted afterwards in the same function. Go randomizes map iteration
+// order per process, so such a slice changes order run to run — fatal
+// when it feeds a returned path list, a CSV/JSON export, or a checkpoint
+// journal. The analyzer is syntactic: it recognizes map-typed range
+// subjects declared in the enclosing function (make(map...), map
+// literals, var/param declarations) and package-local calls returning a
+// map, and accepts any sort.*/slices.Sort* call mentioning the slice
+// after the loop as the fix.
+type mapOrder struct{}
+
+// NewMapOrder returns the maporder analyzer.
+func NewMapOrder() Analyzer { return mapOrder{} }
+
+func (mapOrder) Name() string { return "maporder" }
+func (mapOrder) Doc() string {
+	return "slices built while ranging over a map must be sorted before use"
+}
+
+func (mapOrder) Check(pkg *Package) []Diagnostic {
+	returners := mapReturners(pkg)
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		sortName := importName(f.AST, "sort")
+		slicesName := importName(f.AST, "slices")
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			mapVars := mapTypedVars(fd)
+			// candidate appends: slice ident += inside a map-range body
+			type cand struct {
+				slice string
+				pos   token.Pos
+			}
+			var cands []cand
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapExpr(rs.X, mapVars, returners) {
+					return true
+				}
+				ast.Inspect(rs.Body, func(m ast.Node) bool {
+					as, ok := m.(*ast.AssignStmt)
+					if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+						return true
+					}
+					lhs, ok := as.Lhs[0].(*ast.Ident)
+					if !ok {
+						return true
+					}
+					call, ok := as.Rhs[0].(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+						return true
+					}
+					cands = append(cands, cand{slice: lhs.Name, pos: as.Pos()})
+					return true
+				})
+				return true
+			})
+			for _, c := range cands {
+				if sortedAfter(fd.Body, c.slice, c.pos, sortName, slicesName) {
+					continue
+				}
+				out = append(out, pkg.diag(f, c.pos, "maporder", fmt.Sprintf(
+					"%s is appended to while ranging over a map and never sorted afterwards; map order is randomized per process, so sort it (sort.*/slices.Sort*) before it escapes", c.slice)))
+			}
+		}
+	}
+	return out
+}
+
+// mapReturners collects names of package-level functions and methods
+// whose only result is a map type, so `for k := range p.EdgeSet()` is
+// recognized within the defining package.
+func mapReturners(pkg *Package) map[string]bool {
+	set := make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+				continue
+			}
+			if _, ok := fd.Type.Results.List[0].Type.(*ast.MapType); ok {
+				set[fd.Name.Name] = true
+			}
+		}
+	}
+	return set
+}
+
+// mapTypedVars gathers identifiers that are locally visible map values:
+// parameters and receivers of map type, var declarations, and :=
+// bindings to make(map...) or a map literal.
+func mapTypedVars(fd *ast.FuncDecl) map[string]bool {
+	vars := make(map[string]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if _, ok := field.Type.(*ast.MapType); !ok {
+				continue
+			}
+			for _, name := range field.Names {
+				vars[name.Name] = true
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	addFields(fd.Type.Results)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if _, ok := vs.Type.(*ast.MapType); ok {
+					for _, name := range vs.Names {
+						vars[name.Name] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isMapValueExpr(s.Rhs[i]) {
+					vars[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// isMapValueExpr reports whether e syntactically constructs a map:
+// make(map[...]...) or a map composite literal.
+func isMapValueExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		fn, ok := v.Fun.(*ast.Ident)
+		if !ok || fn.Name != "make" || len(v.Args) == 0 {
+			return false
+		}
+		_, isMap := v.Args[0].(*ast.MapType)
+		return isMap
+	case *ast.CompositeLit:
+		_, isMap := v.Type.(*ast.MapType)
+		return isMap
+	}
+	return false
+}
+
+// isMapExpr reports whether the range subject e is a map per local
+// knowledge: a known map variable, a direct map construction, or a call
+// to a package-local map-returning function/method.
+func isMapExpr(e ast.Expr, mapVars, returners map[string]bool) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return mapVars[v.Name]
+	case *ast.CallExpr:
+		switch fn := v.Fun.(type) {
+		case *ast.Ident:
+			return returners[fn.Name] || isMapValueExpr(e)
+		case *ast.SelectorExpr:
+			return returners[fn.Sel.Name]
+		}
+		return isMapValueExpr(e)
+	case *ast.CompositeLit:
+		return isMapValueExpr(e)
+	}
+	return false
+}
+
+// sortedAfter reports whether a sort.* or slices.Sort* call mentioning
+// slice appears after pos inside body.
+func sortedAfter(body *ast.BlockStmt, slice string, pos token.Pos, sortName, slicesName string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		isSort := (sortName != "" && id.Name == sortName) ||
+			(slicesName != "" && id.Name == slicesName && strings.HasPrefix(sel.Sel.Name, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == slice {
+					mentions = true
+					return false
+				}
+				return true
+			})
+			if mentions {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText prints one "file:line:col: [analyzer] message" line per
+// diagnostic, in the order given (Run already position-sorts).
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report is the -json output shape of cmd/lint.
+type Report struct {
+	Count       int          `json:"count"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// WriteJSON emits the diagnostics as an indented Report object. The
+// diagnostics array is never null, so consumers can index it
+// unconditionally.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Count: len(diags), Diagnostics: diags})
+}

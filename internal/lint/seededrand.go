@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// seededRand flags uses of math/rand's package-global generator
+// (rand.Intn, rand.Float64, rand.Shuffle, ...), which draws from a
+// process-wide source that no experiment seed controls. Every random
+// draw in this repo must flow from an explicit rand.New(rand.NewSource(
+// seed)) so that a (city, algorithm, seed) cell replays bit-identically.
+// Constructor calls (rand.New, rand.NewSource, rand.NewZipf) are exempt:
+// they are exactly how a seed is made explicit.
+type seededRand struct{}
+
+// NewSeededRand returns the seededrand analyzer.
+func NewSeededRand() Analyzer { return seededRand{} }
+
+func (seededRand) Name() string { return "seededrand" }
+func (seededRand) Doc() string {
+	return "no package-global math/rand draws; randomness must flow from an explicit seed"
+}
+
+// constructors of math/rand (v1 and v2) that take or wrap an explicit
+// seed/source and are therefore the sanctioned way in, plus the
+// package's type names (rand.Rand in a signature is not a draw).
+var randExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+	"PCG": true, "ChaCha8": true,
+}
+
+func (seededRand) Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		names := make(map[string]bool, 2)
+		if n := importName(f.AST, "math/rand"); n != "" {
+			names[n] = true
+		}
+		if n := importName(f.AST, "math/rand/v2"); n != "" {
+			names[n] = true
+		}
+		if len(names) == 0 {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !names[id.Name] {
+				return true
+			}
+			name := sel.Sel.Name
+			if randExempt[name] || !ast.IsExported(name) {
+				return true
+			}
+			out = append(out, pkg.diag(f, n.Pos(), "seededrand", fmt.Sprintf(
+				"rand.%s draws from the unseeded package-global source; use a rand.New(rand.NewSource(seed)) generator threaded from the experiment seed", name)))
+			return true
+		})
+	}
+	return out
+}

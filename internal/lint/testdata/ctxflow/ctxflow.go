@@ -1,0 +1,89 @@
+// Fixture for the ctxflow analyzer. The package is named "core" so the
+// default target-package set applies, as it does to the real
+// internal/core, internal/graph and internal/lp packages.
+package core
+
+import "context"
+
+func Nested(xs [][]int) int { // want "never consults a context.Context"
+	s := 0
+	for _, row := range xs {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+func Ignored(ctx context.Context, xs [][]int) int { // want "never consults a context.Context"
+	s := 0
+	for _, row := range xs {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+func NestedCtx(ctx context.Context, xs [][]int) int { // ok: polls its ctx param
+	s := 0
+	for _, row := range xs {
+		if ctx.Err() != nil {
+			return s
+		}
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+func Single(xs []int) int { // ok: one bounded pass, no nested work
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func nestedUnexported(xs [][]int) int { // ok: contract covers exported API only
+	s := 0
+	for _, row := range xs {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+func Delegating(xs [][]int) int { // ok: hands the work to a *Ctx variant
+	return NestedCtx(context.Background(), xs)
+}
+
+type walker struct{ ctx context.Context }
+
+func (w *walker) Walk(xs [][]int) int { // ok: polls the stored context
+	s := 0
+	for _, row := range xs {
+		if w.ctx != nil && w.ctx.Err() != nil {
+			break
+		}
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+func InClosure(xs [][]int) int { // want "never consults a context.Context"
+	s := 0
+	for _, row := range xs {
+		add := func() {
+			for _, v := range row {
+				s += v
+			}
+		}
+		add()
+	}
+	return s
+}

@@ -1,0 +1,26 @@
+// Fixture for the errcmp analyzer: identity comparison against sentinel
+// errors is flagged; errors.Is and nil checks are not.
+package fixture
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrBoom = errors.New("boom")
+
+func check(err error) bool {
+	if err == ErrBoom { // want "errors.Is"
+		return true
+	}
+	if err != io.EOF { // want "errors.Is"
+		return false
+	}
+	if ErrBoom == err { // want "errors.Is"
+		return true
+	}
+	if errors.Is(err, ErrBoom) { // ok: unwraps
+		return true
+	}
+	return err == nil // ok: nil check needs no unwrapping
+}

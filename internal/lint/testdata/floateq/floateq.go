@@ -1,0 +1,42 @@
+// Fixture for the floateq analyzer: ==/!= on float operands is flagged;
+// integer comparisons and exact-infinity sentinels are not.
+package fixture
+
+import "math"
+
+type point struct {
+	X float64
+	N int
+}
+
+func cmp(a, b float64, n int) bool {
+	if a == b { // want "order-of-summation sensitive"
+		return true
+	}
+	if a != 1.5 { // want "order-of-summation sensitive"
+		return true
+	}
+	if float64(n) == b { // want "order-of-summation sensitive"
+		return true
+	}
+	if a+b == 2.0 { // want "order-of-summation sensitive"
+		return true
+	}
+	if a == math.Inf(1) { // ok: exact infinity sentinel
+		return true
+	}
+	return n == 3 // ok: integers compare exactly
+}
+
+func fields(p, q point) bool {
+	if p.N != q.N { // ok: int field
+		return false
+	}
+	return p.X == q.X // want "order-of-summation sensitive"
+}
+
+func viaFunc(p point) bool {
+	return scale(p) == 0.0 // want "order-of-summation sensitive"
+}
+
+func scale(p point) float64 { return p.X * 2 }

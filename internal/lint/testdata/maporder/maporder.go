@@ -1,0 +1,60 @@
+// Fixture for the maporder analyzer: appending to a slice while ranging
+// over a map is flagged unless a sort call mentioning the slice follows
+// in the same function.
+package fixture
+
+import "sort"
+
+func keysUnsorted(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "never sorted afterwards"
+	}
+	return out
+}
+
+func keysSorted(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // ok: sorted below
+	}
+	sort.Ints(out)
+	return out
+}
+
+func fromMake() []string {
+	seen := make(map[string]bool)
+	seen["x"] = true
+	var out []string
+	for k := range seen {
+		out = append(out, k) // want "never sorted afterwards"
+	}
+	return out
+}
+
+func viaReturner() []int {
+	var out []int
+	for k := range table() {
+		out = append(out, k) // want "never sorted afterwards"
+	}
+	return out
+}
+
+func table() map[int]bool { return nil }
+
+func sortSliceCounts(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name) // ok: sort.Slice below mentions names
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+func overSlice(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v) // ok: slice iteration is ordered
+	}
+	return out
+}

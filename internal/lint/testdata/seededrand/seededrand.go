@@ -1,0 +1,16 @@
+// Fixture for the seededrand analyzer: package-global math/rand draws
+// are flagged; explicitly seeded generators and type references are not.
+package fixture
+
+import "math/rand"
+
+func draws(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // ok: the sanctioned way in
+	n := rng.Intn(10)                     // ok: method on a seeded generator
+	n += rand.Intn(10)                    // want "unseeded package-global source"
+	rand.Shuffle(n, func(i, j int) {})    // want "unseeded package-global source"
+	_ = rand.Float64()                    // want "unseeded package-global source"
+	var spare *rand.Rand                  // ok: type reference, not a draw
+	_ = spare
+	return n
+}

@@ -1,0 +1,18 @@
+// Fixture for the //lint:allow suppression path: annotated sites are
+// silent, unannotated ones still fire. Run with the full analyzer suite.
+package fixture
+
+import "time"
+
+func stamped() time.Time {
+	return time.Now() //lint:allow wallclock fixture: trailing-comment form
+}
+
+func above() time.Time {
+	//lint:allow wallclock fixture: comment-above form
+	return time.Now()
+}
+
+func open() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}

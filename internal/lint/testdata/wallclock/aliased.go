@@ -1,0 +1,7 @@
+package fixture
+
+import clock "time"
+
+func aliased() clock.Time {
+	return clock.Now() // want "time.Now reads the wall clock"
+}

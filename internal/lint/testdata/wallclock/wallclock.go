@@ -1,0 +1,17 @@
+// Fixture for the wallclock analyzer: time.Now and time.Since are
+// flagged, every other use of package time is not.
+package fixture
+
+import "time"
+
+func clock() (time.Time, time.Duration) {
+	start := time.Now()    // want "time.Now reads the wall clock"
+	d := time.Since(start) // want "time.Since reads the wall clock"
+	_ = time.Unix(0, 0)    // ok: explicit instant, reproducible
+	_ = time.Second        // ok: constant duration
+	return start, d
+}
+
+func indirect() func() time.Time {
+	return time.Now // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// wallClock flags reads of the wall clock: time.Now and time.Since. A
+// wall-clock read anywhere in an attack or experiment path makes the
+// 40-run-per-cell grid non-replayable — timing must come from the run's
+// seeded inputs, and the few legitimate measurement sites (benchmark
+// stamps, Result.Runtime) carry //lint:allow wallclock annotations.
+type wallClock struct{}
+
+// NewWallClock returns the wallclock analyzer.
+func NewWallClock() Analyzer { return wallClock{} }
+
+func (wallClock) Name() string { return "wallclock" }
+func (wallClock) Doc() string {
+	return "no time.Now/time.Since outside annotated timing sites"
+}
+
+func (wallClock) Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		timeName := importName(f.AST, "time")
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := isPkgSel(sel, timeName)
+			if !ok || (name != "Now" && name != "Since") {
+				return true
+			}
+			out = append(out, pkg.diag(f, n.Pos(), "wallclock", fmt.Sprintf(
+				"time.%s reads the wall clock and breaks run reproducibility; derive timing from seeded inputs or annotate an approved measurement site", name)))
+			return true
+		})
+	}
+	return out
+}

@@ -68,7 +68,7 @@ func OrientationEntropy(net *roadnet.Network, bins int) float64 {
 		hist[idx] += w
 		total += w
 	}
-	if total == 0 {
+	if total == 0 { //lint:allow floateq exact zero sentinel: a sum of nonnegative lengths is zero iff empty
 		return 0
 	}
 	h := 0.0

@@ -154,7 +154,7 @@ func Parse(r io.Reader, opts ParseOptions) (*roadnet.Network, error) {
 	var ways []xmlWay
 	for {
 		tok, err := dec.Token()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -16,6 +16,7 @@
 package partition
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -347,6 +348,15 @@ func AreaAround(g *graph.Graph, center graph.NodeID, radius float64, w graph.Wei
 // reconnaissance step. Sampling sources keeps it tractable on big cities;
 // pass 0 samples for the exact computation.
 func CriticalRoads(net *roadnet.Network, w graph.WeightFunc, k, sampleSources int) []graph.EdgeID {
+	roads, _ := CriticalRoadsCtx(context.Background(), net, w, k, sampleSources)
+	return roads
+}
+
+// CriticalRoadsCtx is CriticalRoads with cooperative cancellation: the
+// betweenness sweep underneath polls ctx once per source tree. On
+// cancellation it returns nil and the context's error rather than a
+// ranking built from partial scores.
+func CriticalRoadsCtx(ctx context.Context, net *roadnet.Network, w graph.WeightFunc, k, sampleSources int) ([]graph.EdgeID, error) {
 	g := net.Graph()
 	opts := graph.BetweennessOptions{Normalize: true}
 	if sampleSources > 0 && sampleSources < g.NumNodes() {
@@ -358,6 +368,9 @@ func CriticalRoads(net *roadnet.Network, w graph.WeightFunc, k, sampleSources in
 			opts.Sources = append(opts.Sources, graph.NodeID(s))
 		}
 	}
-	scores := graph.EdgeBetweenness(g, w, opts)
-	return graph.TopEdgesByScore(g, scores, k)
+	scores, err := graph.EdgeBetweennessCtx(ctx, g, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	return graph.TopEdgesByScore(g, scores, k), nil
 }

@@ -97,7 +97,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].timeS != h[j].timeS {
+	if h[i].timeS != h[j].timeS { //lint:allow floateq deterministic event order relies on exact time bits; ties are broken by seq below
 		return h[i].timeS < h[j].timeS
 	}
 	return h[i].seq < h[j].seq
