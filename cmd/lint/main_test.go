@@ -16,7 +16,8 @@ import (
 // non-zero, which is the ISSUE's acceptance criterion for the testdata
 // packages.
 var fixtures = []string{
-	"wallclock", "seededrand", "maporder", "floateq", "errcmp", "ctxflow", "suppress",
+	"wallclock", "seededrand", "maporder", "floateq", "errcmp", "ctxflow",
+	"ctxflowserver", "suppress",
 }
 
 func fixtureDir(name string) string {

@@ -1,0 +1,169 @@
+// Command serve runs the attack pipeline as a long-running HTTP/JSON
+// service over one street network (a synthetic city preset or an OSM
+// extract).
+//
+// Endpoints:
+//
+//	POST /v1/attack  one s→d attack               (server.AttackRequest)
+//	POST /v1/batch   one experiment table, resumable (server.BatchRequest)
+//	GET  /healthz    liveness (200 while the process runs)
+//	GET  /readyz     readiness + load/breaker stats (503 while draining)
+//
+// Robustness behaviour (see internal/server): bounded admission queue
+// with Retry-After rejections, load shedding by estimated cost, an LP
+// circuit breaker that degrades to greedy covers, per-request panic
+// isolation, and graceful drain on SIGINT/SIGTERM — in-flight batches
+// checkpoint to -checkpoint-dir and resume on re-submission, and the
+// process exits 0 after a clean drain.
+//
+//	go run ./cmd/serve -city boston -scale 0.05 -addr :8080
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"altroute/internal/citygen"
+	"altroute/internal/faultinject"
+	"altroute/internal/osm"
+	"altroute/internal/roadnet"
+	"altroute/internal/server"
+)
+
+// chaosInjector is a test seam: when non-nil it is attached to the server
+// config so the drain tests can wedge the pipeline deterministically. It is
+// never set in production builds.
+var chaosInjector *faultinject.Injector
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the network, starts the HTTP server, and blocks until ctx is
+// cancelled (SIGINT/SIGTERM), then drains gracefully. It returns nil on a
+// clean drain so the process exits 0.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		city      = fs.String("city", "boston", "city preset (boston, san-francisco, chicago, los-angeles)")
+		scale     = fs.Float64("scale", 0.05, "city scale (1 = full Table I size)")
+		seed      = fs.Int64("seed", 1, "city generation seed")
+		osmFile   = fs.String("osm", "", "serve this OSM XML extract instead of a synthetic city")
+		capacity  = fs.Int("capacity", 0, "admission budget in cost units (0 = 4*GOMAXPROCS)")
+		maxQueue  = fs.Int("queue", 32, "max queued requests before 503 + Retry-After")
+		maxUnits  = fs.Int("max-units", 0, "per-request cost-unit budget; larger requests are shed (0 = capacity)")
+		unitWork  = fs.Float64("unit-work", 2e6, "estimated edge relaxations per admission unit")
+		timeout   = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTO     = fs.Duration("max-timeout", 5*time.Minute, "cap on client-supplied deadlines")
+		brkThresh = fs.Int("breaker-threshold", 3, "consecutive LP timeouts/panics that open the breaker")
+		brkCool   = fs.Duration("breaker-cooldown", 10*time.Second, "open-breaker cooldown before half-open probes")
+		brkOK     = fs.Int("breaker-successes", 2, "consecutive probe successes that close the breaker")
+		ckptDir   = fs.String("checkpoint-dir", "", "journal /v1/batch runs into this directory for drain/resume")
+		grace     = fs.Duration("drain-grace", 30*time.Second, "max wait for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net2, err := buildNetwork(*osmFile, *city, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serve: network %s: %d intersections, %d segments\n",
+		net2.Name(), net2.NumIntersections(), net2.NumSegments())
+
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+	}
+	srv, err := server.New(server.Config{
+		Net:             net2,
+		Capacity:        *capacity,
+		MaxQueue:        *maxQueue,
+		MaxRequestUnits: *maxUnits,
+		UnitWork:        *unitWork,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTO,
+		Breaker: server.BreakerConfig{
+			Threshold: *brkThresh,
+			Cooldown:  *brkCool,
+			Successes: *brkOK,
+		},
+		CheckpointDir: *ckptDir,
+		Scale:         *scale,
+		Injector:      chaosInjector,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serve: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds slow-client body dribble; the per-request
+		// pipeline deadline handles everything after decode.
+		ReadTimeout: 30 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting, cancel in-flight batches so their
+	// checkpoints flush, wait out the grace period, then close the
+	// listener. Exit 0 even if stragglers were cut off — the journals
+	// make their work resumable.
+	fmt.Fprintln(out, "serve: draining")
+	if err := srv.Drain(*grace); err != nil {
+		fmt.Fprintln(out, "serve:", err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(out, "serve: drained, exiting")
+	return nil
+}
+
+// buildNetwork loads an OSM extract or generates a synthetic city.
+func buildNetwork(osmFile, city string, scale float64, seed int64) (*roadnet.Network, error) {
+	if osmFile != "" {
+		return osm.ParseFile(osmFile, osm.ParseOptions{
+			AttachHospitals:  true,
+			LargestComponent: true,
+		})
+	}
+	c, err := citygen.ParseCity(strings.ReplaceAll(city, "-", " "))
+	if err != nil {
+		return nil, err
+	}
+	return citygen.Build(c, scale, seed)
+}

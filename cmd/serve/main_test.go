@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"altroute/internal/faultinject"
+	"altroute/internal/server"
+)
+
+// syncWriter is a goroutine-safe capture of run's stdout.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`serve: listening on (\S+)`)
+
+// startServe launches run() on an ephemeral port and returns the base URL
+// and a channel carrying run's return value.
+func startServe(t *testing.T, ctx context.Context, extraArgs ...string) (string, <-chan error, *syncWriter) {
+	t.Helper()
+	out := &syncWriter{}
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-city", "boston",
+		"-scale", "0.015",
+		"-seed", "11",
+		"-drain-grace", "30s",
+	}, extraArgs...)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, args, out) }()
+
+	deadline := time.Now().Add(30 * time.Second) //lint:allow wallclock test polling deadline
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], errc, out
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("run exited before listening: %v\noutput: %s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) { //lint:allow wallclock test polling deadline
+			t.Fatalf("server never listened; output: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func testBatch() map[string]any {
+	return map[string]any{
+		"id":                   "sigterm-batch",
+		"rank":                 4,
+		"seed":                 11,
+		"sources_per_hospital": 1,
+		"algorithms":           []string{"GreedyPathCover", "GreedyEdge"},
+		"timeout_ms":           60_000,
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp.StatusCode, out.Bytes()
+}
+
+// TestSIGTERMDrainsMidBatchAndResumes is the end-to-end shape of the
+// ISSUE's acceptance scenario: SIGTERM while a checkpointed batch is in
+// flight drains gracefully (run returns nil — exit 0), leaves a resumable
+// journal, and a restarted server completes the batch from it.
+func TestSIGTERMDrainsMidBatchAndResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a city and runs a batch; skipped in -short")
+	}
+	dir := t.TempDir()
+
+	// Wedge the pipeline a few attack rounds in, so SIGTERM provably lands
+	// mid-batch rather than racing batch completion.
+	in := faultinject.New(1).Arm(faultinject.PointAttackStall, faultinject.Rule{OnHit: 4})
+	chaosInjector = in
+	defer func() { chaosInjector = nil }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	base, errc, out := startServe(t, ctx, "-checkpoint-dir", dir)
+
+	type result struct {
+		code int
+		body []byte
+	}
+	batchDone := make(chan result, 1)
+	go func() {
+		code, body := postJSON(t, base+"/v1/batch", testBatch())
+		batchDone <- result{code, body}
+	}()
+
+	// Wait until the batch is provably wedged at the stall point, then
+	// deliver a real SIGTERM to ourselves.
+	waitFor(t, func() bool { return in.Hits(faultinject.PointAttackStall) >= 4 })
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+
+	var res result
+	select {
+	case res = <-batchDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("batch request never returned after SIGTERM")
+	}
+	if res.code != http.StatusServiceUnavailable {
+		t.Fatalf("drained batch = %d, want 503; body %s", res.code, res.body)
+	}
+	var bres server.BatchResponse
+	if err := json.Unmarshal(res.body, &bres); err != nil {
+		t.Fatalf("decode batch response: %v", err)
+	}
+	if !bres.Interrupted || !bres.Resumable {
+		t.Fatalf("batch response = %+v, want interrupted+resumable", bres)
+	}
+
+	// run() itself must return nil — the process exits 0 after the drain.
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run after SIGTERM = %v, want nil (exit 0)", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("run never exited after SIGTERM; output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "serve: drained, exiting") {
+		t.Fatalf("missing drain farewell; output: %s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sigterm-batch.jsonl")); err != nil {
+		t.Fatalf("journal missing after drain: %v", err)
+	}
+
+	// Restart against the same checkpoint directory with chaos disarmed:
+	// the re-submitted batch replays the journal and completes.
+	chaosInjector = nil
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	base2, errc2, _ := startServe(t, ctx2, "-checkpoint-dir", dir)
+	code, body := postJSON(t, base2+"/v1/batch", testBatch())
+	if code != http.StatusOK {
+		t.Fatalf("resumed batch = %d, want 200; body %s", code, body)
+	}
+	var resumed server.BatchResponse
+	if err := json.Unmarshal(body, &resumed); err != nil {
+		t.Fatalf("decode resumed response: %v", err)
+	}
+	if resumed.Interrupted {
+		t.Fatalf("resumed batch still interrupted: %+v", resumed)
+	}
+	cancel2()
+	if err := <-errc2; err != nil {
+		t.Fatalf("second run exit = %v, want nil", err)
+	}
+}
+
+func TestServeHealthAndCleanShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a city; skipped in -short")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, errc, out := startServe(t, ctx)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run = %v, want nil", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("run never exited; output: %s", out.String())
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-city", "atlantis"},
+		{"-addr", "not-an-address"},
+		{"-osm", "/nonexistent/extract.osm"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &syncWriter{}); err == nil {
+			t.Errorf("run(%v) = nil, want error", args)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second) //lint:allow wallclock test polling deadline
+	for !cond() {
+		if time.Now().After(deadline) { //lint:allow wallclock test polling deadline
+			t.Fatal("condition never held")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+

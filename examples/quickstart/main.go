@@ -2,10 +2,11 @@
 // route, and compute the minimum set of road blockages that forces every
 // optimally-routing driver onto it.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-seed N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,6 +14,8 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", 1, "seed for the attack's tie-breaking")
+	flag.Parse()
 	// A 3x3 grid of two-way streets around downtown.
 	net := altroute.NewNetwork("toytown")
 	var nodes [3][3]altroute.NodeID
@@ -54,7 +57,7 @@ func main() {
 	fmt.Printf("forced alternative route p*: %d hops, %.1f s at the speed limits\n",
 		problem.PStar.Hops(), problem.PStar.Length)
 
-	result, err := altroute.Attack(altroute.AlgGreedyPathCover, problem, altroute.Options{})
+	result, err := altroute.Attack(altroute.AlgGreedyPathCover, problem, altroute.Options{Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,10 +4,11 @@
 // blockages redirects several commuter flows at once, and the BPR traffic
 // assignment quantifies the city-wide vehicle-hours the attack adds.
 //
-//	go run ./examples/rushhour
+//	go run ./examples/rushhour [-seed N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,8 +16,9 @@ import (
 )
 
 func main() {
-	const seed = 21
-	net, err := altroute.BuildCity(altroute.LosAngeles, 0.02, seed)
+	seed := flag.Int64("seed", 21, "seed for city generation and the attack")
+	flag.Parse()
+	net, err := altroute.BuildCity(altroute.LosAngeles, 0.02, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func main() {
 	// One shared cut forcing all three flows simultaneously.
 	res, err := altroute.AttackMulti(altroute.AlgGreedyPathCover, altroute.MultiProblem{
 		G: g, Victims: victims, Weight: w, Cost: net.Cost(altroute.CostLanes),
-	}, altroute.Options{Seed: seed})
+	}, altroute.Options{Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,6 +41,10 @@ const (
 	// unit's attack starts, exercising the per-unit recovery in
 	// internal/experiment (outside core.RunCtx's own recover).
 	PointWorkerPanic Point = "experiment/worker-panic"
+	// PointServerPanic panics inside an HTTP handler after admission,
+	// exercising the server's request-level panic isolation (the recover
+	// in Server.ServeHTTP, outside core.RunCtx's own recover).
+	PointServerPanic Point = "server/handler-panic"
 )
 
 // ErrInjected marks a failure manufactured by an Injector.

@@ -14,6 +14,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // NodeID identifies a node (road intersection).
@@ -38,9 +39,15 @@ type Arc struct {
 // non-negative; Dijkstra's correctness depends on it.
 type WeightFunc func(EdgeID) float64
 
+// ErrBadGraph is the umbrella sentinel for structurally unusable graph
+// data: NaN, infinite, or negative edge weights. Loaders reject such data
+// at load time and servers re-check it at startup, because a single NaN
+// weight poisons every shortest-path result silently instead of failing.
+var ErrBadGraph = errors.New("graph: invalid graph data")
+
 // ErrNegativeWeight is returned by validation helpers when a WeightFunc
-// produces a negative value.
-var ErrNegativeWeight = errors.New("graph: negative edge weight")
+// produces a negative value. It wraps ErrBadGraph.
+var ErrNegativeWeight = fmt.Errorf("%w: negative edge weight", ErrBadGraph)
 
 // Graph is a directed multigraph. The zero value is an empty graph ready to
 // use. Graph is not safe for concurrent mutation; concurrent read-only use
@@ -273,11 +280,19 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
-// ValidateWeights checks w on every edge and returns ErrNegativeWeight
-// (wrapped with the offending edge) if any weight is negative.
+// ValidateWeights checks w on every edge and returns an ErrBadGraph-class
+// error (wrapped with the offending edge) when any weight is NaN, infinite,
+// or negative — the three ways a weight function can silently break
+// Dijkstra, A*, and every metric built on them.
 func (g *Graph) ValidateWeights(w WeightFunc) error {
 	for e := range g.arcs {
-		if w(EdgeID(e)) < 0 {
+		v := w(EdgeID(e))
+		switch {
+		case math.IsNaN(v):
+			return fmt.Errorf("edge %d: %w: weight is NaN", e, ErrBadGraph)
+		case math.IsInf(v, 0):
+			return fmt.Errorf("edge %d: %w: weight is %v", e, ErrBadGraph, v)
+		case v < 0:
 			return fmt.Errorf("edge %d: %w", e, ErrNegativeWeight)
 		}
 	}

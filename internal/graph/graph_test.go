@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"errors"
+	"math"
 	"testing"
 )
 
@@ -185,6 +187,19 @@ func TestValidateWeights(t *testing.T) {
 	err := g.ValidateWeights(func(EdgeID) float64 { return -1 })
 	if err == nil {
 		t.Fatal("ValidateWeights(negative) = nil, want error")
+	}
+	if !errors.Is(err, ErrNegativeWeight) || !errors.Is(err, ErrBadGraph) {
+		t.Errorf("negative-weight error = %v, want ErrNegativeWeight wrapping ErrBadGraph", err)
+	}
+	for name, w := range map[string]float64{
+		"NaN":  math.NaN(),
+		"+Inf": math.Inf(1),
+		"-Inf": math.Inf(-1),
+	} {
+		err := g.ValidateWeights(func(EdgeID) float64 { return w })
+		if !errors.Is(err, ErrBadGraph) {
+			t.Errorf("ValidateWeights(%s) = %v, want ErrBadGraph", name, err)
+		}
 	}
 }
 

@@ -24,10 +24,12 @@ type ctxFlow struct {
 }
 
 // NewCtxFlow returns the ctxflow analyzer. With no arguments it targets
-// the packages named by the cancellation contract: core, graph, lp.
+// the packages named by the cancellation contract: core, graph, lp, and
+// server (whose handlers must propagate request deadlines into the
+// pipeline rather than looping uncancellably).
 func NewCtxFlow(pkgNames ...string) Analyzer {
 	if len(pkgNames) == 0 {
-		pkgNames = []string{"core", "graph", "lp"}
+		pkgNames = []string{"core", "graph", "lp", "server"}
 	}
 	set := make(map[string]bool, len(pkgNames))
 	for _, n := range pkgNames {
@@ -38,7 +40,7 @@ func NewCtxFlow(pkgNames ...string) Analyzer {
 
 func (ctxFlow) Name() string { return "ctxflow" }
 func (ctxFlow) Doc() string {
-	return "exported nested-loop funcs in core/graph/lp must accept and check a context.Context"
+	return "exported nested-loop funcs in core/graph/lp/server must accept and check a context.Context"
 }
 
 func (c ctxFlow) Check(pkg *Package) []Diagnostic {

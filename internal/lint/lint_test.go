@@ -26,6 +26,7 @@ var golden = []struct {
 	{"floateq", func() []Analyzer { return []Analyzer{NewFloatEq()} }},
 	{"errcmp", func() []Analyzer { return []Analyzer{NewErrCmp()} }},
 	{"ctxflow", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
+	{"ctxflowserver", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
 	{"suppress", All},
 }
 

@@ -1,0 +1,39 @@
+// Fixture for the ctxflow analyzer's server coverage. The package is
+// named "server" so the default target-package set applies, as it does
+// to the real internal/server package: request handlers that loop over
+// unbounded work must propagate the request deadline.
+package server
+
+import "context"
+
+// Handle fans work out over every unit of every batch without ever
+// consulting a deadline — exactly the unbounded-handler shape the
+// resilient-service contract forbids.
+func Handle(batches [][]int) int { // want "never consults a context.Context"
+	n := 0
+	for _, batch := range batches {
+		for _, unit := range batch {
+			n += unit
+		}
+	}
+	return n
+}
+
+// HandleCtx polls its request context between units: compliant.
+func HandleCtx(ctx context.Context, batches [][]int) int {
+	n := 0
+	for _, batch := range batches {
+		for _, unit := range batch {
+			if ctx.Err() != nil {
+				return n
+			}
+			n += unit
+		}
+	}
+	return n
+}
+
+// Drain delegates the nested work to a *Ctx variant: compliant.
+func Drain(ctx context.Context, batches [][]int) int {
+	return HandleCtx(ctx, batches)
+}

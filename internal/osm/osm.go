@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -112,7 +113,10 @@ func ParseSpeed(v string) float64 {
 		}
 	}
 	n, err := strconv.ParseFloat(v, 64)
-	if err != nil || n <= 0 {
+	// ParseFloat accepts "nan" and "inf", and NaN compares false against
+	// every threshold — without the explicit checks a maxspeed of "NaN"
+	// would flow into the TIME weights untouched.
+	if err != nil || math.IsNaN(n) || math.IsInf(n, 0) || n <= 0 {
 		return 0
 	}
 	return n * factor
@@ -137,7 +141,7 @@ func ParseWidth(v string) float64 {
 		factor = 0.3048
 	}
 	n, err := strconv.ParseFloat(v, 64)
-	if err != nil || n <= 0 {
+	if err != nil || math.IsNaN(n) || math.IsInf(n, 0) || n <= 0 {
 		return 0
 	}
 	return n * factor
@@ -177,6 +181,16 @@ func Parse(r io.Reader, opts ParseOptions) (*roadnet.Network, error) {
 				return nil, fmt.Errorf("osm: way: %w", err)
 			}
 			ways = append(ways, w)
+		}
+	}
+
+	// Reject corrupt coordinates before any geometry is derived from them:
+	// a single NaN latitude would otherwise surface as a NaN haversine
+	// length on every incident road.
+	for id, n := range nodes {
+		if !(n.Lat >= -90 && n.Lat <= 90) || !(n.Lon >= -180 && n.Lon <= 180) {
+			return nil, fmt.Errorf("osm: node %d: %w: coordinates (%v, %v)",
+				id, graph.ErrBadGraph, n.Lat, n.Lon)
 		}
 	}
 

@@ -186,6 +186,28 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseRejectsBadCoordinates(t *testing.T) {
+	cases := map[string]string{
+		"NaN latitude":       `lat="NaN" lon="-71.06"`,
+		"Inf longitude":      `lat="42.36" lon="Inf"`,
+		"latitude past 90":   `lat="91.5" lon="-71.06"`,
+		"longitude past 180": `lat="42.36" lon="-200"`,
+	}
+	for name, attrs := range cases {
+		t.Run(name, func(t *testing.T) {
+			doc := `<osm>
+  <node id="1" ` + attrs + `/>
+  <node id="2" lat="42.3601" lon="-71.0601"/>
+  <way id="1"><nd ref="1"/><nd ref="2"/><tag k="highway" v="residential"/></way>
+</osm>`
+			_, err := Parse(strings.NewReader(doc), ParseOptions{})
+			if !errors.Is(err, graph.ErrBadGraph) {
+				t.Fatalf("Parse = %v, want graph.ErrBadGraph", err)
+			}
+		})
+	}
+}
+
 func TestParseSpeed(t *testing.T) {
 	tests := []struct {
 		in   string
@@ -199,6 +221,12 @@ func TestParseSpeed(t *testing.T) {
 		{"30mph", 13.4112},
 		{"bogus", 0},
 		{"-5", 0},
+		// strconv.ParseFloat accepts these, and NaN defeats the <= 0
+		// check — they must still fall back to the class default.
+		{"NaN", 0},
+		{"Inf", 0},
+		{"+Inf mph", 0},
+		{"-Inf", 0},
 	}
 	for _, tt := range tests {
 		if got := ParseSpeed(tt.in); math.Abs(got-tt.want) > 1e-9 {
@@ -218,6 +246,8 @@ func TestParseWidth(t *testing.T) {
 		{"24'", 24 * 0.3048},
 		{"24 ft", 24 * 0.3048},
 		{"junk", 0},
+		{"NaN", 0},
+		{"Inf m", 0},
 	}
 	for _, tt := range tests {
 		if got := ParseWidth(tt.in); math.Abs(got-tt.want) > 1e-9 {

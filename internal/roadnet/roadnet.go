@@ -11,6 +11,7 @@ package roadnet
 
 import (
 	"fmt"
+	"math"
 
 	"altroute/internal/geo"
 	"altroute/internal/graph"
@@ -204,14 +205,53 @@ func (n *Network) AddIntersection(p geo.Point) graph.NodeID {
 // Point returns the coordinate of node id.
 func (n *Network) Point(id graph.NodeID) geo.Point { return n.coords[id] }
 
+// ErrBadRoad flags road attributes that would poison shortest-path and
+// cost computation: NaN or infinite values anywhere, or explicitly
+// negative lengths, speeds, widths, or lane counts. Zero still means "use
+// the class default". It wraps graph.ErrBadGraph so loaders and servers
+// can match the whole bad-input class with one sentinel.
+var ErrBadRoad = fmt.Errorf("%w: bad road attributes", graph.ErrBadGraph)
+
+// validate rejects attribute values normalize cannot repair. NaN compares
+// false against every threshold, so without these explicit checks a NaN
+// length would sail through normalize's `<= 0` defaults and surface miles
+// downstream as a silently wrong Dijkstra result.
+func (r Road) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"length_m", r.LengthM},
+		{"speed_ms", r.SpeedMS},
+		{"width_m", r.WidthM},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return fmt.Errorf("%w: %s is %v", ErrBadRoad, f.name, f.v)
+		}
+	}
+	if r.Lanes < 0 {
+		return fmt.Errorf("%w: lanes is %d", ErrBadRoad, r.Lanes)
+	}
+	return nil
+}
+
 // AddRoad adds a one-way road segment from -> to. Zero attribute fields are
 // filled from class defaults; a zero LengthM is computed from the node
-// coordinates.
+// coordinates. NaN, infinite, or negative attributes are rejected with
+// ErrBadRoad — garbage is refused at load time, not discovered mid-attack.
 func (n *Network) AddRoad(from, to graph.NodeID, r Road) (graph.EdgeID, error) {
+	if err := r.validate(); err != nil {
+		return graph.InvalidEdge, err
+	}
 	if r.LengthM <= 0 {
 		if int(from) < len(n.coords) && int(to) < len(n.coords) {
 			r.LengthM = geo.Haversine(n.coords[from], n.coords[to])
 		}
+	}
+	// Degenerate coordinates (a NaN latitude from a corrupt extract) leak
+	// into the computed length; catch them here where the road is named.
+	if math.IsNaN(r.LengthM) || math.IsInf(r.LengthM, 0) {
+		return graph.InvalidEdge, fmt.Errorf("%w: length computed from coordinates is %v", ErrBadRoad, r.LengthM)
 	}
 	r.normalize()
 	e, err := n.g.AddEdge(from, to)
@@ -240,9 +280,15 @@ func (n *Network) AddTwoWayRoad(a, b graph.NodeID, r Road) (graph.EdgeID, graph.
 func (n *Network) Road(e graph.EdgeID) Road { return n.roads[e] }
 
 // SetRoad replaces the attributes of segment e (normalizing zero fields).
-func (n *Network) SetRoad(e graph.EdgeID, r Road) {
+// Like AddRoad it rejects NaN/infinite/negative attributes, leaving the
+// existing road untouched.
+func (n *Network) SetRoad(e graph.EdgeID, r Road) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
 	r.normalize()
 	n.roads[e] = r
+	return nil
 }
 
 // Router returns a fresh shortest-path router over the network's graph.

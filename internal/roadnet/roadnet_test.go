@@ -1,6 +1,7 @@
 package roadnet
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -368,10 +369,61 @@ func TestAttachPOIEmptyNetwork(t *testing.T) {
 func TestSetRoad(t *testing.T) {
 	n, nodes := testNet(t)
 	e := n.Graph().FindEdge(nodes[0], nodes[1])
-	n.SetRoad(e, Road{LengthM: 42, Class: ClassMotorway})
+	if err := n.SetRoad(e, Road{LengthM: 42, Class: ClassMotorway}); err != nil {
+		t.Fatalf("SetRoad: %v", err)
+	}
 	got := n.Road(e)
 	if got.LengthM != 42 || got.Class != ClassMotorway || got.Lanes != 3 {
 		t.Errorf("SetRoad result = %+v", got)
+	}
+}
+
+func TestAddRoadRejectsGarbageAttributes(t *testing.T) {
+	bad := map[string]Road{
+		"NaN length":      {LengthM: math.NaN()},
+		"+Inf length":     {LengthM: math.Inf(1)},
+		"negative length": {LengthM: -5},
+		"NaN speed":       {SpeedMS: math.NaN()},
+		"-Inf speed":      {SpeedMS: math.Inf(-1)},
+		"negative speed":  {SpeedMS: -1},
+		"NaN width":       {WidthM: math.NaN()},
+		"negative width":  {WidthM: -2},
+		"negative lanes":  {Lanes: -1},
+	}
+	for name, road := range bad {
+		t.Run(name, func(t *testing.T) {
+			n, nodes := testNet(t)
+			edges := n.NumSegments()
+			if _, err := n.AddRoad(nodes[0], nodes[3], road); !errors.Is(err, ErrBadRoad) {
+				t.Fatalf("AddRoad = %v, want ErrBadRoad", err)
+			} else if !errors.Is(err, graph.ErrBadGraph) {
+				t.Fatalf("AddRoad error %v does not wrap graph.ErrBadGraph", err)
+			}
+			if n.NumSegments() != edges {
+				t.Fatalf("rejected road still added an edge")
+			}
+			// SetRoad applies the same validation and leaves the existing
+			// road untouched on rejection.
+			e := n.Graph().FindEdge(nodes[0], nodes[1])
+			before := n.Road(e)
+			if err := n.SetRoad(e, road); !errors.Is(err, ErrBadRoad) {
+				t.Fatalf("SetRoad = %v, want ErrBadRoad", err)
+			}
+			if n.Road(e) != before {
+				t.Fatal("rejected SetRoad modified the road")
+			}
+		})
+	}
+}
+
+func TestAddRoadRejectsLengthFromBadCoords(t *testing.T) {
+	n := NewNetwork("badcoords")
+	a := n.AddIntersection(geo.Point{Lat: math.NaN(), Lon: -71})
+	b := n.AddIntersection(geo.Point{Lat: 42.36, Lon: -71})
+	// Zero length asks for haversine from coordinates; the NaN latitude
+	// must be caught here, not discovered as a NaN weight mid-attack.
+	if _, err := n.AddRoad(a, b, Road{}); !errors.Is(err, ErrBadRoad) {
+		t.Fatalf("AddRoad over NaN coords = %v, want ErrBadRoad", err)
 	}
 }
 

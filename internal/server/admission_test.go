@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediateGrant(t *testing.T) {
+	a := newAdmission(4, 2)
+	if err := a.Acquire(context.Background(), 3); err != nil {
+		t.Fatalf("Acquire(3): %v", err)
+	}
+	if got := a.Used(); got != 3 {
+		t.Fatalf("Used() = %d, want 3", got)
+	}
+	a.Release(3)
+	if got := a.Used(); got != 0 {
+		t.Fatalf("Used() after release = %d, want 0", got)
+	}
+}
+
+func TestAdmissionShedsOversized(t *testing.T) {
+	a := newAdmission(4, 2)
+	if err := a.Acquire(context.Background(), 5); !errors.Is(err, ErrShed) {
+		t.Fatalf("Acquire(5) on capacity 4 = %v, want ErrShed", err)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+
+	// One waiter fits in the queue...
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queued := make(chan error, 1)
+	go func() { queued <- a.Acquire(ctx, 1) }()
+	waitFor(t, func() bool { return a.Queued() == 1 })
+
+	// ...the next is rejected immediately, without blocking.
+	if err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Acquire with full queue = %v, want ErrQueueFull", err)
+	}
+
+	a.Release(1)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued Acquire after release: %v", err)
+	}
+	a.Release(1)
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(ctx, 1) }()
+	waitFor(t, func() bool { return a.Queued() == 1 })
+
+	sentinel := errors.New("caller gave up")
+	cancel(sentinel)
+	err := <-done
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("cancelled Acquire = %v, want wrapped cause", err)
+	}
+	if got := a.Queued(); got != 0 {
+		t.Fatalf("Queued() after cancel = %d, want 0 (waiter removed)", got)
+	}
+
+	// The held unit is still accounted for and still releasable.
+	a.Release(1)
+	if got := a.Used(); got != 0 {
+		t.Fatalf("Used() = %d, want 0", got)
+	}
+}
+
+func TestAdmissionFIFOOrder(t *testing.T) {
+	a := newAdmission(1, 8)
+	if err := a.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+
+	const waiters = 4
+	order := make(chan int, waiters)
+	for i := 0; i < waiters; i++ {
+		i := i
+		go func() {
+			if err := a.Acquire(context.Background(), 1); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			a.Release(1)
+		}()
+		// Queue one at a time so the FIFO order is the spawn order.
+		waitFor(t, func() bool { return a.Queued() == i+1 })
+	}
+
+	a.Release(1)
+	for want := 0; want < waiters; want++ {
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("grant order: got waiter %d, want %d", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d never granted", want)
+		}
+	}
+}
+
+func TestAdmissionWeightedGrants(t *testing.T) {
+	// A release grants as many FIFO heads as fit, and a heavy head blocks
+	// lighter requests behind it (fairness over utilization).
+	a := newAdmission(4, 8)
+	if err := a.Acquire(context.Background(), 4); err != nil {
+		t.Fatalf("Acquire(4): %v", err)
+	}
+
+	heavy := make(chan error, 1)
+	light := make(chan error, 1)
+	go func() { heavy <- a.Acquire(context.Background(), 3) }()
+	waitFor(t, func() bool { return a.Queued() == 1 })
+	go func() { light <- a.Acquire(context.Background(), 1) }()
+	waitFor(t, func() bool { return a.Queued() == 2 })
+
+	// Freeing one unit fits neither the heavy head (needs 3) nor — by
+	// FIFO — the light waiter behind it.
+	a.Release(1)
+	select {
+	case <-heavy:
+		t.Fatal("heavy waiter granted with only 1 unit free")
+	case <-light:
+		t.Fatal("light waiter granted ahead of the FIFO head")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Freeing the rest grants both in order.
+	a.Release(3)
+	if err := <-heavy; err != nil {
+		t.Fatalf("heavy: %v", err)
+	}
+	if err := <-light; err != nil {
+		t.Fatalf("light: %v", err)
+	}
+	if got := a.Used(); got != 4 {
+		t.Fatalf("Used() = %d, want 4", got)
+	}
+}
+
+func TestAdmissionConcurrentChurn(t *testing.T) {
+	a := newAdmission(4, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				n := 1 + (i+j)%3
+				if err := a.Acquire(context.Background(), n); err != nil {
+					if errors.Is(err, ErrQueueFull) {
+						continue
+					}
+					t.Errorf("Acquire(%d): %v", n, err)
+					return
+				}
+				a.Release(n)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := a.Used(); got != 0 {
+		t.Fatalf("Used() after churn = %d, want 0", got)
+	}
+	if got := a.Queued(); got != 0 {
+		t.Fatalf("Queued() after churn = %d, want 0", got)
+	}
+}
+
+func TestEstimateUnits(t *testing.T) {
+	cases := []struct {
+		work, unitWork float64
+		want           int
+	}{
+		{0, 100, 1},
+		{99, 100, 1},
+		{100, 100, 1},
+		{101, 100, 2},
+		{1000, 100, 10},
+		{1000, 0, 1}, // degenerate unitWork: everything is one unit
+	}
+	for _, tc := range cases {
+		if got := estimateUnits(tc.work, tc.unitWork); got != tc.want {
+			t.Errorf("estimateUnits(%v, %v) = %d, want %d", tc.work, tc.unitWork, got, tc.want)
+		}
+	}
+	if w := EstimateWork(0, 0, 0); w <= 0 {
+		t.Errorf("EstimateWork floor = %v, want > 0", w)
+	}
+	if lo, hi := EstimateWork(2, 100, 300), EstimateWork(8, 100, 300); hi <= lo {
+		t.Errorf("EstimateWork not monotone in rank: k=2 %v, k=8 %v", lo, hi)
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second) //lint:allow wallclock test polling deadline
+	for !cond() {
+		if time.Now().After(deadline) { //lint:allow wallclock test polling deadline
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"altroute/internal/core"
+)
+
+// BreakerState is one of the three circuit-breaker states.
+type BreakerState int
+
+const (
+	// BreakerClosed is the healthy state: LP-PathCover requests run the LP.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen means the LP solver is considered broken: LP-PathCover
+	// requests are rerouted to GreedyPathCover until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets a single probe request through to the LP while
+	// everyone else stays on the greedy route; the probe's outcome decides
+	// whether the breaker closes again or re-opens.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes the LP circuit breaker. The zero value uses the
+// defaults noted per field.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive trip-class failures
+	// (ErrTimeout or ErrPanic) that opens the breaker. Default 3.
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting a
+	// half-open probe through. Default 10s.
+	Cooldown time.Duration
+	// Successes is the number of consecutive successful probes that close
+	// a half-open breaker. Default 2.
+	Successes int
+}
+
+func (c *BreakerConfig) fill() {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	if c.Successes <= 0 {
+		c.Successes = 2
+	}
+}
+
+// Breaker is a circuit breaker guarding the LP-PathCover solver. The
+// attack handlers consult Allow before running the LP; when it reports
+// false they substitute GreedyPathCover (surfaced to the client as a
+// Degraded result), so a systematically failing LP degrades the service
+// instead of consuming the concurrency budget with doomed solves.
+//
+// Trip-class outcomes are core.ErrTimeout and core.ErrPanic: failures
+// that say the solver is unhealthy. Domain failures (infeasible, budget,
+// invalid problem) mean the solver did its job and count as successes.
+//
+// Breaker is safe for concurrent use.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	now func() time.Time
+
+	state    BreakerState
+	fails    int // consecutive trip-class failures while closed
+	okProbes int // consecutive successful probes while half-open
+	probing  bool
+	openedAt time.Time
+	trips    int // lifetime open transitions, for stats
+}
+
+// NewBreaker returns a closed breaker. now is the clock used for cooldown
+// timing; nil uses the wall clock.
+func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
+	cfg.fill()
+	if now == nil {
+		now = time.Now //lint:allow wallclock breaker cooldown is inherently wall-clock; tests inject a fake clock
+	}
+	return &Breaker{cfg: cfg, now: now}
+}
+
+// Allow reports whether an LP-PathCover request may run the LP right now.
+// probe is true when the request was admitted as the half-open probe; its
+// outcome MUST be reported back through Record or the breaker will stay
+// half-open with its one probe slot occupied.
+func (b *Breaker) Allow() (probe, allowed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return false, true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.okProbes = 0
+		b.probing = true
+		return true, true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// Record reports the outcome of an LP run admitted by Allow. err nil (or
+// a non-trip-class error) counts as a success.
+func (b *Breaker) Record(err error) {
+	trip := errors.Is(err, core.ErrTimeout) || errors.Is(err, core.ErrPanic)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if !trip {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if trip {
+			b.open()
+			return
+		}
+		b.okProbes++
+		if b.okProbes >= b.cfg.Successes {
+			b.state = BreakerClosed
+			b.fails = 0
+		}
+	case BreakerOpen:
+		// A result from a request admitted before the breaker opened;
+		// it carries no information the open transition didn't already
+		// account for.
+	}
+}
+
+// open transitions to BreakerOpen. Callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.okProbes = 0
+	b.probing = false
+	b.trips++
+}
+
+// State returns the current state (transitioning open→half-open lazily is
+// Allow's job, so State can report open past the cooldown).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

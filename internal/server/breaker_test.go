@@ -1,0 +1,195 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"altroute/internal/core"
+)
+
+// fakeClock is a manually-advanced clock for deterministic cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// breaker events for the state-machine table tests.
+type brkEvent struct {
+	// exactly one of these is set:
+	record  error         // Record(record)
+	advance time.Duration // clock advance
+	// allow drives Allow and asserts its results when set.
+	allow       bool
+	wantProbe   bool
+	wantAllowed bool
+
+	wantState BreakerState // state asserted after the event
+}
+
+func rec(err error, want BreakerState) brkEvent { return brkEvent{record: err, wantState: want} }
+func adv(d time.Duration, want BreakerState) brkEvent {
+	return brkEvent{advance: d, wantState: want}
+}
+func allow(probe, allowed bool, want BreakerState) brkEvent {
+	return brkEvent{allow: true, wantProbe: probe, wantAllowed: allowed, wantState: want}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	okErr := error(nil)
+	domain := core.ErrInfeasible // solver worked; not a trip-class failure
+	timeout := core.ErrTimeout
+	panicked := core.ErrPanic
+
+	cfg := BreakerConfig{Threshold: 2, Cooldown: time.Minute, Successes: 2}
+	cases := []struct {
+		name   string
+		events []brkEvent
+	}{
+		{
+			name: "closed stays closed on successes and domain failures",
+			events: []brkEvent{
+				allow(false, true, BreakerClosed),
+				rec(okErr, BreakerClosed),
+				rec(domain, BreakerClosed),
+				rec(errors.Join(core.ErrBudgetExceeded), BreakerClosed),
+			},
+		},
+		{
+			name: "consecutive trips open; success resets the streak",
+			events: []brkEvent{
+				rec(timeout, BreakerClosed), // 1 of 2
+				rec(okErr, BreakerClosed),   // streak reset
+				rec(timeout, BreakerClosed), // 1 of 2
+				rec(panicked, BreakerOpen),  // 2 of 2 → open
+			},
+		},
+		{
+			name: "open rejects until cooldown, then one half-open probe",
+			events: []brkEvent{
+				rec(timeout, BreakerClosed),
+				rec(timeout, BreakerOpen),
+				allow(false, false, BreakerOpen),
+				adv(30*time.Second, BreakerOpen),
+				allow(false, false, BreakerOpen),
+				adv(31*time.Second, BreakerOpen),
+				allow(true, true, BreakerHalfOpen),   // the probe
+				allow(false, false, BreakerHalfOpen), // only one at a time
+			},
+		},
+		{
+			name: "half-open probe failure re-opens and restarts cooldown",
+			events: []brkEvent{
+				rec(timeout, BreakerClosed),
+				rec(timeout, BreakerOpen),
+				adv(61*time.Second, BreakerOpen),
+				allow(true, true, BreakerHalfOpen),
+				rec(panicked, BreakerOpen),
+				allow(false, false, BreakerOpen), // cooldown restarted
+				adv(61*time.Second, BreakerOpen),
+				allow(true, true, BreakerHalfOpen),
+			},
+		},
+		{
+			name: "half-open closes after enough probe successes",
+			events: []brkEvent{
+				rec(timeout, BreakerClosed),
+				rec(timeout, BreakerOpen),
+				adv(61*time.Second, BreakerOpen),
+				allow(true, true, BreakerHalfOpen),
+				rec(okErr, BreakerHalfOpen), // 1 of 2 successes
+				allow(true, true, BreakerHalfOpen),
+				rec(domain, BreakerClosed), // 2 of 2 → closed
+				allow(false, true, BreakerClosed),
+			},
+		},
+		{
+			name: "late result recorded while open is ignored",
+			events: []brkEvent{
+				rec(timeout, BreakerClosed),
+				rec(timeout, BreakerOpen),
+				rec(okErr, BreakerOpen),
+				rec(timeout, BreakerOpen),
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := &fakeClock{t: time.Unix(0, 0)}
+			b := NewBreaker(cfg, clock.now)
+			for i, ev := range tc.events {
+				switch {
+				case ev.allow:
+					probe, allowed := b.Allow()
+					if probe != ev.wantProbe || allowed != ev.wantAllowed {
+						t.Fatalf("event %d: Allow() = (%v, %v), want (%v, %v)",
+							i, probe, allowed, ev.wantProbe, ev.wantAllowed)
+					}
+				case ev.advance != 0:
+					clock.advance(ev.advance)
+				default:
+					b.Record(ev.record)
+				}
+				if got := b.State(); got != ev.wantState {
+					t.Fatalf("event %d: state = %v, want %v", i, got, ev.wantState)
+				}
+			}
+		})
+	}
+}
+
+func TestBreakerWrappedErrorsClassify(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 1}, clock.now)
+	// Wrapped sentinels (as core.RunCtx produces them) must still trip.
+	b.Record(errors.Join(errors.New("context"), core.ErrTimeout))
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after wrapped ErrTimeout = %v, want open", got)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips() = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Millisecond, Successes: 1}, clock.now)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if _, allowed := b.Allow(); allowed {
+					if j%3 == 0 {
+						b.Record(core.ErrTimeout)
+					} else {
+						b.Record(nil)
+					}
+				}
+				if j%50 == 0 {
+					clock.advance(time.Millisecond)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// No assertion beyond the race detector and a sane final state.
+	if s := b.State(); s < BreakerClosed || s > BreakerHalfOpen {
+		t.Fatalf("final state out of range: %v", s)
+	}
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"altroute/internal/faultinject"
+)
+
+// chaosServer builds a server with a fake breaker clock and an armed
+// injector, for deterministic failure-path tests.
+func chaosServer(t testing.TB, in *faultinject.Injector, brk BreakerConfig) (*Server, *fakeClock) {
+	t.Helper()
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	s := newTestServer(t, func(c *Config) {
+		c.Injector = in
+		c.Breaker = brk
+		c.clock = clock.now
+	})
+	return s, clock
+}
+
+func TestChaosStalledLPTripsBreakerThenRecovers(t *testing.T) {
+	in := faultinject.New(1).Arm(faultinject.PointAttackStall, faultinject.Rule{Every: 1})
+	s, clock := chaosServer(t, in, BreakerConfig{Threshold: 2, Cooldown: 10 * time.Second, Successes: 1})
+
+	// Two consecutive stalled LP solves: 504s that open the breaker.
+	for i := 0; i < 2; i++ {
+		req := gridAttack()
+		req.TimeoutMS = 50
+		w, _, errResp := postAttack(t, s, req)
+		if w.Code != http.StatusGatewayTimeout || errResp.Kind != "timeout" {
+			t.Fatalf("stalled attack %d: %d/%q, want 504/timeout", i, w.Code, errResp.Kind)
+		}
+	}
+	if got := s.Breaker().State(); got != BreakerOpen {
+		t.Fatalf("breaker after %d timeouts = %v, want open", 2, got)
+	}
+
+	// The LP recovers (stall disarmed), but the breaker is still open:
+	// LP requests are rerouted to GreedyPathCover and marked Degraded.
+	in.Arm(faultinject.PointAttackStall, faultinject.Rule{})
+	w, resp, _ := postAttack(t, s, gridAttack())
+	if w.Code != http.StatusOK {
+		t.Fatalf("rerouted attack: %d, want 200", w.Code)
+	}
+	if !resp.Degraded || resp.Algorithm != "GreedyPathCover" || resp.Requested != "LP-PathCover" {
+		t.Fatalf("rerouted attack = %+v, want degraded greedy substitution", resp)
+	}
+	if resp.Breaker != "open" {
+		t.Fatalf("rerouted attack breaker = %q, want open", resp.Breaker)
+	}
+
+	// Non-LP traffic never touches the breaker and stays healthy.
+	greedy := gridAttack()
+	greedy.Algorithm = "GreedyEdge"
+	if w, resp, _ := postAttack(t, s, greedy); w.Code != http.StatusOK || resp.Degraded {
+		t.Fatalf("greedy during open breaker: %d degraded=%v, want healthy 200", w.Code, resp.Degraded)
+	}
+
+	// After the cooldown a half-open probe runs the real LP, succeeds, and
+	// closes the breaker again.
+	clock.advance(11 * time.Second)
+	w, resp, _ = postAttack(t, s, gridAttack())
+	if w.Code != http.StatusOK || resp.Degraded || resp.Algorithm != "LP-PathCover" {
+		t.Fatalf("probe attack = %d %+v, want healthy LP 200", w.Code, resp)
+	}
+	if got := s.Breaker().State(); got != BreakerClosed {
+		t.Fatalf("breaker after successful probe = %v, want closed", got)
+	}
+	if s.Breaker().Trips() != 1 {
+		t.Fatalf("Trips() = %d, want 1", s.Breaker().Trips())
+	}
+}
+
+func TestChaosPanickedLPTripsBreaker(t *testing.T) {
+	in := faultinject.New(1).Arm(faultinject.PointAttackPanic, faultinject.Rule{Every: 1})
+	s, _ := chaosServer(t, in, BreakerConfig{Threshold: 1, Cooldown: time.Hour, Successes: 1})
+
+	w, _, errResp := postAttack(t, s, gridAttack())
+	if w.Code != http.StatusInternalServerError || errResp.Kind != "panic" {
+		t.Fatalf("panicked attack: %d/%q, want 500/panic", w.Code, errResp.Kind)
+	}
+	if got := s.Breaker().State(); got != BreakerOpen {
+		t.Fatalf("breaker after ErrPanic = %v, want open", got)
+	}
+
+	// The panic was recovered inside core; the next (rerouted) request
+	// must see a clean pooled network and succeed.
+	in.Arm(faultinject.PointAttackPanic, faultinject.Rule{})
+	if w, resp, _ := postAttack(t, s, gridAttack()); w.Code != http.StatusOK || !resp.Degraded {
+		t.Fatalf("post-panic attack: %d degraded=%v, want degraded 200", w.Code, resp.Degraded)
+	}
+}
+
+func TestChaosHandlerPanicIsolated(t *testing.T) {
+	// PointServerPanic unwinds the HTTP handler itself (outside
+	// core.RunCtx's recover); ServeHTTP turns it into a structured 500 and
+	// the process — and subsequent requests — survive.
+	in := faultinject.New(1).Arm(faultinject.PointServerPanic, faultinject.Rule{OnHit: 1})
+	s, _ := chaosServer(t, in, BreakerConfig{})
+
+	w, _, errResp := postAttack(t, s, gridAttack())
+	if w.Code != http.StatusInternalServerError || errResp.Kind != "panic" {
+		t.Fatalf("handler panic: %d/%q, want 500/panic", w.Code, errResp.Kind)
+	}
+
+	// The admission units the panicked request held were released by its
+	// defers, so the server is not leaking budget.
+	if used := s.adm.Used(); used != 0 {
+		t.Fatalf("used units after panic = %d, want 0", used)
+	}
+	if w, resp, _ := postAttack(t, s, gridAttack()); w.Code != http.StatusOK || resp.Degraded {
+		t.Fatalf("attack after handler panic: %d degraded=%v, want healthy 200", w.Code, resp.Degraded)
+	}
+	if got := s.Breaker().State(); got != BreakerClosed {
+		t.Fatalf("breaker = %v, want closed (handler panic before Allow records nothing)", got)
+	}
+}
+
+func TestChaosConcurrentMixedTraffic(t *testing.T) {
+	// Probabilistic panics under concurrent mixed traffic: every response
+	// must be structured (200 or a typed error), the process must survive,
+	// and the admission budget must drain back to zero. Run with -race.
+	in := faultinject.New(42).Arm(faultinject.PointAttackPanic, faultinject.Rule{Prob: 0.3})
+	s, _ := chaosServer(t, in, BreakerConfig{Threshold: 3, Cooldown: time.Millisecond, Successes: 1})
+
+	algs := []string{"", "GreedyEdge", "GreedyPathCover", "GreedyEig"}
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := gridAttack()
+			req.Algorithm = algs[i%len(algs)]
+			req.Seed = int64(i)
+			w, _, errResp := postAttack(t, s, req)
+			switch w.Code {
+			case http.StatusOK:
+			case http.StatusInternalServerError:
+				if errResp.Kind != "panic" {
+					t.Errorf("request %d: 500 with kind %q", i, errResp.Kind)
+				}
+			case http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+				// Backpressure under load is a legitimate outcome.
+			default:
+				t.Errorf("request %d: unexpected status %d (%+v)", i, w.Code, errResp)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if used := s.adm.Used(); used != 0 {
+		t.Fatalf("used units after churn = %d, want 0", used)
+	}
+	// The server still serves healthy traffic once the chaos is disarmed.
+	in.Arm(faultinject.PointAttackPanic, faultinject.Rule{})
+	req := gridAttack()
+	req.Algorithm = "GreedyEdge"
+	if w, _, _ := postAttack(t, s, req); w.Code != http.StatusOK {
+		t.Fatalf("post-chaos attack: %d, want 200", w.Code)
+	}
+}

@@ -1,0 +1,634 @@
+// Package server exposes the attack pipeline as a long-running HTTP/JSON
+// service. Robustness is the design center, layered on the PR 2
+// cancellation substrate (core.RunCtx):
+//
+//   - a bounded admission queue with per-request deadlines propagated into
+//     the pipeline — when the queue is full the request is rejected with
+//     Retry-After instead of piling up goroutines;
+//   - load shedding by cheap cost estimation (estimated Yen work from the
+//     requested path rank and the graph size) under a configurable
+//     concurrency budget;
+//   - a circuit breaker around LP-PathCover that trips on consecutive
+//     ErrTimeout/ErrPanic outcomes and reroutes traffic to GreedyPathCover
+//     (surfaced as Degraded results) while half-open probes test recovery;
+//   - per-request panic isolation reusing the core.ErrPanic sentinel, so
+//     one poisoned graph query costs one 500 response, never the process;
+//   - graceful drain: stop admitting, cancel in-flight batches at unit
+//     granularity so their JSONL checkpoints are flushed and resumable,
+//     then return.
+//
+// Every attack runs on a pooled clone of the configured network, because
+// the attack algorithms disable edges transactionally and must not share a
+// graph across requests. Clones returned to the pool are reset, so even a
+// panic that unwound mid-transaction cannot leak disabled edges into the
+// next request.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+
+	"altroute/internal/core"
+	"altroute/internal/experiment"
+	"altroute/internal/faultinject"
+	"altroute/internal/graph"
+	"altroute/internal/roadnet"
+)
+
+// Config configures a Server. Net is required; every other field has a
+// default noted on it.
+type Config struct {
+	// Net is the street network served. The server validates its weights
+	// and costs at construction (graph.ErrBadGraph on garbage) and clones
+	// it per concurrent attack.
+	Net *roadnet.Network
+	// Capacity is the concurrency budget in admission units (one unit ≈
+	// UnitWork edge relaxations). Default 4 × GOMAXPROCS.
+	Capacity int
+	// MaxQueue bounds the admission wait queue; requests beyond it are
+	// rejected with 503 + Retry-After. Default 32.
+	MaxQueue int
+	// MaxRequestUnits sheds any single request whose estimated cost
+	// exceeds it. Default Capacity (a request may fill the whole budget).
+	MaxRequestUnits int
+	// UnitWork is the estimated edge relaxations per admission unit.
+	// Default 2e6.
+	UnitWork float64
+	// DefaultTimeout is applied when a request carries no timeout_ms.
+	// Default 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-supplied deadlines. Default 5m.
+	MaxTimeout time.Duration
+	// RetryAfterS is the Retry-After hint on 503 responses. Default 1.
+	RetryAfterS int
+	// Breaker tunes the LP-PathCover circuit breaker.
+	Breaker BreakerConfig
+	// CheckpointDir, when non-empty, enables batch checkpoint journals:
+	// a /v1/batch request with an id journals to CheckpointDir/<id>.jsonl
+	// and resumes from it after a drain or crash.
+	CheckpointDir string
+	// Scale is recorded in batch checkpoint headers so a journal written
+	// at one network scale cannot be replayed at another. Default 1.
+	Scale float64
+	// Injector, when non-nil, is attached to every request context for
+	// chaos testing.
+	Injector *faultinject.Injector
+
+	clock func() time.Time // test hook for the breaker cooldown
+}
+
+func (c *Config) fill() {
+	if c.Capacity <= 0 {
+		c.Capacity = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 32
+	}
+	if c.MaxRequestUnits <= 0 {
+		c.MaxRequestUnits = c.Capacity
+	}
+	if c.UnitWork <= 0 {
+		c.UnitWork = 2e6
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.RetryAfterS <= 0 {
+		c.RetryAfterS = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+}
+
+// gate tracks in-flight requests and flips to draining atomically, so
+// drain can wait for a quiesced server without racing new admissions.
+type gate struct {
+	mu       sync.Mutex
+	draining bool
+	n        int
+	idle     chan struct{}
+}
+
+func newGate() *gate { return &gate{idle: make(chan struct{})} }
+
+// enter registers a request; false means the server is draining.
+func (g *gate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.n++
+	return true
+}
+
+// exit deregisters a request.
+func (g *gate) exit() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n--
+	g.maybeIdle()
+}
+
+// drain stops admissions and returns a channel closed once no requests
+// remain in flight. Idempotent.
+func (g *gate) drain() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.draining = true
+	g.maybeIdle()
+	return g.idle
+}
+
+func (g *gate) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// maybeIdle closes idle when draining and quiesced. Callers hold g.mu.
+func (g *gate) maybeIdle() {
+	if g.draining && g.n <= 0 {
+		select {
+		case <-g.idle:
+		default:
+			close(g.idle)
+		}
+	}
+}
+
+// Server is the attack service. Create one with New; it implements
+// http.Handler.
+type Server struct {
+	cfg  Config
+	adm  *admission
+	brk  *Breaker
+	gate *gate
+	mux  *http.ServeMux
+	pool chan *roadnet.Network
+
+	// drainCtx is cancelled (with ErrDraining) when drain begins; batch
+	// runs derive their cancellation from it so they checkpoint and stop
+	// at unit granularity.
+	drainCtx  context.Context
+	stopDrain context.CancelCauseFunc
+
+	batchMu sync.Mutex
+	batches map[string]bool // active checkpoint ids, to serialize journals
+}
+
+// New validates cfg and returns a ready Server. The network's weight and
+// cost functions are checked edge-by-edge up front: a server must never
+// trust a loaded graph, and a NaN that slips into Dijkstra poisons every
+// result silently.
+func New(cfg Config) (*Server, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("server: Config.Net is required")
+	}
+	cfg.fill()
+	if err := validateNetwork(cfg.Net); err != nil {
+		return nil, err
+	}
+	drainCtx, stopDrain := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		adm:       newAdmission(cfg.Capacity, cfg.MaxQueue),
+		brk:       NewBreaker(cfg.Breaker, cfg.clock),
+		gate:      newGate(),
+		mux:       http.NewServeMux(),
+		pool:      make(chan *roadnet.Network, cfg.Capacity),
+		drainCtx:  drainCtx,
+		stopDrain: stopDrain,
+		batches:   map[string]bool{},
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /v1/attack", s.guarded(s.handleAttack))
+	s.mux.HandleFunc("POST /v1/batch", s.guarded(s.handleBatch))
+	return s, nil
+}
+
+// validateNetwork checks every weight and cost model on every edge.
+func validateNetwork(net *roadnet.Network) error {
+	g := net.Graph()
+	for _, wt := range roadnet.WeightTypes() {
+		if err := g.ValidateWeights(net.Weight(wt)); err != nil {
+			return fmt.Errorf("server: weight %s: %w", wt, err)
+		}
+	}
+	for _, ct := range roadnet.CostTypes() {
+		if err := g.ValidateWeights(net.Cost(ct)); err != nil {
+			return fmt.Errorf("server: cost %s: %w", ct, err)
+		}
+	}
+	return nil
+}
+
+// ServeHTTP implements http.Handler with request-level panic isolation: a
+// panic that escapes a handler (or is injected by the chaos suite) is
+// recovered into a structured 500, never a dead process.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err := fmt.Errorf("%w: %v\n%s", core.ErrPanic, rec, debug.Stack())
+			s.writeError(w, http.StatusInternalServerError, "panic", err)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// guarded wraps a work handler with the drain gate: requests arriving
+// after drain began are rejected, and in-flight ones are counted so Drain
+// can wait for quiescence. Health endpoints bypass the gate — they must
+// answer while draining.
+func (s *Server) guarded(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.gate.enter() {
+			s.writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining)
+			return
+		}
+		defer s.gate.exit()
+		h(w, r)
+	}
+}
+
+// BeginDrain stops admitting work and cancels in-flight batch contexts so
+// they checkpoint and return partial results. Idempotent; it does not
+// wait — use Drain for the full stop-admit/quiesce sequence.
+func (s *Server) BeginDrain() {
+	s.stopDrain(ErrDraining)
+	s.gate.drain()
+}
+
+// Drain performs the graceful shutdown sequence: stop admitting, cancel
+// batch contexts (flushing their checkpoints), and wait up to grace for
+// in-flight requests to finish. It returns nil on a clean quiesce and an
+// error when the grace period expired with requests still running.
+func (s *Server) Drain(grace time.Duration) error {
+	s.BeginDrain()
+	select {
+	case <-s.gate.drain():
+		return nil
+	case <-time.After(grace):
+		return fmt.Errorf("server: drain grace %v expired with requests in flight", grace)
+	}
+}
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool { return s.gate.isDraining() }
+
+// Breaker exposes the LP circuit breaker (for stats and tests).
+func (s *Server) Breaker() *Breaker { return s.brk }
+
+// getNet takes a network clone from the pool, cloning fresh on a miss.
+func (s *Server) getNet() *roadnet.Network {
+	select {
+	case n := <-s.pool:
+		return n
+	default:
+		return s.cfg.Net.Clone()
+	}
+}
+
+// putNet returns a clone to the pool. ResetDisabled sanitizes clones a
+// recovered panic may have abandoned mid-transaction, so a poisoned
+// request cannot leak blocked roads into later ones.
+func (s *Server) putNet(n *roadnet.Network) {
+	n.Graph().ResetDisabled()
+	select {
+	case s.pool <- n:
+	default:
+	}
+}
+
+// --- health -----------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyzResponse is the /readyz body: readiness plus the load and breaker
+// stats an operator needs to interpret a 503.
+type readyzResponse struct {
+	Status        string `json:"status"`
+	Breaker       string `json:"breaker"`
+	BreakerTrips  int    `json:"breaker_trips"`
+	QueuedWaiters int    `json:"queued_waiters"`
+	UsedUnits     int    `json:"used_units"`
+	CapacityUnits int    `json:"capacity_units"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resp := readyzResponse{
+		Status:        "ready",
+		Breaker:       s.brk.State().String(),
+		BreakerTrips:  s.brk.Trips(),
+		QueuedWaiters: s.adm.Queued(),
+		UsedUnits:     s.adm.Used(),
+		CapacityUnits: s.cfg.Capacity,
+	}
+	status := http.StatusOK
+	if s.gate.isDraining() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// --- /v1/attack -------------------------------------------------------
+
+// AttackRequest is the /v1/attack body. Source and Dest are node IDs on
+// the served network; Rank selects p* (the rank-th shortest path).
+type AttackRequest struct {
+	Source    int64   `json:"source"`
+	Dest      int64   `json:"dest"`
+	Rank      int     `json:"rank"`
+	Algorithm string  `json:"algorithm,omitempty"` // default LP-PathCover
+	Weight    string  `json:"weight,omitempty"`    // default TIME
+	Cost      string  `json:"cost,omitempty"`      // default UNIFORM
+	Budget    float64 `json:"budget,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+}
+
+// AttackResponse is the /v1/attack success body.
+type AttackResponse struct {
+	Algorithm       string  `json:"algorithm"`
+	Requested       string  `json:"requested_algorithm,omitempty"` // set when the breaker rerouted
+	Removed         []int64 `json:"removed"`
+	TotalCost       float64 `json:"total_cost"`
+	Rounds          int     `json:"rounds"`
+	ConstraintPaths int     `json:"constraint_paths"`
+	RuntimeMS       float64 `json:"runtime_ms"`
+	Degraded        bool    `json:"degraded"`
+	DegradedReason  string  `json:"degraded_reason,omitempty"`
+	Breaker         string  `json:"breaker"`
+}
+
+// ErrorResponse is the structured error body on every non-2xx response.
+type ErrorResponse struct {
+	Error       string `json:"error"`
+	Kind        string `json:"kind"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
+	var req AttackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("server: decoding request: %w", err))
+		return
+	}
+	alg := core.AlgLPPathCover
+	if req.Algorithm != "" {
+		var err error
+		if alg, err = core.ParseAlgorithm(req.Algorithm); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+	}
+	wt := roadnet.WeightTime
+	if req.Weight != "" {
+		var err error
+		if wt, err = roadnet.ParseWeightType(req.Weight); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+	}
+	ct := roadnet.CostUniform
+	if req.Cost != "" {
+		var err error
+		if ct, err = roadnet.ParseCostType(req.Cost); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad_request", err)
+			return
+		}
+	}
+	n := int64(s.cfg.Net.NumIntersections())
+	if req.Source < 0 || req.Source >= n || req.Dest < 0 || req.Dest >= n {
+		s.writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Errorf("server: source/dest must be node IDs in [0, %d)", n))
+		return
+	}
+	if req.Source == req.Dest {
+		s.writeError(w, http.StatusBadRequest, "bad_request", errors.New("server: source equals dest"))
+		return
+	}
+	if req.Rank < 1 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", errors.New("server: rank must be >= 1"))
+		return
+	}
+
+	// Load shedding: a request whose estimated Yen work exceeds the
+	// per-request budget is refused before it touches the queue.
+	work := EstimateWork(req.Rank, s.cfg.Net.NumIntersections(), s.cfg.Net.Graph().NumEdges())
+	units := estimateUnits(work, s.cfg.UnitWork)
+	if units > s.cfg.MaxRequestUnits {
+		s.writeError(w, http.StatusServiceUnavailable, "shed",
+			fmt.Errorf("%w (estimated %d units, budget %d)", ErrShed, units, s.cfg.MaxRequestUnits))
+		return
+	}
+
+	// The request deadline covers queue wait AND attack work: a request
+	// that waited most of its budget in the queue attacks with whatever
+	// remains, so clients get a bounded worst case.
+	ctx, cancel := context.WithTimeoutCause(r.Context(), s.timeout(req.TimeoutMS), core.ErrTimeout)
+	defer cancel()
+	ctx = faultinject.With(ctx, s.cfg.Injector)
+
+	if err := s.adm.Acquire(ctx, units); err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	defer s.adm.Release(units)
+	if faultinject.Fires(ctx, faultinject.PointServerPanic) {
+		panic(fmt.Sprintf("injected panic at %s", faultinject.PointServerPanic))
+	}
+
+	// Circuit breaker: LP-PathCover reroutes to GreedyPathCover while the
+	// LP is considered broken, surfaced as a Degraded result.
+	requested := alg
+	rerouted := false
+	ranLP := false
+	if alg == core.AlgLPPathCover {
+		if _, allowed := s.brk.Allow(); allowed {
+			ranLP = true
+		} else {
+			alg = core.AlgGreedyPathCover
+			rerouted = true
+		}
+	}
+	// The breaker must learn this LP run's outcome even if the attack
+	// panics out of the handler: seed the deferred Record with the
+	// panic sentinel and overwrite it with the real outcome below.
+	attackErr := fmt.Errorf("%w: handler did not complete", core.ErrPanic)
+	if ranLP {
+		defer func() { s.brk.Record(attackErr) }()
+	}
+
+	net := s.getNet()
+	defer s.putNet(net)
+	res, err := s.attack(ctx, net, alg, wt, ct, req)
+	attackErr = err
+	if err != nil {
+		kind := failureKind(err)
+		s.writeError(w, statusForKind(kind), kind, err)
+		return
+	}
+
+	resp := AttackResponse{
+		Algorithm:       alg.String(),
+		Removed:         edgeIDs(res.Removed),
+		TotalCost:       res.TotalCost,
+		Rounds:          res.Rounds,
+		ConstraintPaths: res.ConstraintPaths,
+		RuntimeMS:       float64(res.Runtime) / float64(time.Millisecond),
+		Degraded:        res.Degraded,
+		DegradedReason:  res.DegradedReason,
+		Breaker:         s.brk.State().String(),
+	}
+	if rerouted {
+		resp.Requested = requested.String()
+		resp.Degraded = true
+		resp.DegradedReason = joinReasons("LP circuit breaker open; GreedyPathCover substituted", res.DegradedReason)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// attack computes p* and runs the chosen algorithm on a private network
+// clone, all under ctx.
+func (s *Server) attack(ctx context.Context, net *roadnet.Network, alg core.Algorithm, wt roadnet.WeightType, ct roadnet.CostType, req AttackRequest) (core.Result, error) {
+	g := net.Graph()
+	weight := net.Weight(wt)
+	router := graph.NewRouter(g)
+	router.SetContext(ctx)
+	paths := router.KShortest(graph.NodeID(req.Source), graph.NodeID(req.Dest), req.Rank, weight)
+	if err := ctx.Err(); err != nil {
+		// A cancelled KShortest returns a truncated list; distinguishing
+		// "rank unavailable" from "ran out of time" needs the ctx check
+		// first.
+		return core.Result{}, ctxSentinel(ctx)
+	}
+	if len(paths) < req.Rank {
+		return core.Result{}, fmt.Errorf("%w: only %d simple paths between %d and %d, want rank %d",
+			core.ErrRankUnavailable, len(paths), req.Source, req.Dest, req.Rank)
+	}
+	p := core.Problem{
+		G:      g,
+		Source: graph.NodeID(req.Source),
+		Dest:   graph.NodeID(req.Dest),
+		PStar:  paths[req.Rank-1],
+		Weight: weight,
+		Cost:   net.Cost(ct),
+		Budget: req.Budget,
+	}
+	return core.RunCtx(ctx, alg, p, core.Options{Seed: req.Seed})
+}
+
+// ctxSentinel maps a dead context to the typed core sentinels.
+func ctxSentinel(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if errors.Is(cause, core.ErrTimeout) || errors.Is(cause, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", core.ErrTimeout, cause)
+	}
+	return fmt.Errorf("%w: %w", core.ErrCancelled, cause)
+}
+
+// timeout clamps a client-supplied timeout_ms to (0, MaxTimeout].
+func (s *Server) timeout(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// statusForKind maps experiment.FailureKind buckets onto HTTP statuses.
+func statusForKind(kind string) int {
+	switch kind {
+	case "timeout":
+		return http.StatusGatewayTimeout
+	case "cancelled":
+		return http.StatusServiceUnavailable
+	case "panic":
+		return http.StatusInternalServerError
+	case "invalid":
+		return http.StatusBadRequest
+	case "budget", "infeasible", "rank":
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// failureKind buckets an error for the wire, extending the experiment
+// buckets with the rank-unavailable case the service can surface.
+func failureKind(err error) string {
+	if errors.Is(err, core.ErrRankUnavailable) {
+		return "rank"
+	}
+	return experiment.FailureKind(err)
+}
+
+// writeAdmissionError maps admission failures onto structured 503s.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.writeError(w, http.StatusServiceUnavailable, "queue_full", err)
+	case errors.Is(err, ErrShed):
+		s.writeError(w, http.StatusServiceUnavailable, "shed", err)
+	case errors.Is(err, ErrDraining):
+		s.writeError(w, http.StatusServiceUnavailable, "draining", err)
+	case errors.Is(err, core.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusServiceUnavailable, "admission_timeout", err)
+	default:
+		s.writeError(w, http.StatusServiceUnavailable, "cancelled", err)
+	}
+}
+
+// writeError writes the structured error body, attaching Retry-After on
+// backpressure statuses so well-behaved clients pace themselves.
+func (s *Server) writeError(w http.ResponseWriter, status int, kind string, err error) {
+	resp := ErrorResponse{Error: err.Error(), Kind: kind}
+	if status == http.StatusServiceUnavailable {
+		resp.RetryAfterS = s.cfg.RetryAfterS
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterS))
+	}
+	writeJSON(w, status, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client hung up; nothing sensible to do
+}
+
+func edgeIDs(edges []graph.EdgeID) []int64 {
+	out := make([]int64, len(edges))
+	for i, e := range edges {
+		out[i] = int64(e)
+	}
+	return out
+}
+
+// joinReasons concatenates non-empty degradation reasons.
+func joinReasons(a, b string) string {
+	if b == "" {
+		return a
+	}
+	return a + "; " + b
+}
