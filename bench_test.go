@@ -25,6 +25,7 @@ import (
 	"altroute/internal/citygen"
 	"altroute/internal/core"
 	"altroute/internal/experiment"
+	"altroute/internal/graph"
 	"altroute/internal/metrics"
 	"altroute/internal/roadnet"
 	"altroute/internal/traffic"
@@ -398,6 +399,74 @@ func BenchmarkYenK200City(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r.KShortest(altroute.NodeID(i%net.NumIntersections()), h.Node, 200, w)
 	}
+}
+
+// BenchmarkDijkstraCSR is BenchmarkDijkstraCity with a frozen CSR snapshot
+// attached to the router: the live-vs-frozen pair for the point-to-point
+// kernel. Results are bit-identical (see csr_differential_test.go); only
+// the memory layout differs.
+func BenchmarkDijkstraCSR(b *testing.B) {
+	net := benchNetwork(b, citygen.Chicago)
+	w := net.Weight(roadnet.WeightTime)
+	r := altroute.NewRouter(net.Graph())
+	r.UseSnapshot(net.Snapshot(roadnet.WeightTime))
+	n := net.NumIntersections()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := altroute.NodeID(i % n)
+		dst := altroute.NodeID((i*7 + n/2) % n)
+		r.ShortestPath(src, dst, w)
+	}
+}
+
+// BenchmarkYenK200CSR is BenchmarkYenK200City on a frozen snapshot: every
+// spur query runs the flat-array kernel with the router's per-query edge
+// bans overlaid on the shared immutable arrays.
+func BenchmarkYenK200CSR(b *testing.B) {
+	net := benchNetwork(b, citygen.Chicago)
+	w := net.Weight(roadnet.WeightTime)
+	r := altroute.NewRouter(net.Graph())
+	r.UseSnapshot(net.Snapshot(roadnet.WeightTime))
+	h := net.POIsOfKind(citygen.KindHospital)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.KShortest(altroute.NodeID(i%net.NumIntersections()), h.Node, 200, w)
+	}
+}
+
+// BenchmarkBetweennessParallel compares the serial Brandes sweep with the
+// snapshot-parallel one on the BenchmarkEdgeBetweennessSampled workload
+// (same sampled sources; scores are bitwise identical across worker counts).
+func BenchmarkBetweennessParallel(b *testing.B) {
+	net := benchNetwork(b, citygen.SanFrancisco)
+	g := net.Graph()
+	w := net.Weight(roadnet.WeightTime)
+	opts := graph.BetweennessOptions{Normalize: true}
+	step := g.NumNodes() / 60
+	if step < 1 {
+		step = 1
+	}
+	for s := 0; s < g.NumNodes() && len(opts.Sources) < 60; s += step {
+		opts.Sources = append(opts.Sources, graph.NodeID(s))
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			graph.EdgeBetweenness(g, w, opts)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		snap := net.Snapshot(roadnet.WeightTime)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.BetweennessParallel(context.Background(), snap, opts, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTableParallel compares the serial and parallel table runners on

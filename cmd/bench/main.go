@@ -76,14 +76,13 @@ func run(args []string, stdout *os.File) error {
 		outDir    = fs.String("out", ".", "directory for the BENCH_<date>.json file")
 		label     = fs.String("label", "", "free-form label stored with the snapshot")
 		date      = fs.String("date", "", "override snapshot date (YYYY-MM-DD; default today)")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit (passed through to go test)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *bench, "-benchmem",
-		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg)
+	cmd := exec.Command("go", goTestArgs(*bench, *benchtime, *count, *memProf, *pkg)...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	fmt.Fprint(stdout, string(raw))
@@ -117,6 +116,19 @@ func run(args []string, stdout *os.File) error {
 	}
 	fmt.Fprintf(stdout, "appended %d results to %s\n", len(results), path)
 	return nil
+}
+
+// goTestArgs builds the `go test` invocation. The heap profile flag is
+// forwarded verbatim: go test writes the profile itself after the benchmark
+// run, the same file cmd/experiment's -memprofile produces for table runs.
+func goTestArgs(bench, benchtime string, count int, memProfile, pkg string) []string {
+	args := []string{"test", "-run", "^$",
+		"-bench", bench, "-benchmem",
+		"-benchtime", benchtime, "-count", strconv.Itoa(count)}
+	if memProfile != "" {
+		args = append(args, "-memprofile", memProfile)
+	}
+	return append(args, pkg)
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)((?:\s+[0-9.eE+-]+\s+\S+)+)\s*$`)

@@ -89,6 +89,35 @@ func TestAppendSnapshot(t *testing.T) {
 	}
 }
 
+func TestGoTestArgsMemProfile(t *testing.T) {
+	base := goTestArgs("Yen", "3x", 1, "", "./...")
+	for _, a := range base {
+		if a == "-memprofile" {
+			t.Errorf("unexpected -memprofile in %v", base)
+		}
+	}
+	if base[len(base)-1] != "./..." {
+		t.Errorf("package must be the final argument: %v", base)
+	}
+
+	withProf := goTestArgs("Yen", "3x", 1, "mem.out", "./...")
+	found := false
+	for i, a := range withProf {
+		if a == "-memprofile" {
+			found = true
+			if i+1 >= len(withProf) || withProf[i+1] != "mem.out" {
+				t.Errorf("-memprofile not followed by path: %v", withProf)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("missing -memprofile in %v", withProf)
+	}
+	if withProf[len(withProf)-1] != "./..." {
+		t.Errorf("package must stay the final argument: %v", withProf)
+	}
+}
+
 func TestAppendSnapshotRejectsGarbage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_x.json")
 	if err := os.WriteFile(path, []byte("{not an array}"), 0o644); err != nil {

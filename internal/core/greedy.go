@@ -66,8 +66,7 @@ func naiveCutLoop(ctx context.Context, p Problem, opts Options, pick func(graph.
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
-	r := graph.NewRouter(p.G)
-	r.SetContext(ctx)
+	r := p.router(ctx)
 	pstarSet := p.PStar.EdgeSet()
 	budget := p.budgetOrInf()
 	// Computed before the first cut; cuts only disable edges, so the

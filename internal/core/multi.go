@@ -130,6 +130,9 @@ func RunMultiCtx(ctx context.Context, alg Algorithm, p MultiProblem, opts Option
 func multiCoverLoop(ctx context.Context, p MultiProblem, opts Options, solve coverSolver, degradeToGreedy bool) (Result, error) {
 	r := graph.NewRouter(p.G)
 	r.SetContext(ctx)
+	// All victims share one weight function, so one frozen snapshot serves
+	// every oracle and potential below.
+	r.UseSnapshot(graph.Freeze(p.G, p.Weight))
 	protected := p.unionPStarSet()
 	budget := p.Budget
 	if budget <= 0 {

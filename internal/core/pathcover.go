@@ -60,8 +60,7 @@ func pathCoverLoop(ctx context.Context, p Problem, opts Options, solve coverSolv
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
-	r := graph.NewRouter(p.G)
-	r.SetContext(ctx)
+	r := p.router(ctx)
 	pstarSet := p.PStar.EdgeSet()
 	budget := p.budgetOrInf()
 	// One reverse Dijkstra on the unmodified graph serves every oracle

@@ -28,6 +28,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -84,6 +85,27 @@ type Problem struct {
 	// Budget caps the total removal cost. Zero or negative means
 	// unlimited.
 	Budget float64
+	// Snapshot optionally carries a frozen CSR image of G under Weight
+	// (graph.Freeze) for the oracle queries to run on. Callers that attack
+	// the same network repeatedly (the experiment harness, the server's
+	// pooled networks) pass their cached snapshot here; when nil (or frozen
+	// from a different graph) the algorithms freeze one per run. Either
+	// way results are bit-identical to the live kernels.
+	Snapshot *graph.Snapshot
+}
+
+// router returns a context-attached Router running on the problem's frozen
+// snapshot for the oracle loops. The thousands of shortest-path queries an
+// attack issues amortize the one O(V+E) freeze many times over.
+func (p *Problem) router(ctx context.Context) *graph.Router {
+	r := graph.NewRouter(p.G)
+	r.SetContext(ctx)
+	snap := p.Snapshot
+	if snap == nil || snap.Graph() != p.G {
+		snap = graph.Freeze(p.G, p.Weight)
+	}
+	r.UseSnapshot(snap)
+	return r
 }
 
 // budgetOrInf returns the effective budget.
@@ -179,7 +201,9 @@ func PStarByRank(g *graph.Graph, s, d graph.NodeID, rank int, w graph.WeightFunc
 	if rank < 1 {
 		return graph.Path{}, fmt.Errorf("%w: rank %d < 1", ErrRankUnavailable, rank)
 	}
-	paths := graph.NewRouter(g).KShortest(s, d, rank, w)
+	r := graph.NewRouter(g)
+	r.UseSnapshot(graph.Freeze(g, w))
+	paths := r.KShortest(s, d, rank, w)
 	if len(paths) < rank {
 		return graph.Path{}, fmt.Errorf("%w: only %d simple paths between %d and %d, want rank %d",
 			ErrRankUnavailable, len(paths), s, d, rank)

@@ -286,6 +286,9 @@ func RunTableOnUnitsCtx(ctx context.Context, net *roadnet.Network, units []Unit,
 		ctx = context.Background()
 	}
 	w := net.Weight(spec.WeightType)
+	// One frozen snapshot serves every cell and unit of the run: attacks
+	// only toggle disabled flags, which the snapshot observes live.
+	snap := net.Snapshot(spec.WeightType)
 	table := Table{
 		City:       net.Name(),
 		WeightType: spec.WeightType,
@@ -294,7 +297,7 @@ func RunTableOnUnitsCtx(ctx context.Context, net *roadnet.Network, units []Unit,
 	}
 	for _, alg := range spec.Algorithms {
 		for _, ct := range spec.CostTypes {
-			cell, err := runCell(ctx, net.Graph(), w, net.Cost(ct), table.City, alg, ct, units, spec)
+			cell, err := runCell(ctx, net.Graph(), snap, w, net.Cost(ct), table.City, alg, ct, units, spec)
 			table.Cells = append(table.Cells, cell)
 			if err != nil {
 				return table, err
@@ -309,7 +312,7 @@ func RunTableOnUnitsCtx(ctx context.Context, net *roadnet.Network, units []Unit,
 // found in spec.Checkpoint are replayed instead of recomputed; freshly
 // computed units are journaled. A dead ctx stops the loop: the partial cell
 // is returned with ErrInterrupted wrapping the context's cause.
-func runCell(ctx context.Context, g *graph.Graph, w, cost graph.WeightFunc, city string, alg core.Algorithm, ct roadnet.CostType, units []Unit, spec Spec) (Cell, error) {
+func runCell(ctx context.Context, g *graph.Graph, snap *graph.Snapshot, w, cost graph.WeightFunc, city string, alg core.Algorithm, ct roadnet.CostType, units []Unit, spec Spec) (Cell, error) {
 	cell := Cell{Algorithm: alg, CostType: ct}
 	wt := spec.WeightType.String()
 	interrupted := func() (Cell, error) {
@@ -325,13 +328,14 @@ func runCell(ctx context.Context, g *graph.Graph, w, cost graph.WeightFunc, city
 			return interrupted()
 		}
 		p := core.Problem{
-			G:      g,
-			Source: u.Source,
-			Dest:   u.Dest,
-			PStar:  u.PStar,
-			Weight: w,
-			Cost:   cost,
-			Budget: spec.Budget,
+			G:        g,
+			Source:   u.Source,
+			Dest:     u.Dest,
+			PStar:    u.PStar,
+			Weight:   w,
+			Cost:     cost,
+			Budget:   spec.Budget,
+			Snapshot: snap,
 		}
 		opts := spec.Options
 		opts.Seed = spec.Seed

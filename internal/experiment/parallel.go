@@ -62,15 +62,17 @@ func RunTableOnUnitsParallelCtx(ctx context.Context, net *roadnet.Network, units
 		go func() {
 			defer wg.Done()
 			local := net.Clone()
-			// Weight and cost functions are derived once per worker, not
-			// per job or per unit: jobs repeat the same few cost types.
+			// Weight and cost functions — and the frozen snapshot — are
+			// derived once per worker, not per job or per unit: jobs repeat
+			// the same few cost types on the same cloned graph.
 			weight := local.Weight(spec.WeightType)
+			snap := local.Snapshot(spec.WeightType)
 			costs := make(map[roadnet.CostType]graph.WeightFunc, len(spec.CostTypes))
 			for _, ct := range spec.CostTypes {
 				costs[ct] = local.Cost(ct)
 			}
 			for job := range jobCh {
-				cell, err := runCell(ctx, local.Graph(), weight, costs[job.ct], net.Name(), job.alg, job.ct, units, spec)
+				cell, err := runCell(ctx, local.Graph(), snap, weight, costs[job.ct], net.Name(), job.alg, job.ct, units, spec)
 				results[job.idx] = cell
 				cellErrs[job.idx] = err
 			}

@@ -17,6 +17,9 @@ type Heuristic func(NodeID) float64
 func (r *Router) ShortestPathAStar(s, t NodeID, w WeightFunc, h Heuristic) (Path, bool) {
 	r.grow()
 	r.clearBans()
+	if c := r.csr(); c != nil {
+		return r.astarCSR(c, s, t, h)
+	}
 	if !r.g.validNode(s) || !r.g.validNode(t) {
 		return Path{}, false
 	}
@@ -69,7 +72,16 @@ func (r *Router) ShortestPathAStar(s, t NodeID, w WeightFunc, h Heuristic) (Path
 // Nodes the target was unreachable from at potential-computation time
 // (h = +Inf) are pruned outright: bans only remove edges, so they cannot
 // reach t now either. Callers must have called grow().
-func (r *Router) shortestAStar(s, t NodeID, w WeightFunc, pot *Potential) (Path, bool) {
+//
+// rootLen and cutoff implement Yen's candidate-count bound (see spurBound):
+// the search is abandoned — reported as "no path" — as soon as rootLen plus
+// the minimum frontier f-value exceeds cutoff, because the total candidate
+// length (rootLen + spur length) is then provably above the bound and the
+// candidate could never be accepted. cutoff == +Inf disables the pruning.
+func (r *Router) shortestAStar(s, t NodeID, w WeightFunc, pot *Potential, rootLen, cutoff float64) (Path, bool) {
+	if c := r.csr(); c != nil {
+		return r.shortestAStarCSR(c, s, t, pot, rootLen, cutoff)
+	}
 	if !r.g.validNode(s) || !r.g.validNode(t) {
 		return Path{}, false
 	}
@@ -87,6 +99,13 @@ func (r *Router) shortestAStar(s, t NodeID, w WeightFunc, pot *Potential) (Path,
 
 	for len(r.heap) > 0 {
 		it := r.heap.pop()
+		// Bound abort: pops are non-decreasing, so once the frontier passes
+		// the candidate cutoff no completion can come back under it. t
+		// itself cannot have been reachable under the cutoff — it would
+		// have popped on an earlier, not-greater f-value.
+		if rootLen+it.dist > cutoff {
+			return Path{}, false
+		}
 		u := it.node
 		if r.stamp[u] != r.cur {
 			continue

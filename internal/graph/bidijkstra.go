@@ -14,6 +14,9 @@ func (r *Router) ShortestPathBidirectional(s, t NodeID, w WeightFunc) (Path, boo
 	r.grow()
 	r.growBackward()
 	r.clearBans()
+	if c := r.csr(); c != nil {
+		return r.bidirectionalCSR(c, s, t)
+	}
 	if !r.g.validNode(s) || !r.g.validNode(t) {
 		return Path{}, false
 	}
@@ -147,11 +150,24 @@ func (r *Router) ShortestPathBidirectional(s, t NodeID, w WeightFunc) (Path, boo
 }
 
 func (r *Router) growBackward() {
+	// One allocation per array, matching grow().
 	n := r.g.NumNodes()
-	for len(r.distB) < n {
-		r.distB = append(r.distB, 0)
-		r.prevEdgeB = append(r.prevEdgeB, InvalidEdge)
-		r.stampB = append(r.stampB, 0)
+	if len(r.distB) < n {
+		dist := make([]float64, n)
+		copy(dist, r.distB)
+		r.distB = dist
+		prev := make([]EdgeID, n)
+		copy(prev, r.prevEdgeB)
+		for i := len(r.prevEdgeB); i < n; i++ {
+			prev[i] = InvalidEdge
+		}
+		r.prevEdgeB = prev
+		stamp := make([]uint64, n)
+		copy(stamp, r.stampB)
+		r.stampB = stamp
+		settled := make([]uint64, n)
+		copy(settled, r.settledB)
+		r.settledB = settled
 	}
 }
 

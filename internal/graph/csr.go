@@ -1,0 +1,635 @@
+package graph
+
+import "math"
+
+// This file is the frozen-snapshot query layer: an immutable CSR
+// (compressed sparse row) image of the graph with materialized edge
+// weights, plus ports of every hot search kernel onto it. The live
+// representation (slice-of-slices adjacency + WeightFunc closure) costs
+// two dependent loads and a dynamic call per edge relaxation; the frozen
+// layout replaces them with four sequential array reads. Outputs are
+// bit-identical to the live kernels — same relaxation order (per-node
+// edge insertion order), same float operations in the same order, and a
+// totally-ordered heap so pop order cannot depend on heap shape (see
+// heapLess).
+//
+// Lifecycle: Freeze captures topology and weights at one instant, stamped
+// with the graph's generation counter. Adding nodes or edges bumps the
+// generation and invalidates the snapshot; the Router transparently
+// rebuilds it (same weight function) on the next query. Disabling and
+// enabling edges does NOT invalidate anything: the snapshot aliases the
+// graph's disabled flags, so attack rounds toggling edges — and Yen spur
+// bans, which live in per-router epoch-stamped overlay arrays — work
+// against a frozen snapshot with zero rebuilds.
+
+// Snapshot is an immutable flat CSR image of a Graph under one weight
+// function. It is safe for any number of concurrent readers (the parallel
+// Yen spur workers and Brandes workers share one), as long as no edges are
+// concurrently disabled or enabled — the same contract concurrent readers
+// of the live Graph already have.
+type Snapshot struct {
+	g   *Graph
+	gen uint64
+	wf  WeightFunc
+
+	n int // nodes at freeze time
+	m int // edges at freeze time
+
+	// Forward adjacency: slots fwdOff[u]..fwdOff[u+1] hold u's out-edges
+	// in edge insertion order (the live relaxation order), with the head
+	// node, edge ID, and weight materialized per slot.
+	fwdOff  []int32
+	fwdTo   []int32
+	fwdEdge []int32
+	fwdW    []float64
+
+	// Reverse adjacency, same layout over in-edges.
+	revOff  []int32
+	revFrom []int32
+	revEdge []int32
+	revW    []float64
+
+	// w is the materialized weight per EdgeID (the same values as the
+	// per-slot arrays, indexed by edge for path assembly and prefix sums).
+	w []float64
+
+	// disabled aliases the graph's disabled flags at freeze time, so
+	// DisableEdge/EnableEdge are visible to frozen kernels immediately.
+	// AddEdge may reallocate the underlying array, but it also bumps the
+	// generation, which invalidates this snapshot first.
+	disabled []bool
+}
+
+// Freeze builds a frozen CSR snapshot of g with the weights of w
+// materialized. It is an O(V+E) pass; the attack workloads amortize it
+// over thousands of shortest-path queries. The weight function must be
+// total over all edge IDs (disabled edges included) and must keep
+// returning the same values for as long as the snapshot is used — every
+// weight model in this repository is a pure table lookup, which
+// satisfies both.
+func Freeze(g *Graph, w WeightFunc) *Snapshot { //lint:allow ctxflow one bounded O(V+E) layout pass over the adjacency, no search
+	n, m := g.NumNodes(), g.NumEdges()
+	c := &Snapshot{
+		g: g, gen: g.gen, wf: w, n: n, m: m,
+		fwdOff:  make([]int32, n+1),
+		fwdTo:   make([]int32, m),
+		fwdEdge: make([]int32, m),
+		fwdW:    make([]float64, m),
+		revOff:  make([]int32, n+1),
+		revFrom: make([]int32, m),
+		revEdge: make([]int32, m),
+		revW:    make([]float64, m),
+		w:       make([]float64, m),
+	}
+	for e := 0; e < m; e++ {
+		c.w[e] = w(EdgeID(e))
+	}
+	pos := 0
+	for u := 0; u < n; u++ {
+		c.fwdOff[u] = int32(pos)
+		for _, e := range g.out[u] {
+			c.fwdEdge[pos] = int32(e)
+			c.fwdTo[pos] = int32(g.arcs[e].To)
+			c.fwdW[pos] = c.w[e]
+			pos++
+		}
+	}
+	c.fwdOff[n] = int32(pos)
+	pos = 0
+	for u := 0; u < n; u++ {
+		c.revOff[u] = int32(pos)
+		for _, e := range g.in[u] {
+			c.revEdge[pos] = int32(e)
+			c.revFrom[pos] = int32(g.arcs[e].From)
+			c.revW[pos] = c.w[e]
+			pos++
+		}
+	}
+	c.revOff[n] = int32(pos)
+	c.disabled = g.disabled
+	return c
+}
+
+// Graph returns the graph the snapshot was frozen from.
+func (c *Snapshot) Graph() *Graph { return c.g }
+
+// Valid reports whether the snapshot still matches its graph's topology
+// (no nodes or edges were added since Freeze). Disabled-edge churn never
+// invalidates a snapshot.
+func (c *Snapshot) Valid() bool { return c.gen == c.g.gen }
+
+// NumNodes returns the node count at freeze time.
+func (c *Snapshot) NumNodes() int { return c.n }
+
+// NumEdges returns the edge count at freeze time.
+func (c *Snapshot) NumEdges() int { return c.m }
+
+// Weight returns the materialized weight of edge e.
+func (c *Snapshot) Weight(e EdgeID) float64 { return c.w[e] }
+
+// Refresh returns c when it is still valid, or a fresh snapshot of the
+// same graph under the same weight function when topology moved on.
+func (c *Snapshot) Refresh() *Snapshot {
+	if c.Valid() {
+		return c
+	}
+	return Freeze(c.g, c.wf)
+}
+
+// UseSnapshot attaches a frozen snapshot to the router: subsequent
+// queries run on the frozen CSR kernels instead of the live adjacency.
+// The snapshot must have been frozen from this router's graph under the
+// SAME weight function the caller passes to the query methods — with a
+// snapshot attached the materialized weights win, so passing a different
+// WeightFunc is a programming error the router cannot detect. A stale
+// snapshot (topology changed) is rebuilt transparently on the next
+// query. UseSnapshot(nil) detaches and restores the live kernels.
+func (r *Router) UseSnapshot(c *Snapshot) { r.snap = c }
+
+// Snapshot returns the attached snapshot, nil when none.
+func (r *Router) Snapshot() *Snapshot { return r.snap }
+
+// csr returns the snapshot the current query should run on: the attached
+// one, rebuilt first if topology moved on, or nil when no snapshot is
+// attached (or it belongs to another graph) — in which case the caller
+// falls through to the live kernels.
+func (r *Router) csr() *Snapshot {
+	c := r.snap
+	if c == nil || c.g != r.g {
+		return nil
+	}
+	if !c.Valid() {
+		c = Freeze(r.g, c.wf)
+		r.snap = c
+	}
+	return c
+}
+
+// heapLess is the priority order of every search heap: distance, then
+// node ID. The node tie-break makes the order total, so ANY correct heap
+// — the live binary one, the frozen 4-ary one — pops the same value
+// sequence from the same push sequence, which is what makes frozen and
+// live kernels bit-identical on tied graphs (lattices tie constantly).
+func heapLess(a, b heapItem) bool {
+	if a.dist != b.dist { //lint:allow floateq heap order must be exact: near-ties are distinct priorities, equal bits fall through to the node tie-break
+		return a.dist < b.dist
+	}
+	return a.node < b.node
+}
+
+// heap4 is a 4-ary implicit min-heap over heapItem with the same total
+// order as the live binary heap. The wider fanout halves tree depth,
+// which cuts sift-down comparisons on the pop-heavy Dijkstra workloads;
+// children of i sit at 4i+1..4i+4, cache-adjacent.
+type heap4 []heapItem
+
+// push and pop move a hole through the tree instead of swapping at every
+// level (one write per level, not three). The element order produced is
+// identical to textbook sift-up/down — the hole follows exactly the path
+// the swaps would have taken.
+func (h *heap4) push(it heapItem) {
+	*h = append(*h, it)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !heapLess(it, hh[p]) {
+			break
+		}
+		hh[i] = hh[p]
+		i = p
+	}
+	hh[i] = it
+}
+
+func (h *heap4) pop() heapItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	*h = old[:last]
+	if last == 0 {
+		return top
+	}
+	it := old[last]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= last {
+			break
+		}
+		small := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for child := first + 1; child < end; child++ {
+			if heapLess(old[child], old[small]) {
+				small = child
+			}
+		}
+		if !heapLess(old[small], it) {
+			break
+		}
+		old[i] = old[small]
+		i = small
+	}
+	old[i] = it
+	return top
+}
+
+// shortestCSR is the frozen Dijkstra: the port of shortest onto the CSR
+// arrays. Bans and disabled edges are honoured exactly as live; no
+// closure is called anywhere in the loop.
+func (r *Router) shortestCSR(c *Snapshot, s, t NodeID) (Path, bool) {
+	if !r.g.validNode(s) || !r.g.validNode(t) {
+		return Path{}, false
+	}
+	if r.nodeBanned(s) || r.nodeBanned(t) {
+		return Path{}, false
+	}
+	r.cur++
+	r.h4 = r.h4[:0]
+	r.setDist(s, 0, InvalidEdge)
+	r.h4.push(heapItem{dist: 0, node: s})
+	disabled := c.disabled
+
+	for len(r.h4) > 0 {
+		it := r.h4.pop()
+		// Early exit the moment t's distance is frontier-minimal: every
+		// remaining entry has dist >= it.dist >= dist[t], and non-negative
+		// weights mean no relaxation from such a node can strictly improve
+		// any node on t's prev chain — so buildPath(s, t) here is the exact
+		// path the reference kernel returns when t itself pops (the tied
+		// smaller-ID nodes it still expands cannot change the chain).
+		if r.stamp[t] == r.cur && r.dist[t] <= it.dist {
+			return r.buildPath(s, t), true
+		}
+		u := it.node
+		if it.dist > r.dist[u] || r.stamp[u] != r.cur {
+			continue // stale heap entry
+		}
+		du := it.dist
+		for i, end := c.fwdOff[u], c.fwdOff[u+1]; i < end; i++ {
+			e := EdgeID(c.fwdEdge[i])
+			if disabled[e] || r.edgeBanned(e) {
+				continue
+			}
+			v := NodeID(c.fwdTo[i])
+			if r.nodeBanned(v) {
+				continue
+			}
+			nd := du + c.fwdW[i]
+			if r.stamp[v] != r.cur || nd < r.dist[v] {
+				r.setDist(v, nd, e)
+				r.h4.push(heapItem{dist: nd, node: v})
+			}
+		}
+	}
+	return Path{}, false
+}
+
+// shortestAStarCSR is the frozen Yen spur kernel: goal-directed A* under
+// a reverse potential, the port of shortestAStar. This is the hottest
+// loop in the repository — every Yen spur search across every attack
+// round lands here when a snapshot is attached.
+func (r *Router) shortestAStarCSR(c *Snapshot, s, t NodeID, pot *Potential, rootLen, cutoff float64) (Path, bool) {
+	if !r.g.validNode(s) || !r.g.validNode(t) {
+		return Path{}, false
+	}
+	if r.nodeBanned(s) || r.nodeBanned(t) {
+		return Path{}, false
+	}
+	hs := pot.At(s)
+	if math.IsInf(hs, 1) {
+		return Path{}, false
+	}
+	potT := pot.At(t)
+	r.cur++
+	r.h4 = r.h4[:0]
+	r.setDist(s, 0, InvalidEdge)
+	r.h4.push(heapItem{dist: hs, node: s})
+	disabled := c.disabled
+
+	for len(r.h4) > 0 {
+		it := r.h4.pop()
+		// Early exit once t's f-value is frontier-minimal. The reverse
+		// potential is consistent (exact unbanned distances; bans only
+		// remove edges), so every remaining relaxation carries f >= it.dist
+		// >= dist[t]+pot(t) and can never strictly improve a node on t's
+		// prev chain: the path is bitwise the one the reference kernel
+		// returns after grinding through the tied plateau to pop t itself.
+		// dist[t]+potT recomputes exactly the float sum t's heap entry was
+		// pushed with, so the comparison fires on the same pop where the
+		// tie-broken heap would first surface an entry not before t's.
+		// The cutoff clause keeps the exit aligned with the live kernel's
+		// bound abort: an over-cutoff finish must report "no path", not a
+		// path the live kernel would have abandoned one pop earlier.
+		if r.stamp[t] == r.cur {
+			ft := r.dist[t] + potT
+			if ft <= it.dist && rootLen+ft <= cutoff {
+				return r.buildPath(s, t), true
+			}
+		}
+		// Bound abort, mirroring shortestAStar: pops are non-decreasing,
+		// so past the cutoff no completion can come back under it.
+		if rootLen+it.dist > cutoff {
+			return Path{}, false
+		}
+		u := it.node
+		if r.stamp[u] != r.cur {
+			continue
+		}
+		gu := r.dist[u]
+		if it.dist > gu+pot.At(u) {
+			continue // stale heap entry
+		}
+		for i, end := c.fwdOff[u], c.fwdOff[u+1]; i < end; i++ {
+			e := EdgeID(c.fwdEdge[i])
+			if disabled[e] || r.edgeBanned(e) {
+				continue
+			}
+			v := NodeID(c.fwdTo[i])
+			if r.nodeBanned(v) {
+				continue
+			}
+			hv := pot.At(v)
+			if math.IsInf(hv, 1) {
+				continue // v cannot reach t even without bans
+			}
+			nd := gu + c.fwdW[i]
+			if r.stamp[v] != r.cur || nd < r.dist[v] {
+				r.setDist(v, nd, e)
+				r.h4.push(heapItem{dist: nd + hv, node: v})
+			}
+		}
+	}
+	return Path{}, false
+}
+
+// astarCSR is the frozen port of ShortestPathAStar (caller-supplied
+// heuristic; the heuristic closure is the one call the frozen kernel
+// cannot materialize).
+func (r *Router) astarCSR(c *Snapshot, s, t NodeID, h Heuristic) (Path, bool) {
+	if !r.g.validNode(s) || !r.g.validNode(t) {
+		return Path{}, false
+	}
+	if s == t {
+		return Path{Nodes: []NodeID{s}}, true
+	}
+	r.cur++
+	r.h4 = r.h4[:0]
+	r.setDist(s, 0, InvalidEdge)
+	r.h4.push(heapItem{dist: h(s), node: s})
+	disabled := c.disabled
+
+	for len(r.h4) > 0 {
+		if r.interrupted() {
+			return Path{}, false // cancelled mid-search (see SetContext)
+		}
+		it := r.h4.pop()
+		u := it.node
+		if r.stamp[u] != r.cur {
+			continue
+		}
+		gu := r.dist[u]
+		if it.dist > gu+h(u)+1e-12 {
+			continue // stale entry
+		}
+		if u == t {
+			return r.buildPath(s, t), true
+		}
+		for i, end := c.fwdOff[u], c.fwdOff[u+1]; i < end; i++ {
+			e := EdgeID(c.fwdEdge[i])
+			if disabled[e] {
+				continue
+			}
+			v := NodeID(c.fwdTo[i])
+			nd := gu + c.fwdW[i]
+			if r.stamp[v] != r.cur || nd < r.dist[v] {
+				r.setDist(v, nd, e)
+				r.h4.push(heapItem{dist: nd + h(v), node: v})
+			}
+		}
+	}
+	return Path{}, false
+}
+
+// distancesFromCSR is the frozen port of the DistancesFrom sweep.
+func (r *Router) distancesFromCSR(c *Snapshot, s NodeID) []float64 {
+	n := r.g.NumNodes()
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	if !r.g.validNode(s) {
+		return out
+	}
+	r.cur++
+	r.h4 = r.h4[:0]
+	r.setDist(s, 0, InvalidEdge)
+	r.h4.push(heapItem{dist: 0, node: s})
+	disabled := c.disabled
+	for len(r.h4) > 0 {
+		if r.interrupted() {
+			break // cancelled: unsettled nodes stay +Inf (see SetContext)
+		}
+		it := r.h4.pop()
+		u := it.node
+		if it.dist > r.dist[u] || r.stamp[u] != r.cur {
+			continue
+		}
+		out[u] = it.dist
+		for i, end := c.fwdOff[u], c.fwdOff[u+1]; i < end; i++ {
+			e := EdgeID(c.fwdEdge[i])
+			if disabled[e] {
+				continue
+			}
+			v := NodeID(c.fwdTo[i])
+			nd := it.dist + c.fwdW[i]
+			if r.stamp[v] != r.cur || nd < r.dist[v] {
+				r.setDist(v, nd, e)
+				r.h4.push(heapItem{dist: nd, node: v})
+			}
+		}
+	}
+	return out
+}
+
+// reversePotentialCSR is the frozen port of ReversePotential: one full
+// reverse Dijkstra over the rev CSR arrays.
+func (r *Router) reversePotentialCSR(c *Snapshot, t NodeID) *Potential {
+	h := make([]float64, r.g.NumNodes())
+	for i := range h {
+		h[i] = math.Inf(1)
+	}
+	pot := &Potential{target: t, h: h}
+	if !r.g.validNode(t) {
+		return pot
+	}
+	r.curB++
+	r.h4B = r.h4B[:0]
+	r.setDistB(t, 0, InvalidEdge)
+	r.h4B.push(heapItem{dist: 0, node: t})
+	disabled := c.disabled
+	for len(r.h4B) > 0 {
+		if r.interrupted() {
+			break // cancelled: unsettled nodes stay +Inf (see SetContext)
+		}
+		it := r.h4B.pop()
+		u := it.node
+		if it.dist > r.distB[u] || r.stampB[u] != r.curB {
+			continue
+		}
+		h[u] = it.dist
+		for i, end := c.revOff[u], c.revOff[u+1]; i < end; i++ {
+			e := EdgeID(c.revEdge[i])
+			if disabled[e] {
+				continue
+			}
+			v := NodeID(c.revFrom[i])
+			nd := it.dist + c.revW[i]
+			if r.stampB[v] != r.curB || nd < r.distB[v] {
+				r.setDistB(v, nd, e)
+				r.h4B.push(heapItem{dist: nd, node: v})
+			}
+		}
+	}
+	return pot
+}
+
+// bidirectionalCSR is the frozen port of ShortestPathBidirectional. The
+// settled sets use the router's epoch-stamped arrays instead of the live
+// kernel's per-query maps — membership semantics are identical, so
+// outputs are too, without the per-query map allocations.
+func (r *Router) bidirectionalCSR(c *Snapshot, s, t NodeID) (Path, bool) {
+	if !r.g.validNode(s) || !r.g.validNode(t) {
+		return Path{}, false
+	}
+	if s == t {
+		return Path{Nodes: []NodeID{s}}, true
+	}
+	r.cur++
+	r.curB++
+	fh := r.h4[:0]
+	bh := r.h4B[:0]
+
+	r.setDist(s, 0, InvalidEdge)
+	fh.push(heapItem{dist: 0, node: s})
+	r.setDistB(t, 0, InvalidEdge)
+	bh.push(heapItem{dist: 0, node: t})
+
+	best := math.Inf(1)
+	var meet NodeID = InvalidNode
+	disabled := c.disabled
+
+	topOf := func(h heap4) float64 {
+		if len(h) == 0 {
+			return math.Inf(1)
+		}
+		return h[0].dist
+	}
+
+	cancelled := false
+	for len(fh) > 0 || len(bh) > 0 {
+		if r.interrupted() {
+			cancelled = true // a found meet may be suboptimal: report no path
+			break
+		}
+		// Termination: no better meeting can exist.
+		if topOf(fh)+topOf(bh) >= best {
+			break
+		}
+		// Expand the smaller frontier.
+		forward := topOf(fh) <= topOf(bh)
+		if forward {
+			it := fh.pop()
+			u := it.node
+			if it.dist > r.dist[u] || r.stamp[u] != r.cur {
+				continue
+			}
+			if r.settledF[u] == r.cur {
+				continue
+			}
+			r.settledF[u] = r.cur
+			if r.stampB[u] == r.curB {
+				if d := it.dist + r.distB[u]; d < best {
+					best = d
+					meet = u
+				}
+			}
+			for i, end := c.fwdOff[u], c.fwdOff[u+1]; i < end; i++ {
+				e := EdgeID(c.fwdEdge[i])
+				if disabled[e] {
+					continue
+				}
+				v := NodeID(c.fwdTo[i])
+				nd := it.dist + c.fwdW[i]
+				if r.stamp[v] != r.cur || nd < r.dist[v] {
+					r.setDist(v, nd, e)
+					fh.push(heapItem{dist: nd, node: v})
+					if r.stampB[v] == r.curB {
+						if d := nd + r.distB[v]; d < best {
+							best = d
+							meet = v
+						}
+					}
+				}
+			}
+		} else {
+			it := bh.pop()
+			u := it.node
+			if it.dist > r.distB[u] || r.stampB[u] != r.curB {
+				continue
+			}
+			if r.settledB[u] == r.curB {
+				continue
+			}
+			r.settledB[u] = r.curB
+			if r.stamp[u] == r.cur {
+				if d := it.dist + r.dist[u]; d < best {
+					best = d
+					meet = u
+				}
+			}
+			for i, end := c.revOff[u], c.revOff[u+1]; i < end; i++ {
+				e := EdgeID(c.revEdge[i])
+				if disabled[e] {
+					continue
+				}
+				v := NodeID(c.revFrom[i])
+				nd := it.dist + c.revW[i]
+				if r.stampB[v] != r.curB || nd < r.distB[v] {
+					r.setDistB(v, nd, e)
+					bh.push(heapItem{dist: nd, node: v})
+					if r.stamp[v] == r.cur {
+						if d := nd + r.dist[v]; d < best {
+							best = d
+							meet = v
+						}
+					}
+				}
+			}
+		}
+	}
+	r.h4 = fh
+	r.h4B = bh
+
+	if cancelled || meet == InvalidNode {
+		return Path{}, false
+	}
+	// Assemble: forward half via prevEdge, backward half via prevEdgeB.
+	forward := r.buildPath(s, meet)
+	var tailEdges []EdgeID
+	for n := meet; n != t; {
+		e := r.prevEdgeB[n]
+		tailEdges = append(tailEdges, e)
+		n = r.g.arcs[e].To
+	}
+	nodes := forward.Nodes
+	edges := forward.Edges
+	for _, e := range tailEdges {
+		edges = append(edges, e)
+		nodes = append(nodes, r.g.arcs[e].To)
+	}
+	return Path{Nodes: nodes, Edges: edges, Length: best}, true
+}

@@ -30,6 +30,15 @@ type Router struct {
 
 	heap nodeHeap
 
+	// Frozen-kernel state: the attached CSR snapshot (nil → live kernels),
+	// the 4-ary heaps the frozen kernels run on, and epoch-stamped settled
+	// sets for the frozen bidirectional search (the live one uses maps).
+	snap     *Snapshot
+	h4       heap4
+	h4B      heap4
+	settledF []uint64
+	settledB []uint64
+
 	// Yen spur fan-out: worker routers sharing the read-only graph. Bans
 	// and scratch arrays are per-router, so concurrent spur searches on
 	// distinct pool routers are race-free by construction.
@@ -52,16 +61,34 @@ func NewRouter(g *Graph) *Router {
 func (r *Router) Graph() *Graph { return r.g }
 
 func (r *Router) grow() {
+	// Size in one allocation per array: the first query on a 100k-node
+	// city would otherwise pay ~400k incremental appends.
 	n := r.g.NumNodes()
-	for len(r.dist) < n {
-		r.dist = append(r.dist, 0)
-		r.prevEdge = append(r.prevEdge, InvalidEdge)
-		r.stamp = append(r.stamp, 0)
-		r.nodeBan = append(r.nodeBan, 0)
+	if len(r.dist) < n {
+		dist := make([]float64, n)
+		copy(dist, r.dist)
+		r.dist = dist
+		prev := make([]EdgeID, n)
+		copy(prev, r.prevEdge)
+		for i := len(r.prevEdge); i < n; i++ {
+			prev[i] = InvalidEdge
+		}
+		r.prevEdge = prev
+		stamp := make([]uint64, n)
+		copy(stamp, r.stamp)
+		r.stamp = stamp
+		ban := make([]uint64, n)
+		copy(ban, r.nodeBan)
+		r.nodeBan = ban
+		settled := make([]uint64, n)
+		copy(settled, r.settledF)
+		r.settledF = settled
 	}
 	m := r.g.NumEdges()
-	for len(r.edgeBan) < m {
-		r.edgeBan = append(r.edgeBan, 0)
+	if len(r.edgeBan) < m {
+		eban := make([]uint64, m)
+		copy(eban, r.edgeBan)
+		r.edgeBan = eban
 	}
 }
 
@@ -113,6 +140,9 @@ func (r *Router) ShortestDist(s, t NodeID, w WeightFunc) float64 {
 // shortest runs Dijkstra from s with the current bans in effect, stopping as
 // soon as t is settled. Callers must have called grow().
 func (r *Router) shortest(s, t NodeID, w WeightFunc) (Path, bool) {
+	if c := r.csr(); c != nil {
+		return r.shortestCSR(c, s, t)
+	}
 	if !r.g.validNode(s) || !r.g.validNode(t) {
 		return Path{}, false
 	}
@@ -186,6 +216,9 @@ func (r *Router) buildPath(s, t NodeID) Path {
 func (r *Router) DistancesFrom(s NodeID, w WeightFunc) []float64 {
 	r.grow()
 	r.clearBans()
+	if c := r.csr(); c != nil {
+		return r.distancesFromCSR(c, s)
+	}
 	n := r.g.NumNodes()
 	out := make([]float64, n)
 	for i := range out {
@@ -230,7 +263,10 @@ type heapItem struct {
 }
 
 // nodeHeap is a hand-rolled binary min-heap. Lazy deletion (stale entries
-// skipped on pop) avoids decrease-key bookkeeping.
+// skipped on pop) avoids decrease-key bookkeeping. It shares heapLess (see
+// csr.go) with the frozen 4-ary heap: the total order makes pop sequences
+// independent of heap arity, which is what keeps frozen kernels
+// bit-identical to these live ones on tie-heavy graphs.
 type nodeHeap []heapItem
 
 func (h *nodeHeap) push(it heapItem) {
@@ -238,7 +274,7 @@ func (h *nodeHeap) push(it heapItem) {
 	i := len(*h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if (*h)[parent].dist <= (*h)[i].dist {
+		if !heapLess((*h)[i], (*h)[parent]) {
 			break
 		}
 		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
@@ -256,10 +292,10 @@ func (h *nodeHeap) pop() heapItem {
 	for {
 		l, rr := 2*i+1, 2*i+2
 		small := i
-		if l < last && old[l].dist < old[small].dist {
+		if l < last && heapLess(old[l], old[small]) {
 			small = l
 		}
-		if rr < last && old[rr].dist < old[small].dist {
+		if rr < last && heapLess(old[rr], old[small]) {
 			small = rr
 		}
 		if small == i {

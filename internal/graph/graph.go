@@ -60,6 +60,14 @@ type Graph struct {
 	disabled []bool
 	locked   []bool
 	nDown    int
+
+	// gen counts topology mutations (nodes or edges added). Frozen CSR
+	// snapshots record the generation they were built at and refuse to
+	// serve a graph whose generation moved on (see Freeze). Disabling and
+	// enabling edges deliberately does NOT bump the generation: snapshots
+	// observe the disabled flags live, which is what lets attack rounds
+	// toggle edges thousands of times without a rebuild.
+	gen uint64
 }
 
 // New returns a graph with n nodes and no edges.
@@ -71,18 +79,28 @@ func New(n int) *Graph {
 
 // Grow ensures the graph has at least n nodes.
 func (g *Graph) Grow(n int) {
+	if len(g.out) >= n {
+		return
+	}
 	for len(g.out) < n {
 		g.out = append(g.out, nil)
 		g.in = append(g.in, nil)
 	}
+	g.gen++
 }
 
 // AddNode adds a node and returns its ID.
 func (g *Graph) AddNode() NodeID {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.gen++
 	return NodeID(len(g.out) - 1)
 }
+
+// Generation returns the topology-mutation counter. It advances whenever
+// nodes or edges are added (never on disable/enable), so a cached frozen
+// snapshot is exactly as fresh as a matching generation says it is.
+func (g *Graph) Generation() uint64 { return g.gen }
 
 // AddEdge adds a directed edge from -> to and returns its ID. Parallel edges
 // and self-loops are permitted (OSM data contains both).
@@ -96,6 +114,7 @@ func (g *Graph) AddEdge(from, to NodeID) (EdgeID, error) {
 	g.locked = append(g.locked, false)
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
+	g.gen++
 	return id, nil
 }
 
@@ -272,6 +291,7 @@ func (g *Graph) Clone() *Graph {
 		disabled: append([]bool(nil), g.disabled...),
 		locked:   append([]bool(nil), g.locked...),
 		nDown:    g.nDown,
+		gen:      g.gen,
 	}
 	for i := range g.out {
 		c.out[i] = append([]EdgeID(nil), g.out[i]...)

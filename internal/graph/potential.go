@@ -52,6 +52,9 @@ func (p *Potential) At(v NodeID) float64 {
 func (r *Router) ReversePotential(t NodeID, w WeightFunc) *Potential {
 	r.grow()
 	r.growBackward()
+	if c := r.csr(); c != nil {
+		return r.reversePotentialCSR(c, t)
+	}
 	h := make([]float64, r.g.NumNodes())
 	for i := range h {
 		h[i] = math.Inf(1)

@@ -7,7 +7,7 @@ import (
 	"sync"
 )
 
-// The Yen engine layers three optimisations over the textbook algorithm,
+// The Yen engine layers four optimisations over the textbook algorithm,
 // all output-preserving (see yen_differential_test.go):
 //
 //  1. Reverse-potential A*: one reverse Dijkstra from t yields exact
@@ -21,6 +21,10 @@ import (
 //     over a pool of per-goroutine Routers sharing the read-only graph
 //     (bans and scratch arrays are router-local). Results are merged
 //     serially in spur-index order, so output is identical to a serial run.
+//  4. Candidate-count bound: once k-1 candidates at or below length X have
+//     ever been generated, no candidate strictly longer than X can still be
+//     accepted, so spur searches provably above X are skipped outright or
+//     abandoned the moment their frontier passes it (see spurBound).
 
 // Spur fan-out tuning: the default worker count is GOMAXPROCS capped at
 // maxSpurWorkers, and rounds with fewer than minParallelSpurs spur nodes
@@ -57,13 +61,80 @@ func (r *Router) spurParallelism(tasks int) int {
 	return workers
 }
 
+// spurBound tracks the k-1 smallest candidate lengths ever pushed onto the
+// candidate heap (a bounded max-heap), where k-1 is the number of accepts
+// that can still come from candidates. Once full, its max X is a proof
+// obligation killer: a candidate strictly longer than X can never be
+// accepted — at the moment it would be popped, at least k-1 strictly
+// shorter candidates must each have consumed one of the at most k-1
+// accept-pops first. Spur searches whose best possible completion already
+// exceeds cutoff() are therefore skipped or abandoned without changing the
+// returned top-k. The cutoff carries a relative slack of 1e-9 so that
+// ulp-level differences between a frontier f-value and the eventually
+// materialized candidate length can never prune a candidate at exactly X.
+type spurBound struct {
+	limit int
+	h     []float64 // max-heap of the limit smallest lengths seen
+}
+
+// add records one pushed candidate length.
+func (b *spurBound) add(l float64) {
+	if b.limit <= 0 {
+		return
+	}
+	if len(b.h) < b.limit {
+		b.h = append(b.h, l)
+		for i := len(b.h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if b.h[p] >= b.h[i] {
+				break
+			}
+			b.h[p], b.h[i] = b.h[i], b.h[p]
+			i = p
+		}
+		return
+	}
+	if l >= b.h[0] {
+		return
+	}
+	b.h[0] = l
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= len(b.h) {
+			break
+		}
+		if c+1 < len(b.h) && b.h[c+1] > b.h[c] {
+			c++
+		}
+		if b.h[i] >= b.h[c] {
+			break
+		}
+		b.h[i], b.h[c] = b.h[c], b.h[i]
+		i = c
+	}
+}
+
+// cutoff returns the pruning threshold for the next round: +Inf while
+// fewer than limit candidates exist (nothing may be pruned yet), else the
+// limit-th smallest length with relative slack.
+func (b *spurBound) cutoff() float64 {
+	if b.limit <= 0 || len(b.h) < b.limit {
+		return math.Inf(1)
+	}
+	x := b.h[0]
+	return x + 1e-9*x
+}
+
 // spurRouter returns the i-th pool router, creating and growing it lazily.
-// Pool routers share r's graph; everything mutable is per-router.
+// Pool routers share r's graph and r's frozen snapshot (validated by the
+// coordinator before the fan-out, and immutable while the round runs);
+// everything mutable — bans, scratch, heaps — is per-router.
 func (r *Router) spurRouter(i int) *Router {
 	for len(r.spurPool) <= i {
 		r.spurPool = append(r.spurPool, NewRouter(r.g))
 	}
 	wr := r.spurPool[i]
+	wr.snap = r.snap
 	wr.grow()
 	return wr
 }
@@ -85,7 +156,7 @@ func (r *Router) KShortest(s, t NodeID, k int, w WeightFunc) []Path {
 	r.grow()
 	r.clearBans()
 	pot := r.ReversePotential(t, w)
-	first, ok := r.shortestAStar(s, t, w, pot)
+	first, ok := r.shortestAStar(s, t, w, pot, 0, math.Inf(1))
 	if !ok {
 		return nil
 	}
@@ -94,13 +165,17 @@ func (r *Router) KShortest(s, t NodeID, k int, w WeightFunc) []Path {
 	seen := pathSet{}
 	seen.add(first.Edges)
 	var cands candidateHeap
+	// k-1 accepts beyond the first path can come from candidates; the
+	// bound's cutoff is re-read once per round so serial and parallel
+	// rounds prune identically.
+	bnd := &spurBound{limit: k - 1}
 
 	for len(accepted) < k {
 		if r.interrupted() {
 			break // cancelled: return what we have (see SetContext)
 		}
 		last := len(accepted) - 1
-		r.spurCandidates(accepted[last], devs[last], accepted, t, w, pot, seen, &cands)
+		r.spurCandidates(accepted[last], devs[last], accepted, t, w, pot, seen, &cands, bnd)
 		if cands.Len() == 0 {
 			break
 		}
@@ -143,7 +218,7 @@ func (r *Router) BestAlternativeWithPotential(s, t NodeID, w WeightFunc, avoid P
 }
 
 func (r *Router) bestAlternative(s, t NodeID, w WeightFunc, avoid Path, pot *Potential) (Path, bool) {
-	first, ok := r.shortestAStar(s, t, w, pot)
+	first, ok := r.shortestAStar(s, t, w, pot, 0, math.Inf(1))
 	if !ok {
 		return Path{}, false
 	}
@@ -153,7 +228,7 @@ func (r *Router) bestAlternative(s, t NodeID, w WeightFunc, avoid Path, pot *Pot
 	seen := pathSet{}
 	seen.add(avoid.Edges)
 	var cands candidateHeap
-	r.spurCandidates(avoid, 0, []Path{avoid}, t, w, pot, seen, &cands)
+	r.spurCandidates(avoid, 0, []Path{avoid}, t, w, pot, seen, &cands, nil)
 	if cands.Len() == 0 {
 		return Path{}, false
 	}
@@ -172,13 +247,24 @@ func (r *Router) bestAlternative(s, t NodeID, w WeightFunc, avoid Path, pot *Pot
 // parent's round (base shares that prefix with its parent, so the root path
 // and ban context coincide) and would only regenerate suppressed
 // duplicates.
-func (r *Router) spurCandidates(base Path, start int, accepted []Path, t NodeID, w WeightFunc, pot *Potential, seen pathSet, cands *candidateHeap) {
+//
+// bnd, when non-nil, is the candidate-count bound. Its cutoff is read once
+// at round entry — never mid-round — so every spur search of the round
+// (serial or parallel) prunes against the same threshold. A spur search
+// whose root length plus the exact distance-to-target of its spur node
+// already exceeds the cutoff is skipped before any ban setup; the rest pass
+// the cutoff down so the A* can abandon itself mid-flight.
+func (r *Router) spurCandidates(base Path, start int, accepted []Path, t NodeID, w WeightFunc, pot *Potential, seen pathSet, cands *candidateHeap, bnd *spurBound) {
 	n := len(base.Edges)
 	if start < 0 {
 		start = 0
 	}
+	cut := math.Inf(1)
+	if bnd != nil {
+		cut = bnd.cutoff()
+	}
 	if workers := r.spurParallelism(n - start); workers > 1 {
-		r.spurCandidatesParallel(base, start, accepted, t, w, pot, seen, cands, workers)
+		r.spurCandidatesParallel(base, start, accepted, t, w, pot, seen, cands, bnd, cut, workers)
 		return
 	}
 	rootLen := 0.0
@@ -189,10 +275,15 @@ func (r *Router) spurCandidates(base Path, start int, accepted []Path, t NodeID,
 		if r.interrupted() {
 			break // cancelled mid-round: candidates so far are still valid
 		}
-		if spur, ok := r.spurSearch(base, i, accepted, t, w, pot); ok {
-			total := concatSpur(base, i, rootLen, spur)
-			if seen.add(total.Edges) {
-				heap.Push(cands, candidate{path: total, dev: i})
+		if rootLen+pot.At(base.Nodes[i]) <= cut {
+			if spur, ok := r.spurSearch(base, i, accepted, t, w, pot, rootLen, cut); ok {
+				total := concatSpur(base, i, rootLen, spur)
+				if seen.add(total.Edges) {
+					heap.Push(cands, candidate{path: total, dev: i})
+					if bnd != nil {
+						bnd.add(total.Length)
+					}
+				}
 			}
 		}
 		rootLen += w(base.Edges[i])
@@ -203,9 +294,11 @@ func (r *Router) spurCandidates(base Path, start int, accepted []Path, t NodeID,
 // spurCandidatesParallel distributes the spur searches of one round across
 // pool routers. Every goroutine works on its own Router (private bans and
 // scratch arrays) against the shared read-only graph, writing results into
-// disjoint slice slots; the seen-set and heap updates then run serially in
-// spur-index order, so the candidate stream is exactly the serial one.
-func (r *Router) spurCandidatesParallel(base Path, start int, accepted []Path, t NodeID, w WeightFunc, pot *Potential, seen pathSet, cands *candidateHeap, workers int) {
+// disjoint slice slots; the seen-set, heap, and bound updates then run
+// serially in spur-index order. The cutoff was fixed by the caller before
+// the fan-out, so every worker prunes exactly as the serial loop would and
+// the accepted output is identical to a serial run.
+func (r *Router) spurCandidatesParallel(base Path, start int, accepted []Path, t NodeID, w WeightFunc, pot *Potential, seen pathSet, cands *candidateHeap, bnd *spurBound, cut float64, workers int) {
 	n := len(base.Edges)
 	// prefix[i] is the weight of base's first i edges, summed left to right
 	// exactly as the serial accumulation would, so Lengths are bit-equal.
@@ -226,7 +319,10 @@ func (r *Router) spurCandidatesParallel(base Path, start int, accepted []Path, t
 				if r.interrupted() {
 					break // workers only read r.ctx; no race with the coordinator
 				}
-				if spur, ok := wr.spurSearch(base, i, accepted, t, w, pot); ok {
+				if prefix[i]+pot.At(base.Nodes[i]) > cut {
+					continue // same pre-skip as the serial loop
+				}
+				if spur, ok := wr.spurSearch(base, i, accepted, t, w, pot, prefix[i], cut); ok {
 					spurs[i-start] = spur
 					found[i-start] = true
 				}
@@ -243,6 +339,9 @@ func (r *Router) spurCandidatesParallel(base Path, start int, accepted []Path, t
 		total := concatSpur(base, i, prefix[i], spurs[i-start])
 		if seen.add(total.Edges) {
 			heap.Push(cands, candidate{path: total, dev: i})
+			if bnd != nil {
+				bnd.add(total.Length)
+			}
 		}
 	}
 }
@@ -250,8 +349,9 @@ func (r *Router) spurCandidatesParallel(base Path, start int, accepted []Path, t
 // spurSearch establishes the Yen ban context for spur index i on r (the
 // root nodes before the spur node, and the next edge of every accepted path
 // sharing base's root) and runs the goal-directed search from the spur node
-// to t.
-func (r *Router) spurSearch(base Path, i int, accepted []Path, t NodeID, w WeightFunc, pot *Potential) (Path, bool) {
+// to t. rootLen and cut feed the candidate-count bound (see spurBound);
+// cut == +Inf disables it.
+func (r *Router) spurSearch(base Path, i int, accepted []Path, t NodeID, w WeightFunc, pot *Potential, rootLen, cut float64) (Path, bool) {
 	spurNode := base.Nodes[i]
 	if math.IsInf(pot.At(spurNode), 1) {
 		return Path{}, false // spur node cannot reach t even unbanned
@@ -265,7 +365,7 @@ func (r *Router) spurSearch(base Path, i int, accepted []Path, t NodeID, w Weigh
 	for j := 0; j < i; j++ {
 		r.banNode(base.Nodes[j])
 	}
-	return r.shortestAStar(spurNode, t, w, pot)
+	return r.shortestAStar(spurNode, t, w, pot, rootLen, cut)
 }
 
 // samePrefix reports whether p and q share their first i edges.

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -199,4 +200,76 @@ func allSimplePathLengths(g *Graph, s, t NodeID, weights []float64) []float64 {
 	dfs(s, 0)
 	sort.Float64s(out)
 	return out
+}
+
+// TestSpurBound exercises the candidate-count bound's bookkeeping directly:
+// the cutoff must stay +Inf until limit lengths are recorded, then track the
+// limit-th smallest length ever added (with its relative slack), regardless
+// of insertion order.
+func TestSpurBound(t *testing.T) {
+	b := &spurBound{limit: 3}
+	if !math.IsInf(b.cutoff(), 1) {
+		t.Fatalf("empty bound cutoff = %v, want +Inf", b.cutoff())
+	}
+	b.add(9)
+	b.add(5)
+	if !math.IsInf(b.cutoff(), 1) {
+		t.Fatalf("underfull bound cutoff = %v, want +Inf", b.cutoff())
+	}
+	b.add(7)
+	if got := b.cutoff(); got < 9 || got > 9*(1+2e-9) {
+		t.Fatalf("cutoff = %v, want 9 plus relative slack", got)
+	}
+	// A shorter length displaces the current max; longer ones are ignored.
+	b.add(1)
+	if got := b.cutoff(); got < 7 || got > 7*(1+2e-9) {
+		t.Fatalf("cutoff after displacing 9 = %v, want ~7", got)
+	}
+	b.add(100)
+	if got := b.cutoff(); got < 7 || got > 7*(1+2e-9) {
+		t.Fatalf("cutoff must ignore longer candidates, got %v", got)
+	}
+	b.add(2)
+	b.add(3)
+	if got := b.cutoff(); got < 3 || got > 3*(1+2e-9) {
+		t.Fatalf("cutoff = %v, want ~3 (three smallest are 1,2,3)", got)
+	}
+
+	// limit <= 0 (k == 1) must never prune: KShortest accepts only the
+	// first path and runs no deviation rounds, but be defensive anyway.
+	z := &spurBound{limit: 0}
+	z.add(4)
+	if !math.IsInf(z.cutoff(), 1) {
+		t.Fatalf("zero-limit bound cutoff = %v, want +Inf", z.cutoff())
+	}
+}
+
+// TestSpurBoundRandomized cross-checks the bounded max-heap against a sort
+// over many random sequences: after every add, the cutoff is either +Inf
+// (underfull) or derived from the limit-th smallest value so far.
+func TestSpurBoundRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		limit := 1 + rng.Intn(6)
+		b := &spurBound{limit: limit}
+		var all []float64
+		for n := 0; n < 40; n++ {
+			v := rng.Float64() * 100
+			b.add(v)
+			all = append(all, v)
+			sorted := append([]float64(nil), all...)
+			sort.Float64s(sorted)
+			if len(all) < limit {
+				if !math.IsInf(b.cutoff(), 1) {
+					t.Fatalf("trial %d: underfull cutoff = %v", trial, b.cutoff())
+				}
+				continue
+			}
+			x := sorted[limit-1]
+			if want := x + 1e-9*x; b.cutoff() != want {
+				t.Fatalf("trial %d after %d adds: cutoff = %v, want %v",
+					trial, n+1, b.cutoff(), want)
+			}
+		}
+	}
 }

@@ -368,7 +368,9 @@ func CriticalRoadsCtx(ctx context.Context, net *roadnet.Network, w graph.WeightF
 			opts.Sources = append(opts.Sources, graph.NodeID(s))
 		}
 	}
-	scores, err := graph.EdgeBetweennessCtx(ctx, g, w, opts)
+	// Source trees fan out across cores on a frozen snapshot; the ordered
+	// merge keeps the scores bitwise identical to the serial sweep.
+	scores, err := graph.BetweennessParallel(ctx, graph.Freeze(g, w), opts, 0)
 	if err != nil {
 		return nil, err
 	}

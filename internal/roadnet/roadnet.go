@@ -175,6 +175,11 @@ type Network struct {
 	coords []geo.Point
 	pois   []POI
 	name   string
+
+	// snaps caches one frozen CSR snapshot per weight type (see Snapshot).
+	// Dropped on SetRoad — the one mutation that changes weights without
+	// moving the graph's generation counter.
+	snaps map[WeightType]*graph.Snapshot
 }
 
 // NewNetwork returns an empty road network with the given display name.
@@ -288,8 +293,28 @@ func (n *Network) SetRoad(e graph.EdgeID, r Road) error {
 	}
 	r.normalize()
 	n.roads[e] = r
+	n.snaps = nil // materialized snapshot weights are now stale
 	return nil
 }
 
 // Router returns a fresh shortest-path router over the network's graph.
 func (n *Network) Router() *graph.Router { return graph.NewRouter(n.g) }
+
+// Snapshot returns a frozen CSR snapshot of the network's graph under the
+// given weight type (see graph.Freeze), cached across calls: the pooled
+// server networks and experiment workers reuse one snapshot for every
+// attack on the same network instead of re-freezing per request. A
+// snapshot invalidated by topology growth is rebuilt here; disabling and
+// enabling segments (attack cuts, ResetDisabled) never invalidates it.
+// Like all Network mutation, not safe for concurrent use.
+func (n *Network) Snapshot(t WeightType) *graph.Snapshot {
+	if c, ok := n.snaps[t]; ok && c.Valid() {
+		return c
+	}
+	if n.snaps == nil {
+		n.snaps = make(map[WeightType]*graph.Snapshot)
+	}
+	c := graph.Freeze(n.g, n.Weight(t))
+	n.snaps[t] = c
+	return c
+}

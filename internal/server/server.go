@@ -510,8 +510,14 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 func (s *Server) attack(ctx context.Context, net *roadnet.Network, alg core.Algorithm, wt roadnet.WeightType, ct roadnet.CostType, req AttackRequest) (core.Result, error) {
 	g := net.Graph()
 	weight := net.Weight(wt)
+	// Pooled networks keep their frozen snapshot across requests (cuts
+	// only toggle disabled flags, which never invalidate it), so the whole
+	// request — p* generation and the attack itself — runs on CSR kernels
+	// with at most one freeze per pooled network per weight type.
+	snap := net.Snapshot(wt)
 	router := graph.NewRouter(g)
 	router.SetContext(ctx)
+	router.UseSnapshot(snap)
 	paths := router.KShortest(graph.NodeID(req.Source), graph.NodeID(req.Dest), req.Rank, weight)
 	if err := ctx.Err(); err != nil {
 		// A cancelled KShortest returns a truncated list; distinguishing
@@ -524,13 +530,14 @@ func (s *Server) attack(ctx context.Context, net *roadnet.Network, alg core.Algo
 			core.ErrRankUnavailable, len(paths), req.Source, req.Dest, req.Rank)
 	}
 	p := core.Problem{
-		G:      g,
-		Source: graph.NodeID(req.Source),
-		Dest:   graph.NodeID(req.Dest),
-		PStar:  paths[req.Rank-1],
-		Weight: weight,
-		Cost:   net.Cost(ct),
-		Budget: req.Budget,
+		G:        g,
+		Source:   graph.NodeID(req.Source),
+		Dest:     graph.NodeID(req.Dest),
+		PStar:    paths[req.Rank-1],
+		Weight:   weight,
+		Cost:     net.Cost(ct),
+		Budget:   req.Budget,
+		Snapshot: snap,
 	}
 	return core.RunCtx(ctx, alg, p, core.Options{Seed: req.Seed})
 }
