@@ -1,12 +1,15 @@
 // Command serve runs the attack pipeline as a long-running HTTP/JSON
-// service over one street network (a synthetic city preset or an OSM
-// extract).
+// service over one or more street networks (synthetic city presets, or a
+// single OSM extract). Each city is preloaded into a registry shard —
+// frozen CSR snapshots per weight type plus reverse potentials per
+// hospital — shared read-only by every worker; requests route by their
+// "city" field.
 //
 // Endpoints:
 //
 //	POST /v1/attack  one s→d attack               (server.AttackRequest)
 //	POST /v1/batch   one experiment table, resumable (server.BatchRequest)
-//	GET  /healthz    liveness (200 while the process runs)
+//	GET  /healthz    liveness + cache/coalescing/per-city stats
 //	GET  /readyz     readiness + load/breaker stats (503 while draining)
 //
 // Robustness behaviour (see internal/server): bounded admission queue
@@ -16,7 +19,12 @@
 // checkpoint to -checkpoint-dir and resume on re-submission, and the
 // process exits 0 after a clean drain.
 //
-//	go run ./cmd/serve -city boston -scale 0.05 -addr :8080
+// Performance behaviour: concurrent identical attack requests coalesce
+// into one computation, and results are cached in a memory-bounded LRU
+// keyed by shard generation (-cache-mb; 0 disables), so a hot working
+// set serves from memory at near-zero admission cost.
+//
+//	go run ./cmd/serve -city boston,chicago -scale 0.05 -addr :8080
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"altroute/internal/citygen"
 	"altroute/internal/faultinject"
 	"altroute/internal/osm"
+	"altroute/internal/registry"
 	"altroute/internal/roadnet"
 	"altroute/internal/server"
 )
@@ -61,10 +70,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
-		city      = fs.String("city", "boston", "city preset (boston, san-francisco, chicago, los-angeles)")
+		city      = fs.String("city", "boston", "comma-separated city presets to serve (boston, san-francisco, chicago, los-angeles); the first is the default city")
 		scale     = fs.Float64("scale", 0.05, "city scale (1 = full Table I size)")
 		seed      = fs.Int64("seed", 1, "city generation seed")
-		osmFile   = fs.String("osm", "", "serve this OSM XML extract instead of a synthetic city")
+		osmFile   = fs.String("osm", "", "serve this OSM XML extract instead of synthetic cities")
+		cacheMB   = fs.Int64("cache-mb", 64, "result + path-set cache budget in MiB (0 disables caching)")
 		capacity  = fs.Int("capacity", 0, "admission budget in cost units (0 = 4*GOMAXPROCS)")
 		maxQueue  = fs.Int("queue", 32, "max queued requests before 503 + Retry-After")
 		maxUnits  = fs.Int("max-units", 0, "per-request cost-unit budget; larger requests are shed (0 = capacity)")
@@ -81,20 +91,41 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	net2, err := buildNetwork(*osmFile, *city, *scale, *seed)
-	if err != nil {
-		return err
+	// Each served city becomes a preloaded registry shard: snapshots are
+	// frozen and hospital potentials swept at startup, so the first
+	// request pays no more than the thousandth.
+	reg := registry.NewRegistry()
+	for _, name := range strings.Split(*city, ",") {
+		if *osmFile != "" && len(reg.Shards()) > 0 {
+			return errors.New("-osm serves a single extract; drop the extra -city entries")
+		}
+		net2, err := buildNetwork(*osmFile, name, *scale, *seed)
+		if err != nil {
+			return err
+		}
+		shard, err := registry.NewShard(ctx, name, net2, *capacity)
+		if err != nil {
+			return err
+		}
+		if err := reg.Add(shard); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serve: city %s: %d intersections, %d segments\n",
+			shard.Name(), net2.NumIntersections(), net2.NumSegments())
 	}
-	fmt.Fprintf(out, "serve: network %s: %d intersections, %d segments\n",
-		net2.Name(), net2.NumIntersections(), net2.NumSegments())
 
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
 			return fmt.Errorf("checkpoint dir: %w", err)
 		}
 	}
+	cacheBytes := *cacheMB << 20
+	if cacheBytes <= 0 {
+		cacheBytes = -1 // Config: negative disables, zero means default
+	}
 	srv, err := server.New(server.Config{
-		Net:             net2,
+		Registry:        reg,
+		CacheBytes:      cacheBytes,
 		Capacity:        *capacity,
 		MaxQueue:        *maxQueue,
 		MaxRequestUnits: *maxUnits,

@@ -69,9 +69,10 @@ func naiveCutLoop(ctx context.Context, p Problem, opts Options, pick func(graph.
 	r := p.router(ctx)
 	pstarSet := p.PStar.EdgeSet()
 	budget := p.budgetOrInf()
-	// Computed before the first cut; cuts only disable edges, so the
-	// potential stays admissible for every later oracle call.
-	pot := r.ReversePotential(p.Dest, p.Weight)
+	// Computed before the first cut (or taken from the problem's cache);
+	// cuts only disable edges, so the potential stays admissible for every
+	// later oracle call.
+	pot := p.potential(r)
 
 	tx := p.G.Begin()
 	defer tx.Rollback()

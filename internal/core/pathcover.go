@@ -63,10 +63,11 @@ func pathCoverLoop(ctx context.Context, p Problem, opts Options, solve coverSolv
 	r := p.router(ctx)
 	pstarSet := p.PStar.EdgeSet()
 	budget := p.budgetOrInf()
-	// One reverse Dijkstra on the unmodified graph serves every oracle
-	// round: each round only disables edges, so the potential stays
-	// admissible for the goal-directed alternative search.
-	pot := r.ReversePotential(p.Dest, p.Weight)
+	// One reverse Dijkstra on the unmodified graph (or the problem's
+	// cached potential) serves every oracle round: each round only
+	// disables edges, so the potential stays admissible for the
+	// goal-directed alternative search.
+	pot := p.potential(r)
 
 	var pool []graph.Path
 	var cut []graph.EdgeID

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"altroute/internal/graph"
+)
+
+// TestCachedPotentialBitIdentical checks that supplying Problem.Potential
+// (the registry's per-hospital reverse-potential cache) is invisible in
+// the output: every algorithm returns the exact cut, cost, and round
+// counts it returns when the potential is computed inside the attack.
+func TestCachedPotentialBitIdentical(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(10)
+		w := &weighted{g: graph.New(n)}
+		for i := 0; i < n; i++ {
+			w.weight = append(w.weight, float64(1+rng.Intn(9)))
+			w.cost = append(w.cost, float64(1+rng.Intn(4)))
+			w.g.MustAddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+		}
+		for i := 0; i < 2*n; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			w.weight = append(w.weight, float64(1+rng.Intn(9)))
+			w.cost = append(w.cost, float64(1+rng.Intn(4)))
+			w.g.MustAddEdge(graph.NodeID(a), graph.NodeID(b))
+		}
+		s := graph.NodeID(rng.Intn(n))
+		d := graph.NodeID(rng.Intn(n))
+		if s == d {
+			return true
+		}
+		pstar, err := PStarByRank(w.g, s, d, 2+rng.Intn(3), w.wf())
+		if err != nil {
+			return true
+		}
+		base := Problem{G: w.g, Source: s, Dest: d, PStar: pstar, Weight: w.wf(), Cost: w.cf()}
+		cached := base
+		cached.Potential = graph.NewRouter(w.g).ReversePotential(d, w.wf())
+		wrongTarget := base
+		wrongTarget.Potential = graph.NewRouter(w.g).ReversePotential(s, w.wf())
+
+		for _, alg := range Algorithms() {
+			want, errWant := Run(alg, base, Options{Seed: seed})
+			for name, p := range map[string]Problem{"cached": cached, "wrong-target": wrongTarget} {
+				got, errGot := Run(alg, p, Options{Seed: seed})
+				if (errWant == nil) != (errGot == nil) {
+					t.Logf("seed %d alg %v (%s): err %v, want %v", seed, alg, name, errGot, errWant)
+					return false
+				}
+				if errWant != nil {
+					continue
+				}
+				got.Runtime, want.Runtime = 0, 0
+				if !reflect.DeepEqual(got, want) {
+					t.Logf("seed %d alg %v (%s): %+v, want %+v", seed, alg, name, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -92,6 +92,15 @@ type Problem struct {
 	// from a different graph) the algorithms freeze one per run. Either
 	// way results are bit-identical to the live kernels.
 	Snapshot *graph.Snapshot
+	// Potential optionally carries a cached reverse potential for Dest
+	// under Weight (graph.ReversePotential), computed on a graph state
+	// whose enabled-edge set contained every edge currently enabled — in
+	// practice, the intact network (the city-shard registry keeps one per
+	// hospital destination). When nil or targeting a different node, the
+	// algorithms run their own reverse Dijkstra, exactly as before; when
+	// supplied, its table is bit-identical to what that Dijkstra would
+	// produce, so results are unchanged.
+	Potential *graph.Potential
 }
 
 // router returns a context-attached Router running on the problem's frozen
@@ -106,6 +115,17 @@ func (p *Problem) router(ctx context.Context) *graph.Router {
 	}
 	r.UseSnapshot(snap)
 	return r
+}
+
+// potential returns the reverse potential the oracle loops should use:
+// the cached one when it matches Dest, else one fresh reverse Dijkstra on
+// r. Both are exact distance tables for Dest under Weight on the intact
+// graph, so the choice never changes any result.
+func (p *Problem) potential(r *graph.Router) *graph.Potential {
+	if p.Potential != nil && p.Potential.Target() == p.Dest {
+		return p.Potential
+	}
+	return r.ReversePotential(p.Dest, p.Weight)
 }
 
 // budgetOrInf returns the effective budget.

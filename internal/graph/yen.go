@@ -155,7 +155,33 @@ func (r *Router) KShortest(s, t NodeID, k int, w WeightFunc) []Path {
 	}
 	r.grow()
 	r.clearBans()
-	pot := r.ReversePotential(t, w)
+	return r.kShortest(s, t, k, w, r.ReversePotential(t, w))
+}
+
+// KShortestWithPotential is KShortest with a caller-supplied reverse
+// potential, for callers that issue many k-shortest queries against the
+// same target (the city-shard registry precomputes one potential per
+// hospital destination and reuses it across every request). pot must come
+// from ReversePotential(t, w) on this graph in a state whose enabled-edge
+// set contained every currently enabled edge — the same contract as
+// BestAlternativeWithPotential. A nil or mismatched-target pot is
+// recomputed, making the call equivalent to KShortest.
+func (r *Router) KShortestWithPotential(s, t NodeID, k int, w WeightFunc, pot *Potential) []Path {
+	if k <= 0 {
+		return nil
+	}
+	r.grow()
+	r.clearBans()
+	if pot == nil || pot.Target() != t {
+		pot = r.ReversePotential(t, w)
+	}
+	return r.kShortest(s, t, k, w, pot)
+}
+
+// kShortest is the shared Yen engine behind KShortest and
+// KShortestWithPotential. Bans are already cleared and scratch arrays
+// grown; pot is a valid reverse potential for t under w.
+func (r *Router) kShortest(s, t NodeID, k int, w WeightFunc, pot *Potential) []Path {
 	first, ok := r.shortestAStar(s, t, w, pot, 0, math.Inf(1))
 	if !ok {
 		return nil

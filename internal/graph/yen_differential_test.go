@@ -306,3 +306,50 @@ func TestKShortestCachedPotentialAfterDisables(t *testing.T) {
 		}
 	}
 }
+
+// TestKShortestWithPotentialMatches checks that a caller-supplied reverse
+// potential — the registry's per-hospital cache — is invisible in the
+// output: KShortestWithPotential with a precomputed potential returns the
+// exact path list of KShortest, on the live kernels and on a frozen
+// snapshot, and a nil or wrong-target potential degrades to a plain
+// KShortest rather than a wrong answer.
+func TestKShortestWithPotentialMatches(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, w := randomTieFreeGraph(rng)
+		n := g.NumNodes()
+		s := NodeID(rng.Intn(n))
+		tgt := NodeID(rng.Intn(n))
+		k := 1 + rng.Intn(20)
+
+		want := NewRouter(g).KShortest(s, tgt, k, w)
+		pot := NewRouter(g).ReversePotential(tgt, w)
+
+		if err := samePathList(NewRouter(g).KShortestWithPotential(s, tgt, k, w, pot), want); err != nil {
+			t.Logf("seed %d (live, s=%d t=%d k=%d): %v", seed, s, tgt, k, err)
+			return false
+		}
+
+		frozen := NewRouter(g)
+		frozen.UseSnapshot(Freeze(g, w))
+		if err := samePathList(frozen.KShortestWithPotential(s, tgt, k, w, pot), want); err != nil {
+			t.Logf("seed %d (frozen, s=%d t=%d k=%d): %v", seed, s, tgt, k, err)
+			return false
+		}
+
+		wrong := NewRouter(g).ReversePotential(s, w) // wrong target: must be recomputed
+		if err := samePathList(NewRouter(g).KShortestWithPotential(s, tgt, k, w, wrong), want); err != nil {
+			t.Logf("seed %d (wrong-target pot): %v", seed, err)
+			return false
+		}
+		if err := samePathList(NewRouter(g).KShortestWithPotential(s, tgt, k, w, nil), want); err != nil {
+			t.Logf("seed %d (nil pot): %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -24,12 +24,13 @@ type ctxFlow struct {
 }
 
 // NewCtxFlow returns the ctxflow analyzer. With no arguments it targets
-// the packages named by the cancellation contract: core, graph, lp, and
+// the packages named by the cancellation contract: core, graph, lp,
 // server (whose handlers must propagate request deadlines into the
-// pipeline rather than looping uncancellably).
+// pipeline rather than looping uncancellably), and registry (whose shard
+// preloads run full-graph sweeps that must abort with the serve context).
 func NewCtxFlow(pkgNames ...string) Analyzer {
 	if len(pkgNames) == 0 {
-		pkgNames = []string{"core", "graph", "lp", "server"}
+		pkgNames = []string{"core", "graph", "lp", "server", "registry"}
 	}
 	set := make(map[string]bool, len(pkgNames))
 	for _, n := range pkgNames {
@@ -40,7 +41,7 @@ func NewCtxFlow(pkgNames ...string) Analyzer {
 
 func (ctxFlow) Name() string { return "ctxflow" }
 func (ctxFlow) Doc() string {
-	return "exported nested-loop funcs in core/graph/lp/server must accept and check a context.Context"
+	return "exported nested-loop funcs in core/graph/lp/server/registry must accept and check a context.Context"
 }
 
 func (c ctxFlow) Check(pkg *Package) []Diagnostic {

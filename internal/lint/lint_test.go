@@ -27,6 +27,7 @@ var golden = []struct {
 	{"errcmp", func() []Analyzer { return []Analyzer{NewErrCmp()} }},
 	{"ctxflow", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
 	{"ctxflowserver", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
+	{"ctxflowregistry", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
 	{"suppress", All},
 }
 

@@ -1,0 +1,34 @@
+// Fixture for the ctxflow analyzer's registry coverage. The package is
+// named "registry" so the default target-package set applies, as it does
+// to the real internal/registry package: shard preloads sweep the whole
+// graph per weight type per destination and must abort with the serve
+// context instead of pinning startup.
+package registry
+
+import "context"
+
+// Preload sweeps every (weight, destination) pair without ever consulting
+// a deadline — the unbounded-startup shape the contract forbids.
+func Preload(weights, dests []int) int { // want "never consults a context.Context"
+	n := 0
+	for range weights {
+		for range dests {
+			n++
+		}
+	}
+	return n
+}
+
+// PreloadCtx checks the serve context between sweeps: compliant.
+func PreloadCtx(ctx context.Context, weights, dests []int) int {
+	n := 0
+	for range weights {
+		for range dests {
+			if ctx.Err() != nil {
+				return n
+			}
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package registry
+
+import "sync"
+
+// Cache is a memory-bounded LRU keyed by K. Entries carry a caller-supplied
+// cost estimate in bytes; when the running total would exceed the capacity,
+// least-recently-used entries are evicted until the new entry fits.
+//
+// Generation keying is the caller's job: keys embed the shard generation
+// they were computed at, so a mutation makes old entries unreachable
+// (they age out of the LRU) rather than requiring an explicit flush.
+//
+// A Cache is safe for concurrent use. The zero value is not usable; call
+// NewCache.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	entries  map[K]*cacheEntry[K, V]
+	// Intrusive doubly-linked list through the entries, most recent at
+	// head.next, least recent at head.prev. head is a sentinel.
+	head cacheEntry[K, V]
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry[K comparable, V any] struct {
+	key        K
+	val        V
+	bytes      int64
+	prev, next *cacheEntry[K, V]
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+}
+
+// NewCache returns a cache bounded to roughly capacityBytes of estimated
+// entry cost. A capacity <= 0 disables the cache: every Get misses and
+// every Add is dropped (useful for benchmarking the cold path).
+func NewCache[K comparable, V any](capacityBytes int64) *Cache[K, V] {
+	c := &Cache[K, V]{
+		capacity: capacityBytes,
+		entries:  make(map[K]*cacheEntry[K, V]),
+	}
+	c.head.prev = &c.head
+	c.head.next = &c.head
+	return c
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.unlink(e)
+	c.pushFront(e)
+	return e.val, true
+}
+
+// Add inserts v under k with the given cost estimate, evicting from the
+// LRU tail until it fits. Oversized entries (bytes > capacity) are
+// dropped rather than flushing the whole cache for one entry. Adding an
+// existing key replaces its value and cost.
+func (c *Cache[K, V]) Add(k K, v V, bytes int64) {
+	if bytes < 1 {
+		bytes = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bytes > c.capacity {
+		return
+	}
+	if e, ok := c.entries[k]; ok {
+		c.bytes += bytes - e.bytes
+		e.val, e.bytes = v, bytes
+		c.unlink(e)
+		c.pushFront(e)
+	} else {
+		e = &cacheEntry[K, V]{key: k, val: v, bytes: bytes}
+		c.entries[k] = e
+		c.bytes += bytes
+		c.pushFront(e)
+	}
+	for c.bytes > c.capacity {
+		lru := c.head.prev
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+		c.bytes -= lru.bytes
+		c.evictions++
+	}
+}
+
+// Stats returns the cache's counters.
+func (c *Cache[K, V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Entries:       len(c.entries),
+		Bytes:         c.bytes,
+		CapacityBytes: c.capacity,
+	}
+}
+
+func (c *Cache[K, V]) unlink(e *cacheEntry[K, V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache[K, V]) pushFront(e *cacheEntry[K, V]) {
+	e.prev = &c.head
+	e.next = c.head.next
+	c.head.next.prev = e
+	c.head.next = e
+}

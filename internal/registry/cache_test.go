@@ -1,0 +1,78 @@
+package registry
+
+import "testing"
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache[string, int](100)
+	c.Add("a", 1, 40)
+	c.Add("b", 2, 40)
+	// Touch a so b becomes the LRU victim.
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Add("c", 3, 40) // 120 > 100: evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should have survived eviction", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 80 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries, 80 bytes", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 3 hits, 1 miss", st)
+	}
+}
+
+func TestCacheOversizedEntryDropped(t *testing.T) {
+	c := NewCache[string, int](100)
+	c.Add("small", 1, 10)
+	c.Add("huge", 2, 101)
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversized entry should be dropped, not stored")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Error("oversized Add must not evict existing entries")
+	}
+}
+
+func TestCacheReplaceAdjustsBytes(t *testing.T) {
+	c := NewCache[string, int](100)
+	c.Add("k", 1, 30)
+	c.Add("k", 2, 50)
+	if v, ok := c.Get("k"); !ok || v != 2 {
+		t.Fatalf("Get(k) = %d, %v; want replaced value 2", v, ok)
+	}
+	if st := c.Stats(); st.Bytes != 50 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 50 bytes in 1 entry after replace", st)
+	}
+}
+
+func TestCacheZeroCapacityDisabled(t *testing.T) {
+	c := NewCache[string, int](0)
+	c.Add("k", 1, 1)
+	if _, ok := c.Get("k"); ok {
+		t.Error("zero-capacity cache must never store")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 0 entries, 1 miss", st)
+	}
+}
+
+func TestCacheEvictsMultipleForLargeEntry(t *testing.T) {
+	c := NewCache[string, int](100)
+	c.Add("a", 1, 30)
+	c.Add("b", 2, 30)
+	c.Add("c", 3, 30)
+	c.Add("big", 4, 90) // must evict a, b, c
+	if st := c.Stats(); st.Entries != 1 || st.Evictions != 3 || st.Bytes != 90 {
+		t.Errorf("stats = %+v, want only big left after 3 evictions", st)
+	}
+	if _, ok := c.Get("big"); !ok {
+		t.Error("big should be resident")
+	}
+}

@@ -1,0 +1,164 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"altroute/internal/core"
+)
+
+// Group coalesces concurrent calls with the same key into one computation
+// (singleflight). Unlike the classic pattern, the computation does not run
+// on the first caller's goroutine or context: it runs in its own goroutine
+// under a context derived from a caller-supplied base (the server's drain
+// context), so one waiter hanging up never kills the work the others are
+// still waiting for. Each waiter observes its own context; a cancelled
+// waiter detaches immediately with its own error. Only when the LAST
+// waiter detaches is the shared computation cancelled.
+//
+// A panic in the computation is recovered once and delivered to every
+// waiter as an error wrapping core.ErrPanic — one poisoned key costs one
+// failed request fan-in, never the process.
+//
+// A Group is safe for concurrent use. The zero value is ready.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+
+	leaders  int64
+	joins    int64
+	detaches int64
+	panics   int64
+}
+
+type call[V any] struct {
+	done    chan struct{} // closed when val/err are final
+	val     V
+	err     error
+	waiters int
+	joined  int // total callers that ever attached beyond the leader
+	cancel  context.CancelCauseFunc
+}
+
+// GroupStats is a point-in-time snapshot of a group's counters.
+type GroupStats struct {
+	// Leaders counts computations started (= coalesced request groups).
+	Leaders int64 `json:"leaders"`
+	// Joins counts callers that attached to an already-running computation.
+	Joins int64 `json:"joins"`
+	// Detaches counts waiters that gave up (their context died) before the
+	// shared computation finished.
+	Detaches int64 `json:"detaches"`
+	// Panics counts computations that ended in a recovered panic.
+	Panics int64 `json:"panics"`
+	// InFlight is the number of computations currently running.
+	InFlight int `json:"in_flight"`
+}
+
+// ErrComputationCancelled is the cancel cause used when the last waiter of
+// a coalesced computation detaches.
+var ErrComputationCancelled = fmt.Errorf("registry: all waiters detached")
+
+// Do returns the result of fn for key, sharing one execution among all
+// concurrent callers with the same key. fn runs on its own goroutine under
+// a context derived from base (NOT from ctx); ctx only governs how long
+// this caller waits. shared reports whether the result was (or would have
+// been) shared with other callers — true for every caller that attached
+// to an existing computation.
+//
+// If ctx dies first, Do returns ctx's error immediately; the computation
+// keeps running for the remaining waiters and is cancelled (with cause
+// ErrComputationCancelled) only when no waiters remain.
+func (g *Group[K, V]) Do(ctx, base context.Context, key K, fn func(context.Context) (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	c, ok := g.calls[key]
+	if ok {
+		c.waiters++
+		c.joined++
+		g.joins++
+		g.mu.Unlock()
+		return g.wait(ctx, key, c, true)
+	}
+	runCtx, cancel := context.WithCancelCause(base)
+	c = &call[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.calls[key] = c
+	g.leaders++
+	g.mu.Unlock()
+	go g.run(runCtx, key, c, fn)
+	return g.wait(ctx, key, c, false)
+}
+
+// run executes fn, publishes its result, and retires the call so later
+// requests for the key start fresh.
+func (g *Group[K, V]) run(ctx context.Context, key K, c *call[V], fn func(context.Context) (V, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Keep the panic's stack: by the time a waiter sees the error,
+			// this goroutine is long gone.
+			c.err = fmt.Errorf("%w: %v\n%s", core.ErrPanic, r, debug.Stack())
+			g.mu.Lock()
+			g.panics++
+			g.mu.Unlock()
+		}
+		g.mu.Lock()
+		// The detach path may already have retired this call (and a newer
+		// call may own the key now); only delete our own entry.
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		c.cancel(nil)
+		close(c.done)
+	}()
+	c.val, c.err = fn(ctx)
+}
+
+// wait blocks until the computation finishes or the caller's ctx dies.
+func (g *Group[K, V]) wait(ctx context.Context, key K, c *call[V], joined bool) (V, bool, error) {
+	select {
+	case <-c.done:
+		g.mu.Lock()
+		// shared is true when anyone else ever attached to this
+		// computation, whether this caller led or joined.
+		shared := joined || c.joined > 0
+		c.waiters--
+		g.mu.Unlock()
+		return c.val, shared, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		g.detaches++
+		c.waiters--
+		last := c.waiters == 0
+		if last && g.calls[key] == c {
+			// Retire the call before cancelling so a caller arriving after
+			// this moment starts a fresh computation instead of joining one
+			// that is being torn down.
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		if last {
+			// Last waiter out: nobody wants the result, stop the work.
+			c.cancel(ErrComputationCancelled)
+		}
+		var zero V
+		return zero, joined, ctx.Err()
+	}
+}
+
+// Stats returns the group's counters.
+func (g *Group[K, V]) Stats() GroupStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GroupStats{
+		Leaders:  g.leaders,
+		Joins:    g.joins,
+		Detaches: g.detaches,
+		Panics:   g.panics,
+		InFlight: len(g.calls),
+	}
+}

@@ -1,0 +1,262 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"altroute/internal/core"
+)
+
+// TestCoalesceSharesOneComputation checks the core contract: N concurrent
+// callers with the same key trigger exactly one fn execution and all
+// receive its result with shared=true.
+func TestCoalesceSharesOneComputation(t *testing.T) {
+	var g Group[string, int]
+	const n = 8
+	var runs atomic.Int64
+	release := make(chan struct{})
+	attached := make(chan struct{}, n)
+
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	errs := make([]error, n)
+	sharedFlags := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], sharedFlags[i], errs[i] = g.Do(context.Background(), context.Background(), "k",
+				func(ctx context.Context) (int, error) {
+					runs.Add(1)
+					attached <- struct{}{}
+					<-release
+					return 42, nil
+				})
+		}(i)
+	}
+	// Wait until the single computation is running, give the joiners a
+	// moment to attach, then release.
+	<-attached
+	for {
+		g.mu.Lock()
+		c := g.calls["k"]
+		w := 0
+		if c != nil {
+			w = c.waiters
+		}
+		g.mu.Unlock()
+		if w == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || results[i] != 42 {
+			t.Errorf("caller %d: (%d, %v), want (42, nil)", i, results[i], errs[i])
+		}
+		if !sharedFlags[i] {
+			t.Errorf("caller %d: shared=false, want true (all %d coalesced)", i, n)
+		}
+	}
+	st := g.Stats()
+	if st.Leaders != 1 || st.Joins != n-1 || st.InFlight != 0 {
+		t.Errorf("stats = %+v, want 1 leader, %d joins, 0 in flight", st, n-1)
+	}
+}
+
+// TestWaiterCancelDetachesWithoutKillingComputation: a waiter whose
+// context dies mid-flight returns immediately with its own error, while
+// the shared computation keeps running and delivers to the remaining
+// waiter.
+func TestWaiterCancelDetachesWithoutKillingComputation(t *testing.T) {
+	var g Group[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	computeCancelled := make(chan error, 1)
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), context.Background(), "k",
+			func(ctx context.Context) (int, error) {
+				close(started)
+				select {
+				case <-release:
+					return 7, nil
+				case <-ctx.Done():
+					computeCancelled <- context.Cause(ctx)
+					return 0, ctx.Err()
+				}
+			})
+		leaderDone <- err
+	}()
+	<-started
+
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(waiterCtx, context.Background(), "k", func(context.Context) (int, error) {
+			t.Error("joiner must not start a second computation")
+			return 0, nil
+		})
+		waiterDone <- err
+	}()
+	// Wait for the join to register, then cancel only the waiter.
+	for {
+		if g.Stats().Joins == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelWaiter()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+
+	// The computation must still be alive: leader gets the real result.
+	select {
+	case err := <-computeCancelled:
+		t.Fatalf("computation was cancelled (%v) although the leader still waits", err)
+	default:
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader got %v after waiter detached, want nil", err)
+	}
+	if st := g.Stats(); st.Detaches != 1 {
+		t.Errorf("stats = %+v, want 1 detach", st)
+	}
+}
+
+// TestLastWaiterOutCancelsComputation: when every waiter has detached,
+// the shared computation's context is cancelled with
+// ErrComputationCancelled so it can stop burning CPU.
+func TestLastWaiterOutCancelsComputation(t *testing.T) {
+	var g Group[string, int]
+	started := make(chan struct{})
+	gotCause := make(chan error, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, context.Background(), "k",
+			func(runCtx context.Context) (int, error) {
+				close(started)
+				<-runCtx.Done()
+				gotCause <- context.Cause(runCtx)
+				return 0, runCtx.Err()
+			})
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller got %v, want context.Canceled", err)
+	}
+	select {
+	case cause := <-gotCause:
+		if !errors.Is(cause, ErrComputationCancelled) {
+			t.Fatalf("computation cancelled with cause %v, want ErrComputationCancelled", cause)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("computation was never cancelled after its last waiter left")
+	}
+}
+
+// TestLeaderPanicPropagatesToAllWaiters: a panic inside fn is recovered
+// once and every attached caller receives exactly one error wrapping
+// core.ErrPanic; the process survives and the key is reusable.
+func TestLeaderPanicPropagatesToAllWaiters(t *testing.T) {
+	var g Group[string, int]
+	const n = 4
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = g.Do(context.Background(), context.Background(), "k",
+				func(context.Context) (int, error) {
+					<-release
+					panic("poisoned instance")
+				})
+		}(i)
+	}
+	for {
+		if st := g.Stats(); st.Leaders == 1 && st.Joins == n-1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if !errors.Is(err, core.ErrPanic) {
+			t.Errorf("caller %d got %v, want core.ErrPanic", i, err)
+		} else if !strings.Contains(err.Error(), "poisoned instance") {
+			t.Errorf("caller %d error %q does not carry the panic value", i, err)
+		}
+	}
+	st := g.Stats()
+	if st.Panics != 1 {
+		t.Errorf("stats = %+v, want exactly 1 recovered panic for %d waiters", st, n)
+	}
+
+	// The key must be usable again: a fresh call runs a fresh fn.
+	v, shared, err := g.Do(context.Background(), context.Background(), "k",
+		func(context.Context) (int, error) { return 9, nil })
+	if err != nil || v != 9 || shared {
+		t.Errorf("post-panic Do = (%d, %v, %v), want (9, false, nil)", v, shared, err)
+	}
+}
+
+// TestJoinAfterLastDetachStartsFresh: a caller arriving after the last
+// waiter detached (while the doomed computation is still unwinding) must
+// start a fresh computation, not join the cancelled one.
+func TestJoinAfterLastDetachStartsFresh(t *testing.T) {
+	var g Group[string, int]
+	started := make(chan struct{})
+	blocked := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	firstDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, context.Background(), "k",
+			func(runCtx context.Context) (int, error) {
+				close(started)
+				<-runCtx.Done()
+				<-blocked // hold the doomed call open past the detach
+				return 0, runCtx.Err()
+			})
+		firstDone <- err
+	}()
+	<-started
+	cancel()
+	if err := <-firstDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first caller got %v, want context.Canceled", err)
+	}
+
+	// The doomed computation is still blocked, but the detach retired its
+	// call entry: this Do must lead a fresh computation.
+	v, _, err := g.Do(context.Background(), context.Background(), "k",
+		func(context.Context) (int, error) { return 5, nil })
+	close(blocked)
+	if err != nil || v != 5 {
+		t.Fatalf("fresh caller got (%d, %v), want (5, nil)", v, err)
+	}
+	if st := g.Stats(); st.Leaders != 2 {
+		t.Errorf("stats = %+v, want 2 leaders (no join onto the doomed call)", st)
+	}
+}

@@ -12,6 +12,7 @@ package roadnet
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"altroute/internal/geo"
 	"altroute/internal/graph"
@@ -169,6 +170,12 @@ type POI struct {
 
 // Network is a road network: a directed graph plus road attributes,
 // intersection coordinates, and attached POIs. Create one with NewNetwork.
+//
+// Concurrency: construction and topology mutation (AddIntersection,
+// AddRoad, AttachPOI, ...) are single-threaded, like the Graph they build.
+// SetRoad and Snapshot are the exception — they synchronize against each
+// other (see snapMu), because the city-shard registry re-weights a served
+// network while snapshot readers are active.
 type Network struct {
 	g      *graph.Graph
 	roads  []Road
@@ -176,6 +183,17 @@ type Network struct {
 	pois   []POI
 	name   string
 
+	// snapMu orders SetRoad against Snapshot: a SetRoad publishes the new
+	// road attributes, bumps wgen, and drops the snapshot cache in one
+	// critical section, and Snapshot freezes (reading the road slice
+	// through the weight closure) in another — so a Snapshot call that
+	// begins after a SetRoad returns can never hand back a snapshot with
+	// the old weights, and the two can never race on the roads slice.
+	snapMu sync.Mutex
+	// wgen counts weight mutations (SetRoad calls). Together with the
+	// graph's topology generation it keys "is this frozen image current":
+	// graph.Snapshot.Valid covers topology, wgen covers weights.
+	wgen uint64
 	// snaps caches one frozen CSR snapshot per weight type (see Snapshot).
 	// Dropped on SetRoad — the one mutation that changes weights without
 	// moving the graph's generation counter.
@@ -287,14 +305,35 @@ func (n *Network) Road(e graph.EdgeID) Road { return n.roads[e] }
 // SetRoad replaces the attributes of segment e (normalizing zero fields).
 // Like AddRoad it rejects NaN/infinite/negative attributes, leaving the
 // existing road untouched.
+//
+// SetRoad is safe against concurrent Snapshot callers: the new attributes,
+// the weight-generation bump, and the snapshot-cache drop are published in
+// one critical section, so once SetRoad returns no Snapshot call can hand
+// out a frozen image with the old weights. It is NOT safe against
+// concurrent readers of the live weight closures (Weight/Cost) — the
+// registry layer serves reads exclusively from frozen snapshots for
+// exactly this reason.
 func (n *Network) SetRoad(e graph.EdgeID, r Road) error {
 	if err := r.validate(); err != nil {
 		return err
 	}
 	r.normalize()
+	n.snapMu.Lock()
 	n.roads[e] = r
+	n.wgen++
 	n.snaps = nil // materialized snapshot weights are now stale
+	n.snapMu.Unlock()
 	return nil
+}
+
+// WeightGeneration returns the weight-mutation counter: it advances on
+// every SetRoad. Combined with Graph().Generation() (topology) it uniquely
+// identifies the weight state a frozen snapshot or cached result was
+// computed against.
+func (n *Network) WeightGeneration() uint64 {
+	n.snapMu.Lock()
+	defer n.snapMu.Unlock()
+	return n.wgen
 }
 
 // Router returns a fresh shortest-path router over the network's graph.
@@ -306,8 +345,15 @@ func (n *Network) Router() *graph.Router { return graph.NewRouter(n.g) }
 // attack on the same network instead of re-freezing per request. A
 // snapshot invalidated by topology growth is rebuilt here; disabling and
 // enabling segments (attack cuts, ResetDisabled) never invalidates it.
-// Like all Network mutation, not safe for concurrent use.
+//
+// Snapshot synchronizes with SetRoad (and other Snapshot callers): the
+// freeze runs inside the same critical section that SetRoad publishes new
+// attributes in, so the materialized weights are always a consistent
+// post-SetRoad image, never a torn or stale one. Concurrent Snapshot with
+// topology mutation remains unsupported, as on the underlying Graph.
 func (n *Network) Snapshot(t WeightType) *graph.Snapshot {
+	n.snapMu.Lock()
+	defer n.snapMu.Unlock()
 	if c, ok := n.snaps[t]; ok && c.Valid() {
 		return c
 	}

@@ -1,0 +1,121 @@
+package roadnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"altroute/internal/geo"
+	"altroute/internal/graph"
+)
+
+// raceNet builds a small two-node network with one road to mutate.
+func raceNet(t *testing.T) (*Network, graph.EdgeID) {
+	t.Helper()
+	net := NewNetwork("race")
+	a := net.AddIntersection(geo.Point{Lat: 42, Lon: -71})
+	b := net.AddIntersection(geo.Point{Lat: 42, Lon: -70.999})
+	e, err := net.AddRoad(a, b, Road{LengthM: 100, SpeedMS: 10, Lanes: 1, WidthM: 4, Class: ClassResidential})
+	if err != nil {
+		t.Fatalf("AddRoad: %v", err)
+	}
+	return net, e
+}
+
+// TestSnapshotSetRoadNoStale drives concurrent SetRoad and Snapshot
+// callers and checks the ordering contract: once a SetRoad that installed
+// length L has returned, every later Snapshot must materialize a weight of
+// at least L. The writer publishes the installed length via an atomic
+// AFTER SetRoad returns; a reader that loads the atomic BEFORE calling
+// Snapshot therefore has a proof the corresponding SetRoad completed, and
+// the snapshot it receives must not be older. Run with -race this also
+// covers the data-race half of the satellite (the roads slice and the
+// snapshot cache are touched from both sides).
+func TestSnapshotSetRoadNoStale(t *testing.T) {
+	net, e := raceNet(t)
+
+	const writes = 400
+	var published atomic.Int64 // meters, monotonically increasing
+	published.Store(100)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				floor := published.Load()
+				snap := net.Snapshot(WeightLength)
+				if got := snap.Weight(e); got < float64(floor) {
+					t.Errorf("stale snapshot: weight %v, but SetRoad(%d) had completed", got, floor)
+					return
+				}
+			}
+		}()
+	}
+
+	road := net.Road(e)
+	for i := 1; i <= writes; i++ {
+		road.LengthM = float64(100 + i)
+		if err := net.SetRoad(e, road); err != nil {
+			t.Fatalf("SetRoad: %v", err)
+		}
+		published.Store(int64(100 + i))
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the last write, the next snapshot must carry the final weight.
+	if got := net.Snapshot(WeightLength).Weight(e); got != float64(100+writes) {
+		t.Fatalf("final snapshot weight = %v, want %d", got, 100+writes)
+	}
+	if net.WeightGeneration() != writes {
+		t.Fatalf("WeightGeneration = %d, want %d", net.WeightGeneration(), writes)
+	}
+}
+
+// TestCloneDuringSetRoad races Clone against SetRoad: clones must observe
+// a consistent (untorn) road record and carry the matching generation.
+func TestCloneDuringSetRoad(t *testing.T) {
+	net, e := raceNet(t)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := net.Clone()
+				rd := c.Road(e)
+				// SetRoad below always keeps LengthM == 10*WidthM; a torn
+				// read would break the invariant.
+				if rd.LengthM != 10*rd.WidthM {
+					t.Errorf("torn clone: length %v width %v", rd.LengthM, rd.WidthM)
+					return
+				}
+			}
+		}()
+	}
+	road := net.Road(e)
+	for i := 1; i <= 200; i++ {
+		road.WidthM = float64(3 + i)
+		road.LengthM = 10 * road.WidthM
+		if err := net.SetRoad(e, road); err != nil {
+			t.Fatalf("SetRoad: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

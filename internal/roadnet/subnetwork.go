@@ -50,13 +50,20 @@ func (n *Network) LargestComponent() (*Network, map[graph.NodeID]graph.NodeID) {
 
 // Clone returns a deep copy of the network (graph, roads, coordinates,
 // POIs). Parallel experiment workers each run on their own clone so
-// transactional edge disabling never races.
+// transactional edge disabling never races. The road attributes are copied
+// under the same critical section SetRoad publishes in, so a clone taken
+// concurrently with a SetRoad observes either the old or the new
+// attributes, never a torn mix; the clone's weight generation matches what
+// it copied.
 func (n *Network) Clone() *Network {
+	n.snapMu.Lock()
+	defer n.snapMu.Unlock()
 	return &Network{
 		g:      n.g.Clone(),
 		roads:  append([]Road(nil), n.roads...),
 		coords: append([]geo.Point(nil), n.coords...),
 		pois:   append([]POI(nil), n.pois...),
 		name:   n.name,
+		wgen:   n.wgen,
 	}
 }

@@ -22,6 +22,7 @@ import (
 // resumes from the journal when re-submitted with the same parameters.
 type BatchRequest struct {
 	ID                 string   `json:"id,omitempty"`
+	City               string   `json:"city,omitempty"`   // default: the registry's default city
 	Weight             string   `json:"weight,omitempty"` // default TIME
 	Algorithms         []string `json:"algorithms,omitempty"`
 	CostTypes          []string `json:"cost_types,omitempty"`
@@ -67,10 +68,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	shard, err := s.shardFor(req.City)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "unknown_city", err)
+		return
+	}
+
 	// A batch is admitted as one heavy request: its estimated cost is the
 	// whole grid, clamped to the budget so it is always admittable and
 	// naturally serialized against other heavy work.
-	perAttack := EstimateWork(spec.PathRank, s.cfg.Net.NumIntersections(), s.cfg.Net.Graph().NumEdges())
+	perAttack := EstimateWork(spec.PathRank, shard.Net().NumIntersections(), shard.Net().Graph().NumEdges())
 	grid := len(spec.Algorithms) * len(spec.CostTypes) * spec.SourcesPerHospital
 	units := estimateUnits(perAttack*float64(grid), s.cfg.UnitWork)
 	if units > s.cfg.Capacity {
@@ -119,8 +126,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		spec.Checkpoint = ckpt
 	}
 
-	net := s.getNet()
-	defer s.putNet(net)
+	// The batch mutates edges transactionally, so it borrows a
+	// generation-stamped clone from its city's pool (never the master).
+	net, cloneGen := shard.AcquireClone()
+	defer shard.ReleaseClone(net, cloneGen)
 	units2, err := experiment.SampleUnits(net, *spec)
 	if err != nil && (!errors.Is(err, experiment.ErrSampling) || len(units2) == 0) {
 		s.writeError(w, http.StatusUnprocessableEntity, "sampling", err)

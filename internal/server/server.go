@@ -40,16 +40,26 @@ import (
 	"altroute/internal/experiment"
 	"altroute/internal/faultinject"
 	"altroute/internal/graph"
+	"altroute/internal/registry"
 	"altroute/internal/roadnet"
 )
 
 // Config configures a Server. Net is required; every other field has a
 // default noted on it.
 type Config struct {
-	// Net is the street network served. The server validates its weights
-	// and costs at construction (graph.ErrBadGraph on garbage) and clones
-	// it per concurrent attack.
+	// Net is the street network served as the single (default) city. The
+	// server validates its weights and costs at construction
+	// (graph.ErrBadGraph on garbage). Ignored when Registry is set.
 	Net *roadnet.Network
+	// Registry, when non-nil, serves multiple preloaded cities: requests
+	// route by their "city" field, with the registry's default shard
+	// answering requests that name none. Exactly one of Net and Registry
+	// must be set.
+	Registry *registry.Registry
+	// CacheBytes bounds the generation-keyed result cache (and the Yen
+	// path-set cache, at a quarter of this budget). Default 64 MiB;
+	// negative disables caching — every request takes the cold path.
+	CacheBytes int64
 	// Capacity is the concurrency budget in admission units (one unit ≈
 	// UnitWork edge relaxations). Default 4 × GOMAXPROCS.
 	Capacity int
@@ -109,6 +119,12 @@ func (c *Config) fill() {
 	}
 	if c.Scale <= 0 {
 		c.Scale = 1
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheBytes < 0 {
+		c.CacheBytes = 0 // explicit opt-out: zero-capacity caches never store
 	}
 }
 
@@ -177,11 +193,22 @@ type Server struct {
 	brk  *Breaker
 	gate *gate
 	mux  *http.ServeMux
-	pool chan *roadnet.Network
+	reg  *registry.Registry
+
+	// results caches full attack outcomes and pathsets caches Yen path
+	// sets, both keyed by shard generation; flight coalesces concurrent
+	// identical cold-path computations into one execution.
+	results  *registry.Cache[attackKey, attackOutcome]
+	pathsets *registry.Cache[pathsetKey, []graph.Path]
+	flight   *registry.Group[attackKey, attackOutcome]
+
+	// testHookBeforeCache, when set, runs after a computation finishes and
+	// before its generation re-check — the window a SetRoad can race into.
+	testHookBeforeCache func()
 
 	// drainCtx is cancelled (with ErrDraining) when drain begins; batch
-	// runs derive their cancellation from it so they checkpoint and stop
-	// at unit granularity.
+	// runs and coalesced computations derive their cancellation from it so
+	// they checkpoint and stop at unit granularity.
 	drainCtx  context.Context
 	stopDrain context.CancelCauseFunc
 
@@ -194,12 +221,35 @@ type Server struct {
 // trust a loaded graph, and a NaN that slips into Dijkstra poisons every
 // result silently.
 func New(cfg Config) (*Server, error) {
-	if cfg.Net == nil {
-		return nil, errors.New("server: Config.Net is required")
+	if cfg.Net == nil && cfg.Registry == nil {
+		return nil, errors.New("server: Config.Net or Config.Registry is required")
 	}
 	cfg.fill()
-	if err := validateNetwork(cfg.Net); err != nil {
-		return nil, err
+	reg := cfg.Registry
+	if reg == nil {
+		// Single-city back-compat: wrap Net in a one-shard registry. The
+		// shard preloads its snapshots and hospital potentials eagerly —
+		// same startup cost the first requests used to pay.
+		if err := validateNetwork(cfg.Net); err != nil {
+			return nil, err
+		}
+		shard, err := registry.NewShard(context.Background(), "", cfg.Net, cfg.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		reg = registry.NewRegistry()
+		if err := reg.Add(shard); err != nil {
+			return nil, err
+		}
+	} else {
+		if len(reg.Shards()) == 0 {
+			return nil, errors.New("server: Config.Registry has no shards")
+		}
+		for _, shard := range reg.Shards() {
+			if err := validateNetwork(shard.Net()); err != nil {
+				return nil, fmt.Errorf("city %s: %w", shard.Name(), err)
+			}
+		}
 	}
 	drainCtx, stopDrain := context.WithCancelCause(context.Background())
 	s := &Server{
@@ -208,7 +258,10 @@ func New(cfg Config) (*Server, error) {
 		brk:       NewBreaker(cfg.Breaker, cfg.clock),
 		gate:      newGate(),
 		mux:       http.NewServeMux(),
-		pool:      make(chan *roadnet.Network, cfg.Capacity),
+		reg:       reg,
+		results:   registry.NewCache[attackKey, attackOutcome](cfg.CacheBytes),
+		pathsets:  registry.NewCache[pathsetKey, []graph.Path](cfg.CacheBytes / 4),
+		flight:    &registry.Group[attackKey, attackOutcome]{},
 		drainCtx:  drainCtx,
 		stopDrain: stopDrain,
 		batches:   map[string]bool{},
@@ -292,31 +345,34 @@ func (s *Server) Draining() bool { return s.gate.isDraining() }
 // Breaker exposes the LP circuit breaker (for stats and tests).
 func (s *Server) Breaker() *Breaker { return s.brk }
 
-// getNet takes a network clone from the pool, cloning fresh on a miss.
-func (s *Server) getNet() *roadnet.Network {
-	select {
-	case n := <-s.pool:
-		return n
-	default:
-		return s.cfg.Net.Clone()
-	}
-}
-
-// putNet returns a clone to the pool. ResetDisabled sanitizes clones a
-// recovered panic may have abandoned mid-transaction, so a poisoned
-// request cannot leak blocked roads into later ones.
-func (s *Server) putNet(n *roadnet.Network) {
-	n.Graph().ResetDisabled()
-	select {
-	case s.pool <- n:
-	default:
-	}
-}
+// Registry exposes the city-shard registry (for stats, tests, and
+// operational mutation via Shard.SetRoad).
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // --- health -----------------------------------------------------------
 
+// healthzResponse is the /healthz body: liveness plus the cache,
+// coalescing, and per-city stats that tell an operator whether the hot
+// path is actually hot.
+type healthzResponse struct {
+	Status       string               `json:"status"`
+	Cities       []registry.ShardStats `json:"cities"`
+	ResultCache  registry.CacheStats  `json:"result_cache"`
+	PathsetCache registry.CacheStats  `json:"pathset_cache"`
+	Coalescing   registry.GroupStats  `json:"coalescing"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := healthzResponse{
+		Status:       "ok",
+		ResultCache:  s.results.Stats(),
+		PathsetCache: s.pathsets.Stats(),
+		Coalescing:   s.flight.Stats(),
+	}
+	for _, shard := range s.reg.Shards() {
+		resp.Cities = append(resp.Cities, shard.Stats())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // readyzResponse is the /readyz body: readiness plus the load and breaker
@@ -350,8 +406,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // --- /v1/attack -------------------------------------------------------
 
 // AttackRequest is the /v1/attack body. Source and Dest are node IDs on
-// the served network; Rank selects p* (the rank-th shortest path).
+// the served network; Rank selects p* (the rank-th shortest path); City
+// selects the shard (empty: the registry's default city).
 type AttackRequest struct {
+	City      string  `json:"city,omitempty"`
 	Source    int64   `json:"source"`
 	Dest      int64   `json:"dest"`
 	Rank      int     `json:"rank"`
@@ -365,6 +423,7 @@ type AttackRequest struct {
 
 // AttackResponse is the /v1/attack success body.
 type AttackResponse struct {
+	City            string  `json:"city"`
 	Algorithm       string  `json:"algorithm"`
 	Requested       string  `json:"requested_algorithm,omitempty"` // set when the breaker rerouted
 	Removed         []int64 `json:"removed"`
@@ -375,6 +434,12 @@ type AttackResponse struct {
 	Degraded        bool    `json:"degraded"`
 	DegradedReason  string  `json:"degraded_reason,omitempty"`
 	Breaker         string  `json:"breaker"`
+	// Cached marks a response served from the generation-keyed result
+	// cache; Coalesced marks one shared with concurrent identical
+	// requests. Both are serving metadata: the attack payload is
+	// bit-identical to an uncached computation.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // ErrorResponse is the structured error body on every non-2xx response.
@@ -414,7 +479,12 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	n := int64(s.cfg.Net.NumIntersections())
+	shard, err := s.shardFor(req.City)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "unknown_city", err)
+		return
+	}
+	n := int64(shard.Net().NumIntersections())
 	if req.Source < 0 || req.Source >= n || req.Dest < 0 || req.Dest >= n {
 		s.writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Errorf("server: source/dest must be node IDs in [0, %d)", n))
@@ -429,9 +499,31 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Load shedding: a request whose estimated Yen work exceeds the
-	// per-request budget is refused before it touches the queue.
-	work := EstimateWork(req.Rank, s.cfg.Net.NumIntersections(), s.cfg.Net.Graph().NumEdges())
+	key := attackKey{
+		city:   shard.Name(),
+		gen:    shard.Generation(),
+		source: req.Source,
+		dest:   req.Dest,
+		rank:   req.Rank,
+		alg:    alg,
+		wt:     wt,
+		ct:     ct,
+		budget: req.Budget,
+		seed:   req.Seed,
+	}
+
+	// Cache-first fast path: a hit runs no graph work and holds no clone,
+	// queue slot, or admission units — the hot working set must never
+	// queue behind cold traffic, and admission charges hits nothing.
+	if out, ok := s.results.Get(key); ok {
+		s.writeAttack(w, shard.Name(), out, true, false)
+		return
+	}
+
+	// Load shedding (cold path only): a request whose estimated Yen work
+	// exceeds the per-request budget is refused before it touches the
+	// coalescer or the queue.
+	work := EstimateWork(req.Rank, shard.Net().NumIntersections(), shard.Net().Graph().NumEdges())
 	units := estimateUnits(work, s.cfg.UnitWork)
 	if units > s.cfg.MaxRequestUnits {
 		s.writeError(w, http.StatusServiceUnavailable, "shed",
@@ -439,107 +531,28 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The request deadline covers queue wait AND attack work: a request
-	// that waited most of its budget in the queue attacks with whatever
-	// remains, so clients get a bounded worst case.
-	ctx, cancel := context.WithTimeoutCause(r.Context(), s.timeout(req.TimeoutMS), core.ErrTimeout)
+	// The waiter deadline covers coalescer wait AND attack work, so
+	// clients keep a bounded worst case. The computation itself runs under
+	// the server's drain context plus the leader's timeout (inside
+	// computeAttack), so one impatient client hanging up never kills the
+	// result its coalesced peers are still waiting for.
+	ctx, cancel := context.WithTimeoutCause(r.Context(), s.timeout(req.TimeoutMS)+waiterGrace, core.ErrTimeout)
 	defer cancel()
-	ctx = faultinject.With(ctx, s.cfg.Injector)
 
-	if err := s.adm.Acquire(ctx, units); err != nil {
-		s.writeAdmissionError(w, err)
-		return
-	}
-	defer s.adm.Release(units)
-	if faultinject.Fires(ctx, faultinject.PointServerPanic) {
-		panic(fmt.Sprintf("injected panic at %s", faultinject.PointServerPanic))
-	}
-
-	// Circuit breaker: LP-PathCover reroutes to GreedyPathCover while the
-	// LP is considered broken, surfaced as a Degraded result.
-	requested := alg
-	rerouted := false
-	ranLP := false
-	if alg == core.AlgLPPathCover {
-		if _, allowed := s.brk.Allow(); allowed {
-			ranLP = true
-		} else {
-			alg = core.AlgGreedyPathCover
-			rerouted = true
+	timeoutMS := req.TimeoutMS
+	out, shared, err := s.flight.Do(ctx, s.drainCtx, key, func(runCtx context.Context) (attackOutcome, error) {
+		return s.computeAttack(runCtx, shard, key, timeoutMS)
+	})
+	if err = mapComputeErr(err); err != nil {
+		if errors.Is(err, errAdmission) {
+			s.writeAdmissionError(w, err)
+			return
 		}
-	}
-	// The breaker must learn this LP run's outcome even if the attack
-	// panics out of the handler: seed the deferred Record with the
-	// panic sentinel and overwrite it with the real outcome below.
-	attackErr := fmt.Errorf("%w: handler did not complete", core.ErrPanic)
-	if ranLP {
-		defer func() { s.brk.Record(attackErr) }()
-	}
-
-	net := s.getNet()
-	defer s.putNet(net)
-	res, err := s.attack(ctx, net, alg, wt, ct, req)
-	attackErr = err
-	if err != nil {
 		kind := failureKind(err)
 		s.writeError(w, statusForKind(kind), kind, err)
 		return
 	}
-
-	resp := AttackResponse{
-		Algorithm:       alg.String(),
-		Removed:         edgeIDs(res.Removed),
-		TotalCost:       res.TotalCost,
-		Rounds:          res.Rounds,
-		ConstraintPaths: res.ConstraintPaths,
-		RuntimeMS:       float64(res.Runtime) / float64(time.Millisecond),
-		Degraded:        res.Degraded,
-		DegradedReason:  res.DegradedReason,
-		Breaker:         s.brk.State().String(),
-	}
-	if rerouted {
-		resp.Requested = requested.String()
-		resp.Degraded = true
-		resp.DegradedReason = joinReasons("LP circuit breaker open; GreedyPathCover substituted", res.DegradedReason)
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// attack computes p* and runs the chosen algorithm on a private network
-// clone, all under ctx.
-func (s *Server) attack(ctx context.Context, net *roadnet.Network, alg core.Algorithm, wt roadnet.WeightType, ct roadnet.CostType, req AttackRequest) (core.Result, error) {
-	g := net.Graph()
-	weight := net.Weight(wt)
-	// Pooled networks keep their frozen snapshot across requests (cuts
-	// only toggle disabled flags, which never invalidate it), so the whole
-	// request — p* generation and the attack itself — runs on CSR kernels
-	// with at most one freeze per pooled network per weight type.
-	snap := net.Snapshot(wt)
-	router := graph.NewRouter(g)
-	router.SetContext(ctx)
-	router.UseSnapshot(snap)
-	paths := router.KShortest(graph.NodeID(req.Source), graph.NodeID(req.Dest), req.Rank, weight)
-	if err := ctx.Err(); err != nil {
-		// A cancelled KShortest returns a truncated list; distinguishing
-		// "rank unavailable" from "ran out of time" needs the ctx check
-		// first.
-		return core.Result{}, ctxSentinel(ctx)
-	}
-	if len(paths) < req.Rank {
-		return core.Result{}, fmt.Errorf("%w: only %d simple paths between %d and %d, want rank %d",
-			core.ErrRankUnavailable, len(paths), req.Source, req.Dest, req.Rank)
-	}
-	p := core.Problem{
-		G:        g,
-		Source:   graph.NodeID(req.Source),
-		Dest:     graph.NodeID(req.Dest),
-		PStar:    paths[req.Rank-1],
-		Weight:   weight,
-		Cost:     net.Cost(ct),
-		Budget:   req.Budget,
-		Snapshot: snap,
-	}
-	return core.RunCtx(ctx, alg, p, core.Options{Seed: req.Seed})
+	s.writeAttack(w, shard.Name(), out, false, shared)
 }
 
 // ctxSentinel maps a dead context to the typed core sentinels.

@@ -287,7 +287,12 @@ func TestAttackQueueFullAndAdmissionTimeout(t *testing.T) {
 	waitFor(t, func() bool { return s.adm.Queued() == 1 })
 
 	// Second request finds the queue full: immediate 503 + Retry-After.
-	w, _, errResp := postAttack(t, s, gridAttack())
+	// It must differ from the parked request (here: by seed) — an
+	// identical request would coalesce onto the queued computation
+	// instead of needing its own queue slot.
+	full := gridAttack()
+	full.Seed = 99
+	w, _, errResp := postAttack(t, s, full)
 	if w.Code != http.StatusServiceUnavailable || errResp.Kind != "queue_full" {
 		t.Fatalf("status/kind = %d/%q, want 503/queue_full", w.Code, errResp.Kind)
 	}

@@ -1,0 +1,503 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"altroute/internal/faultinject"
+	"altroute/internal/registry"
+)
+
+// attackPayload strips serving metadata (runtime, cache/coalescing flags,
+// breaker state) from a response, leaving exactly the fields that must be
+// bit-identical however the result was produced.
+func attackPayload(r AttackResponse) AttackResponse {
+	r.RuntimeMS = 0
+	r.Cached = false
+	r.Coalesced = false
+	r.Breaker = ""
+	r.City = ""
+	return r
+}
+
+func samePayload(t *testing.T, label string, got, want AttackResponse) {
+	t.Helper()
+	g, _ := json.Marshal(attackPayload(got))
+	w, _ := json.Marshal(attackPayload(want))
+	if string(g) != string(w) {
+		t.Fatalf("%s: payload diverged:\n got %s\nwant %s", label, g, w)
+	}
+}
+
+// waitFlight polls the coalescing stats until cond holds.
+func waitFlight(t *testing.T, s *Server, cond func(registry.GroupStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond(s.flight.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("flight stats never converged: %+v", s.flight.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAttackCachedAndUncachedBitIdentical is the acceptance differential:
+// cached and coalesced responses carry exactly the payload an uncached
+// computation produces — including after a SetRoad generation bump, when
+// the cache must recompute rather than replay.
+func TestAttackCachedAndUncachedBitIdentical(t *testing.T) {
+	cached := newTestServer(t, nil)
+	uncached := newTestServer(t, func(c *Config) { c.CacheBytes = -1 })
+
+	for _, alg := range []string{"GreedyEdge", "GreedyPathCover", "LP-PathCover"} {
+		req := gridAttack()
+		req.Algorithm = alg
+
+		_, cold, _ := postAttack(t, cached, req)
+		w, hot, _ := postAttack(t, cached, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: repeat request failed: %d", alg, w.Code)
+		}
+		if !hot.Cached {
+			t.Fatalf("%s: repeat identical request not served from cache", alg)
+		}
+		_, plain, _ := postAttack(t, uncached, req)
+		if plain.Cached {
+			t.Fatalf("%s: cache-disabled server served from cache", alg)
+		}
+		samePayload(t, alg+" cold-vs-hot", hot, cold)
+		samePayload(t, alg+" cached-vs-uncached", cold, plain)
+	}
+
+	// Mutate the same road identically on both servers: generations bump,
+	// caches go stale, and the recomputed results must again agree.
+	for _, s := range []*Server{cached, uncached} {
+		shard, _ := s.Registry().Get("")
+		road := shard.Net().Road(0)
+		road.LengthM *= 5
+		if err := shard.SetRoad(0, road); err != nil {
+			t.Fatalf("SetRoad: %v", err)
+		}
+	}
+	req := gridAttack()
+	req.Algorithm = "GreedyPathCover"
+	w, bumped, _ := postAttack(t, cached, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-bump request failed: %d", w.Code)
+	}
+	if bumped.Cached {
+		t.Fatal("post-bump request served the pre-mutation cache entry")
+	}
+	_, bumpedPlain, _ := postAttack(t, uncached, req)
+	samePayload(t, "post-bump cached-vs-uncached", bumped, bumpedPlain)
+
+	_, rehot, _ := postAttack(t, cached, req)
+	if !rehot.Cached {
+		t.Fatal("second post-bump request should hit the new-generation cache entry")
+	}
+	samePayload(t, "post-bump hot-vs-cold", rehot, bumped)
+}
+
+// TestCacheHitBypassesAdmission: a hit must be served even when the
+// admission budget is fully occupied — hot traffic never queues behind
+// cold traffic and is charged nothing.
+func TestCacheHitBypassesAdmission(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Capacity = 1
+		c.MaxQueue = 1
+	})
+	if w, _, _ := postAttack(t, s, gridAttack()); w.Code != http.StatusOK {
+		t.Fatal("warm-up attack failed")
+	}
+
+	// Exhaust the budget AND the queue.
+	if err := s.adm.Acquire(t.Context(), 1); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer s.adm.Release(1)
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		cold := gridAttack()
+		cold.Seed = 1234
+		postAttack(t, s, cold) // parks in the queue until the deferred Release
+	}()
+	waitFor(t, func() bool { return s.adm.Queued() == 1 })
+
+	// A cold request is refused outright...
+	cold := gridAttack()
+	cold.Seed = 5678
+	if w, _, errResp := postAttack(t, s, cold); w.Code != http.StatusServiceUnavailable || errResp.Kind != "queue_full" {
+		t.Fatalf("cold request under full queue: %d/%q, want 503/queue_full", w.Code, errResp.Kind)
+	}
+	// ...while the identical-to-warm-up request is served from cache.
+	w, hot, _ := postAttack(t, s, gridAttack())
+	if w.Code != http.StatusOK || !hot.Cached {
+		t.Fatalf("cache hit under full queue: %d cached=%v, want 200/true", w.Code, hot.Cached)
+	}
+	if used := s.adm.Used(); used != 1 {
+		t.Fatalf("cache hit consumed admission units: used = %d, want 1 (the manual hold)", used)
+	}
+	s.adm.Release(1)
+	<-blocked
+	if err := s.adm.Acquire(t.Context(), 1); err != nil { // rebalance the deferred Release
+		t.Fatalf("re-Acquire: %v", err)
+	}
+}
+
+// TestAttackCoalescing: concurrent identical requests share one
+// computation. The testHookBeforeCache seam holds the leader's
+// computation open until every follower has joined, making the join
+// deterministic.
+func TestAttackCoalescing(t *testing.T) {
+	s := newTestServer(t, nil)
+	const followers = 4
+	release := make(chan struct{})
+	s.testHookBeforeCache = func() { <-release }
+
+	req := gridAttack()
+	req.Algorithm = "GreedyEdge"
+	type reply struct {
+		code int
+		resp AttackResponse
+	}
+	replies := make(chan reply, followers+1)
+	var wg sync.WaitGroup
+	for i := 0; i < followers+1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, resp, _ := postAttack(t, s, req)
+			replies <- reply{w.Code, resp}
+		}()
+		if i == 0 {
+			// Let the first request become the leader (its computation
+			// blocks in the hook) before the followers arrive.
+			waitFlight(t, s, func(st registry.GroupStats) bool { return st.Leaders == 1 })
+		}
+	}
+	waitFlight(t, s, func(st registry.GroupStats) bool { return st.Joins == followers })
+	close(release)
+	wg.Wait()
+	close(replies)
+
+	var first *AttackResponse
+	coalesced := 0
+	for r := range replies {
+		if r.code != http.StatusOK {
+			t.Fatalf("coalesced request failed: %d", r.code)
+		}
+		if r.resp.Coalesced {
+			coalesced++
+		}
+		if first == nil {
+			cp := r.resp
+			first = &cp
+			continue
+		}
+		samePayload(t, "coalesced waiters", r.resp, *first)
+	}
+	if coalesced != followers+1 {
+		t.Errorf("%d responses marked coalesced, want all %d", coalesced, followers+1)
+	}
+	st := s.flight.Stats()
+	if st.Leaders != 1 || st.Joins != followers {
+		t.Errorf("flight stats = %+v, want 1 leader, %d joins", st, followers)
+	}
+}
+
+// TestWaiterCancellationMidFlight: a waiter that hangs up detaches with
+// its own 503 while the shared computation finishes and serves the
+// remaining requests.
+func TestWaiterCancellationMidFlight(t *testing.T) {
+	s := newTestServer(t, nil)
+	release := make(chan struct{})
+	s.testHookBeforeCache = func() { <-release }
+
+	req := gridAttack()
+	req.Algorithm = "GreedyEdge"
+	leaderDone := make(chan reply2, 1)
+	go func() {
+		w, resp, _ := postAttack(t, s, req)
+		leaderDone <- reply2{w.Code, resp.Cached}
+	}()
+	waitFlight(t, s, func(st registry.GroupStats) bool { return st.Leaders == 1 })
+
+	// Follower with a cancellable client context joins, then hangs up.
+	ctx, cancel := context.WithCancel(context.Background())
+	var buf strings.Builder
+	_ = json.NewEncoder(&buf).Encode(req)
+	httpReq := httptest.NewRequest(http.MethodPost, "/v1/attack", strings.NewReader(buf.String())).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	followerDone := make(chan int, 1)
+	go func() {
+		s.ServeHTTP(rec, httpReq)
+		followerDone <- rec.Code
+	}()
+	waitFlight(t, s, func(st registry.GroupStats) bool { return st.Joins == 1 })
+	cancel()
+	if code := <-followerDone; code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled waiter got %d, want 503", code)
+	}
+	var errResp ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &errResp); err != nil || errResp.Kind != "cancelled" {
+		t.Fatalf("cancelled waiter kind = %q (%v), want cancelled", errResp.Kind, err)
+	}
+
+	// The computation survived the detach: the leader still gets its 200.
+	close(release)
+	if r := <-leaderDone; r.code != http.StatusOK {
+		t.Fatalf("leader got %d after waiter detached, want 200", r.code)
+	}
+	if st := s.flight.Stats(); st.Detaches != 1 {
+		t.Errorf("flight stats = %+v, want 1 detach", st)
+	}
+}
+
+type reply2 struct {
+	code   int
+	cached bool
+}
+
+// TestLeaderPanicPropagatesToWaiters: a panic inside the shared
+// computation is recovered once and every coalesced request receives a
+// structured 500; the server keeps serving afterwards.
+func TestLeaderPanicPropagatesToWaiters(t *testing.T) {
+	in := faultinject.New(1).Arm(faultinject.PointServerPanic, faultinject.Rule{Every: 1})
+	s := newTestServer(t, func(c *Config) {
+		c.Injector = in
+		c.Capacity = 1
+	})
+	// Park the computation in the admission queue so followers can join
+	// deterministically before the (injected) panic fires post-admission.
+	if err := s.adm.Acquire(t.Context(), 1); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	const n = 3
+	codes := make(chan int, n)
+	kinds := make(chan string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, _, errResp := postAttack(t, s, gridAttack())
+			codes <- w.Code
+			kinds <- errResp.Kind
+		}()
+	}
+	waitFlight(t, s, func(st registry.GroupStats) bool { return st.Leaders == 1 && st.Joins == n-1 })
+	s.adm.Release(1) // admit the computation; it panics immediately
+	wg.Wait()
+	close(codes)
+	close(kinds)
+	for code := range codes {
+		if code != http.StatusInternalServerError {
+			t.Errorf("waiter got %d, want 500", code)
+		}
+	}
+	for kind := range kinds {
+		if kind != "panic" {
+			t.Errorf("waiter kind = %q, want panic", kind)
+		}
+	}
+	if st := s.flight.Stats(); st.Panics != 1 {
+		t.Errorf("flight stats = %+v, want exactly 1 recovered panic", st)
+	}
+	if used := s.adm.Used(); used != 0 {
+		t.Fatalf("used units after panic = %d, want 0", used)
+	}
+
+	// Nothing poisoned was cached; the disarmed server serves cleanly.
+	in.Arm(faultinject.PointServerPanic, faultinject.Rule{})
+	if w, resp, _ := postAttack(t, s, gridAttack()); w.Code != http.StatusOK || resp.Cached {
+		t.Fatalf("post-panic attack: %d cached=%v, want fresh 200", w.Code, resp.Cached)
+	}
+}
+
+// TestGenerationBumpRacingComputation: a SetRoad landing between a
+// computation's completion and its cache insert must keep the result out
+// of the cache — the waiters still get their response, but the next
+// request recomputes at the new generation.
+func TestGenerationBumpRacingComputation(t *testing.T) {
+	s := newTestServer(t, nil)
+	shard, _ := s.Registry().Get("")
+	bumped := false
+	s.testHookBeforeCache = func() {
+		if bumped {
+			return
+		}
+		bumped = true
+		road := shard.Net().Road(0)
+		road.LengthM *= 4
+		if err := shard.SetRoad(0, road); err != nil {
+			t.Errorf("SetRoad in hook: %v", err)
+		}
+	}
+
+	req := gridAttack()
+	req.Algorithm = "GreedyEdge"
+	w, raced, _ := postAttack(t, s, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("raced request failed: %d", w.Code)
+	}
+	if st := s.results.Stats(); st.Entries != 0 {
+		t.Fatalf("result computed against generation 0 was cached across the bump (stats %+v)", st)
+	}
+
+	// The next identical request keys at generation 1: it must recompute
+	// (no cache hit) and agree with an uncached server whose network had
+	// the same mutation applied.
+	w, fresh, _ := postAttack(t, s, req)
+	if w.Code != http.StatusOK || fresh.Cached {
+		t.Fatalf("post-race request: %d cached=%v, want fresh 200", w.Code, fresh.Cached)
+	}
+	uncached := newTestServer(t, func(c *Config) { c.CacheBytes = -1 })
+	ushard, _ := uncached.Registry().Get("")
+	road := ushard.Net().Road(0)
+	road.LengthM *= 4
+	if err := ushard.SetRoad(0, road); err != nil {
+		t.Fatalf("SetRoad: %v", err)
+	}
+	_, want, _ := postAttack(t, uncached, req)
+	samePayload(t, "post-race recompute", fresh, want)
+	_ = raced // the raced response itself is a valid generation-0 result
+}
+
+// TestMultiCityRouting: requests route by city name (normalized), unknown
+// cities 404, and the default city answers unnamed requests.
+func TestMultiCityRouting(t *testing.T) {
+	mkShard := func(name string, dim int) *registry.Shard {
+		shard, err := registry.NewShard(context.Background(), name, gridNetwork(t, dim), 2)
+		if err != nil {
+			t.Fatalf("NewShard(%s): %v", name, err)
+		}
+		return shard
+	}
+	reg := registry.NewRegistry()
+	if err := reg.Add(mkShard("Boston", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(mkShard("providence", 5)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// Node 20 exists only on the 5×5 grid: routing decides validity.
+	big := AttackRequest{City: "providence", Source: 0, Dest: 20, Rank: 4, TimeoutMS: 30_000}
+	if w, resp, _ := postAttack(t, s, big); w.Code != http.StatusOK || resp.City != "providence" {
+		t.Fatalf("providence attack: %d city=%q, want 200/providence", w.Code, resp.City)
+	}
+	big.City = "BOSTON" // normalized lookup, but node 20 is out of range there
+	if w, _, errResp := postAttack(t, s, big); w.Code != http.StatusBadRequest || errResp.Kind != "bad_request" {
+		t.Fatalf("boston out-of-range: %d/%q, want 400/bad_request", w.Code, errResp.Kind)
+	}
+	// Empty city falls through to the default (first registered).
+	if w, resp, _ := postAttack(t, s, gridAttack()); w.Code != http.StatusOK || resp.City != "boston" {
+		t.Fatalf("default-city attack: %d city=%q, want 200/boston", w.Code, resp.City)
+	}
+	if w, _, errResp := postAttack(t, s, AttackRequest{City: "gotham", Source: 0, Dest: 1, Rank: 1}); w.Code != http.StatusNotFound || errResp.Kind != "unknown_city" {
+		t.Fatalf("unknown city: %d/%q, want 404/unknown_city", w.Code, errResp.Kind)
+	}
+
+	// Batches route too.
+	var raw json.RawMessage
+	if w := do(t, s, http.MethodPost, "/v1/batch", BatchRequest{City: "providence", Rank: 3, SourcesPerHospital: 1, Algorithms: []string{"GreedyEdge"}}, &raw); w.Code != http.StatusOK {
+		t.Fatalf("providence batch: %d, want 200", w.Code)
+	}
+	if w := do(t, s, http.MethodPost, "/v1/batch", BatchRequest{City: "gotham", Rank: 3}, &raw); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown-city batch: %d, want 404", w.Code)
+	}
+
+	// Per-city isolation: a mutation in providence must not invalidate
+	// boston's cache entries.
+	if _, resp, _ := postAttack(t, s, gridAttack()); !resp.Cached {
+		t.Fatal("boston repeat should be cached")
+	}
+	pshard, _ := reg.Get("providence")
+	road := pshard.Net().Road(0)
+	road.LengthM *= 2
+	if err := pshard.SetRoad(0, road); err != nil {
+		t.Fatalf("SetRoad: %v", err)
+	}
+	if _, resp, _ := postAttack(t, s, gridAttack()); !resp.Cached {
+		t.Fatal("providence mutation invalidated boston's cache")
+	}
+}
+
+// TestRankUnavailableConsumesNoClone: requests that fail during the
+// read-only p* phase (rank unavailable on a line graph) never touch the
+// clone pool — the pool serves only real attack computations.
+func TestRankUnavailableConsumesNoClone(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Net = lineNetwork(t) })
+	for i := 0; i < 3; i++ {
+		w, _, errResp := postAttack(t, s, AttackRequest{Source: 0, Dest: 2, Rank: 2, Seed: int64(i)})
+		if w.Code != http.StatusUnprocessableEntity || errResp.Kind != "rank" {
+			t.Fatalf("rank request: %d/%q, want 422/rank", w.Code, errResp.Kind)
+		}
+	}
+	shard, _ := s.Registry().Get("")
+	st := shard.Stats()
+	if st.PoolHits != 0 || st.PoolMisses != 0 {
+		t.Fatalf("rank-unavailable requests touched the clone pool: %+v", st)
+	}
+}
+
+// TestClonePoolWarmsAcrossRequests: the first computation cuts a fresh
+// clone (a counted miss); later distinct computations recycle it.
+func TestClonePoolWarmsAcrossRequests(t *testing.T) {
+	s := newTestServer(t, nil)
+	first := gridAttack()
+	first.Algorithm = "GreedyEdge"
+	second := first
+	second.Seed = first.Seed + 1 // distinct key: forces a second computation
+	if w, _, _ := postAttack(t, s, first); w.Code != http.StatusOK {
+		t.Fatal("first attack failed")
+	}
+	if w, _, _ := postAttack(t, s, second); w.Code != http.StatusOK {
+		t.Fatal("second attack failed")
+	}
+	shard, _ := s.Registry().Get("")
+	st := shard.Stats()
+	if st.PoolMisses != 1 || st.PoolHits != 1 {
+		t.Fatalf("pool stats = %+v, want exactly 1 miss (cold) then 1 hit (recycled)", st)
+	}
+}
+
+// TestHealthzReportsCacheStats: the health body carries cache,
+// coalescing, and per-city counters.
+func TestHealthzReportsCacheStats(t *testing.T) {
+	s := newTestServer(t, nil)
+	postAttack(t, s, gridAttack())
+	postAttack(t, s, gridAttack()) // cache hit
+
+	var h healthzResponse
+	if w := do(t, s, http.MethodGet, "/healthz", nil, &h); w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", w.Code)
+	}
+	if h.Status != "ok" || len(h.Cities) != 1 {
+		t.Fatalf("healthz = %+v, want ok with 1 city", h)
+	}
+	if h.ResultCache.Hits != 1 || h.ResultCache.Entries != 1 {
+		t.Fatalf("result cache stats = %+v, want 1 hit, 1 entry", h.ResultCache)
+	}
+	if h.ResultCache.CapacityBytes <= 0 || h.ResultCache.Bytes <= 0 {
+		t.Fatalf("result cache stats = %+v, want non-zero capacity and usage", h.ResultCache)
+	}
+	if h.Coalescing.Leaders != 1 {
+		t.Fatalf("coalescing stats = %+v, want 1 leader", h.Coalescing)
+	}
+	if h.Cities[0].PoolMisses != 1 {
+		t.Fatalf("city stats = %+v, want 1 pool miss", h.Cities[0])
+	}
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The trace benchmarks drive the full serving stack (routing, admission,
+// coalescing, caches) with a sustained request stream and report serving
+// metrics per sub-benchmark:
+//
+//	rps       requests per second across all workers
+//	p50_ms    median request latency
+//	p99_ms    99th-percentile request latency
+//	hit_rate  result-cache hit fraction (0 when the cache is disabled)
+//
+// Two traces × two cache modes bound the win and the cost:
+//
+//	MixedHotCold/cache vs /nocache   → the speedup a hot working set buys
+//	PureCold/cache vs /nocache       → the overhead the cache charges misses
+//
+// Suggested BENCH run: go run ./cmd/bench -pkg ./internal/server \
+// -bench BenchmarkTrace -benchtime 3000x
+
+// traceDim is the benchmark city: a traceDim×traceDim grid (fully
+// connected, every source/dest pair valid, one hospital POI).
+const traceDim = 24
+
+// hotSetSize is how many distinct requests make up the hot working set of
+// the mixed trace.
+const hotSetSize = 16
+
+// traceOffsets are the source→dest displacements the trace draws from:
+// medium-distance pairs (Manhattan distance 4–8 on the grid). Grids have
+// combinatorial shortest-path multiplicity, so far pairs make the attack
+// phase explode (cutting every better route between opposite corners
+// takes tens of seconds); nearby-but-not-adjacent pairs keep a cold
+// attack in the hundreds-of-microseconds-to-milliseconds range a real
+// city query occupies.
+var traceOffsets = []int64{
+	2*traceDim + 3, 3*traceDim + 1, 1*traceDim + 4, 4*traceDim + 2,
+	2*traceDim + 5, 3*traceDim + 4, 5*traceDim + 1, 1*traceDim + 6,
+}
+
+// maxTraceOffset bounds traceOffsets; sources are clamped below
+// n-maxTraceOffset so no pair wraps past the last node (a wrapped pair
+// lands ~20 rows away and its attack cost explodes).
+const maxTraceOffset = 5*traceDim + 1
+
+// traceRequest returns the i-th request of a trace in which hotPer10 of
+// every 10 requests replay the hot set and the rest are cold: a
+// (source, dest, seed) never seen before, so the result cache can never
+// serve it. Pairs are unique for the first n*len(traceOffsets) cold
+// requests (~4600); seeds are unique unconditionally.
+func traceRequest(i int64, hotPer10 int, hot []AttackRequest) AttackRequest {
+	if int(i%10) < hotPer10 {
+		return hot[int(i)%len(hot)]
+	}
+	const span = int64(traceDim*traceDim - maxTraceOffset - 1)
+	src := i % span
+	dst := src + traceOffsets[(i/span)%int64(len(traceOffsets))]
+	return AttackRequest{
+		Source:    src,
+		Dest:      dst,
+		Rank:      4,
+		Seed:      1_000_000 + i,
+		Algorithm: "GreedyPathCover",
+		TimeoutMS: 60_000,
+	}
+}
+
+func hotSet() []AttackRequest {
+	const span = int64(traceDim*traceDim - maxTraceOffset - 1)
+	hot := make([]AttackRequest, hotSetSize)
+	for i := range hot {
+		src := (int64(i)*37 + 50) % span
+		hot[i] = AttackRequest{
+			Source:    src,
+			Dest:      src + traceOffsets[i%len(traceOffsets)],
+			Rank:      4,
+			Seed:      int64(100 + i),
+			Algorithm: "GreedyPathCover",
+			TimeoutMS: 60_000,
+		}
+	}
+	return hot
+}
+
+// benchTrace runs b.N requests of the trace through GOMAXPROCS concurrent
+// workers and reports rps / p50_ms / p99_ms / hit_rate.
+func benchTrace(b *testing.B, cacheBytes int64, hotPer10 int) {
+	s, err := New(Config{Net: gridNetwork(b, traceDim), CacheBytes: cacheBytes})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	hot := hotSet()
+
+	workers := runtime.GOMAXPROCS(0)
+	lats := make([][]time.Duration, workers)
+	var next atomic.Int64
+	var failed atomic.Int64
+
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				req := traceRequest(i, hotPer10, hot)
+				t0 := time.Now()
+				rec, _, _ := postAttack(b, s, req)
+				lats[w] = append(lats[w], time.Since(t0))
+				if rec.Code != http.StatusOK {
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if n := failed.Load(); n > 0 {
+		b.Fatalf("%d of %d trace requests failed", n, b.N)
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Millisecond)
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "rps")
+	b.ReportMetric(pct(0.50), "p50_ms")
+	b.ReportMetric(pct(0.99), "p99_ms")
+	st := s.results.Stats()
+	if total := st.Hits + st.Misses; total > 0 {
+		b.ReportMetric(float64(st.Hits)/float64(total), "hit_rate")
+	} else {
+		b.ReportMetric(0, "hit_rate")
+	}
+}
+
+// BenchmarkTraceMixedHotCold is the headline serving benchmark: 90% of
+// the trace replays a 16-request hot set, 10% is never-seen-before cold
+// traffic — the regime the result cache and coalescer are built for.
+func BenchmarkTraceMixedHotCold(b *testing.B) {
+	b.Run("cache", func(b *testing.B) { benchTrace(b, 64<<20, 9) })
+	b.Run("nocache", func(b *testing.B) { benchTrace(b, -1, 9) })
+}
+
+// BenchmarkTracePureCold is the overhead guard: every request is unique,
+// so the cache never hits and its bookkeeping (key build, Get miss, Add
+// with eviction) is pure cost. cache-mode p99 must stay within noise of
+// nocache.
+func BenchmarkTracePureCold(b *testing.B) {
+	b.Run("cache", func(b *testing.B) { benchTrace(b, 64<<20, 0) })
+	b.Run("nocache", func(b *testing.B) { benchTrace(b, -1, 0) })
+}
