@@ -7,10 +7,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/attack  one s→d attack               (server.AttackRequest)
-//	POST /v1/batch   one experiment table, resumable (server.BatchRequest)
-//	GET  /healthz    liveness + cache/coalescing/per-city stats
-//	GET  /readyz     readiness + load/breaker stats (503 while draining)
+//	POST /v1/attack             one s→d attack               (server.AttackRequest)
+//	POST /v1/batch              one experiment table, resumable (server.BatchRequest)
+//	GET  /v1/audit/{seq}/proof  Merkle inclusion proof for an audited result
+//	GET  /healthz               liveness + cache/coalescing/per-city/ledger stats
+//	GET  /readyz                readiness + load/breaker stats (503 while draining)
 //
 // Robustness behaviour (see internal/server): bounded admission queue
 // with Retry-After rejections, load shedding by estimated cost, an LP
@@ -23,6 +24,12 @@
 // into one computation, and results are cached in a memory-bounded LRU
 // keyed by shard generation (-cache-mb; 0 disables), so a hot working
 // set serves from memory at near-zero admission cost.
+//
+// Auditing (-audit-dir): every served attack result and batch unit is
+// hash-chained into a tamper-evident ledger, group-committed with one
+// fsync per Merkle batch. A server restarted over an altered ledger
+// refuses to serve; `serve -verify-audit DIR` checks a ledger offline
+// and exits 1 on the first broken record.
 //
 //	go run ./cmd/serve -city boston,chicago -scale 0.05 -addr :8080
 package main
@@ -41,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"altroute/internal/audit"
 	"altroute/internal/citygen"
 	"altroute/internal/faultinject"
 	"altroute/internal/osm"
@@ -86,9 +94,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		brkOK     = fs.Int("breaker-successes", 2, "consecutive probe successes that close the breaker")
 		ckptDir   = fs.String("checkpoint-dir", "", "journal /v1/batch runs into this directory for drain/resume")
 		grace     = fs.Duration("drain-grace", 30*time.Second, "max wait for in-flight requests on shutdown")
+		auditDir  = fs.String("audit-dir", "", "hash-chain every served result into this directory's tamper-evident ledger")
+		auditFl   = fs.Duration("audit-flush", 100*time.Millisecond, "audit group-commit time bound (seal + fsync at least this often)")
+		auditRecs = fs.Int("audit-flush-records", 64, "audit group-commit size bound (seal without waiting once this many records are pending)")
+		auditSync = fs.Bool("audit-sync-each", false, "fsync the audit ledger after every record (per-record durability at full fsync cost)")
+		auditVrfy = fs.String("verify-audit", "", "offline-verify the audit ledger in this directory and exit (1 if the chain is broken)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *auditVrfy != "" {
+		return verifyAudit(*auditVrfy, out)
 	}
 
 	// Each served city becomes a preloaded registry shard: snapshots are
@@ -137,12 +153,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Cooldown:  *brkCool,
 			Successes: *brkOK,
 		},
-		CheckpointDir: *ckptDir,
-		Scale:         *scale,
-		Injector:      chaosInjector,
+		CheckpointDir:       *ckptDir,
+		Scale:               *scale,
+		Injector:            chaosInjector,
+		AuditDir:            *auditDir,
+		AuditFlushEvery:     *auditFl,
+		AuditFlushRecords:   *auditRecs,
+		AuditSyncEachRecord: *auditSync,
 	})
 	if err != nil {
 		return err
+	}
+	if aerr := srv.AuditErr(); aerr != nil {
+		// The audit chain failed verification: the server starts, but only
+		// to explain itself — every work request is refused until the
+		// ledger is inspected (-verify-audit) and dealt with.
+		fmt.Fprintf(out, "serve: audit chain broken, refusing work: %v\n", aerr)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -180,7 +206,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
+	// The ledger closes after the last request: its unsealed tail gets a
+	// final group commit, so a clean drain leaves nothing for the next
+	// open to heal. A close error is not worth a dirty exit — reopening
+	// re-verifies the chain and truncates whatever was torn.
+	if l := srv.Ledger(); l != nil {
+		if err := l.Close(); err != nil {
+			fmt.Fprintln(out, "serve: audit close:", err)
+		}
+	}
 	fmt.Fprintln(out, "serve: drained, exiting")
+	return nil
+}
+
+// verifyAudit is the -verify-audit subcommand: an offline replay of the
+// whole ledger chain, usable as an external oracle after a crash or a
+// suspected alteration. On a broken chain the returned error names the
+// first bad record and the process exits 1.
+func verifyAudit(dir string, out io.Writer) error {
+	rep, err := audit.VerifyDir(dir)
+	if err != nil {
+		return fmt.Errorf("audit ledger %s: %w", dir, err)
+	}
+	fmt.Fprintf(out, "serve: audit ledger %s verifies: %d records, %d sealed in %d batches, %d pending\n",
+		dir, rep.Records, rep.SealedRecords, rep.SealedBatches, rep.Pending)
+	if rep.TornBytes > 0 {
+		fmt.Fprintf(out, "serve: torn tail of %d bytes (a kill mid-write; the next open heals it)\n", rep.TornBytes)
+	}
 	return nil
 }
 

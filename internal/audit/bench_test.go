@@ -1,0 +1,50 @@
+package audit
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkLedgerAppend compares the group-commit ledger against the
+// per-record-fsync baseline it replaces. The group modes fsync once per
+// seal (size- or time-bounded); sync-each pays a full fsync on every
+// append — the gap between them is the hot-path cost the Merkle batcher
+// removes.
+func BenchmarkLedgerAppend(b *testing.B) {
+	modes := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"group-64", func(c *Config) { c.FlushRecords = 64; c.FlushEvery = 100 * time.Millisecond }},
+		{"group-256", func(c *Config) { c.FlushRecords = 256; c.FlushEvery = 100 * time.Millisecond }},
+		{"sync-each", func(c *Config) { c.SyncEachRecord = true }},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			cfg := Config{Dir: b.TempDir()}
+			m.mutate(&cfg)
+			l, err := Open(cfg)
+			if err != nil {
+				b.Fatalf("Open: %v", err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(testRecord(i)); err != nil {
+					b.Fatalf("Append: %v", err)
+				}
+			}
+			b.StopTimer()
+			// Flush first: group-mode fsyncs run in the background, so the
+			// ratio is only settled once the tail is committed.
+			if err := l.Flush(); err != nil {
+				b.Fatalf("Flush: %v", err)
+			}
+			st := l.Stats()
+			b.ReportMetric(st.RecordsPerFsync, "records/fsync")
+			if err := l.Close(); err != nil {
+				b.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}

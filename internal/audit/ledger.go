@@ -1,0 +1,514 @@
+package audit
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"altroute/internal/faultinject"
+)
+
+// ledgerFile is the JSONL file name inside the ledger directory.
+const ledgerFile = "ledger.jsonl"
+
+// Config configures a Ledger. Dir is required; every other field has a
+// default noted on it.
+type Config struct {
+	// Dir is the ledger directory (created if missing). The ledger lives
+	// in Dir/ledger.jsonl.
+	Dir string
+	// FlushEvery is the group-commit time bound: pending records are
+	// sealed and fsynced at least this often. Default 100ms.
+	FlushEvery time.Duration
+	// FlushRecords is the group-commit size bound: a batch reaching this
+	// many pending records is sealed without waiting for the timer.
+	// Default 64.
+	FlushRecords int
+	// SyncEachRecord seals and fsyncs after every single record — the
+	// naive tamper-evident ledger the group commit replaces. It exists as
+	// the benchmark baseline and for operators who want zero crash-loss
+	// at full fsync cost.
+	SyncEachRecord bool
+	// Clock stamps records and measures flush latency. Default time.Now.
+	Clock func() time.Time
+	// Injector, when non-nil, arms the audit disk-fault points
+	// (PointAuditWrite, PointAuditFsync) for chaos tests.
+	Injector *faultinject.Injector
+}
+
+func (c *Config) fill() {
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 100 * time.Millisecond
+	}
+	if c.FlushRecords <= 0 {
+		c.FlushRecords = 64
+	}
+	if c.Clock == nil {
+		c.Clock = func() time.Time { return time.Now() } //lint:allow wallclock audit records carry real timestamps; tests inject fixed clocks
+	}
+}
+
+// Receipt identifies an appended record: its ledger position and chain
+// hash. Clients quote the Seq back at GET /v1/audit/{seq}/proof.
+type Receipt struct {
+	Seq  uint64 `json:"seq"`
+	Hash string `json:"hash"`
+}
+
+// sealedBatch pairs a seal with its leaf hashes, kept for proof building.
+type sealedBatch struct {
+	seal   Seal
+	leaves [][sha256.Size]byte
+}
+
+// Stats is a point-in-time snapshot of the ledger, exported on /healthz.
+type Stats struct {
+	// Records is the total record count (the next Seq to be assigned).
+	Records uint64 `json:"records"`
+	// RecordHead and SealHead are the two chain heads.
+	RecordHead string `json:"record_head"`
+	SealHead   string `json:"seal_head,omitempty"`
+	// SealedBatches and SealedRecords count the proof-carrying history;
+	// Pending is the unsealed tail a crash may lose.
+	SealedBatches uint64 `json:"sealed_batches"`
+	SealedRecords uint64 `json:"sealed_records"`
+	Pending       int    `json:"pending_records"`
+	// Appended and Fsyncs count this process's work; their ratio
+	// (RecordsPerFsync) is the group-commit win over per-record fsync,
+	// which would pin it at 1.
+	Appended        uint64  `json:"appended"`
+	Fsyncs          uint64  `json:"fsyncs"`
+	RecordsPerFsync float64 `json:"records_per_fsync"`
+	// LastFlushMS is the fsync latency of the most recent group commit.
+	LastFlushMS float64 `json:"last_flush_ms"`
+	// Error carries the sticky failure when the ledger is poisoned.
+	Error string `json:"error,omitempty"`
+}
+
+// Ledger is the tamper-evident result ledger. Open it with Open; Append
+// is safe for concurrent use. A background flusher group-commits pending
+// records on the Config bounds; Close flushes the tail and stops it.
+type Ledger struct {
+	cfg  Config
+	path string
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	seq      uint64 // next record seq
+	recHead  string
+	sealHead string
+	records  []Record
+	batches  []sealedBatch
+	pending  [][sha256.Size]byte // leaves since the last seal
+	dirty    bool                // sealed bytes not yet fsynced
+	failed   error               // sticky ErrLedgerFailed
+	closed   bool
+
+	appended  uint64
+	fsyncs    uint64
+	lastFlush time.Duration
+
+	// syncMu serializes fsyncs; they deliberately run OUTSIDE mu so the
+	// append hot path never waits on the disk, even mid group commit.
+	syncMu  sync.Mutex
+	kick    chan struct{}
+	stop    chan struct{}
+	flusher sync.WaitGroup
+}
+
+// Open opens (or creates) the ledger in cfg.Dir, replaying and verifying
+// the whole chain. A torn final line — the signature of a mid-write kill
+// — is self-healed by truncating it (the lost record is part of the
+// unsealed tail the crash window may cost); any other violation returns a
+// *ChainError wrapping ErrChainBroken, and the caller must refuse to
+// build on the directory.
+func Open(cfg Config) (*Ledger, error) {
+	cfg.fill()
+	if cfg.Dir == "" {
+		return nil, errors.New("audit: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	path := filepath.Join(cfg.Dir, ledgerFile)
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	st, cerr := replay(data)
+	if cerr != nil {
+		return nil, cerr
+	}
+	if st.tornStart >= 0 {
+		// Self-heal: drop the torn fragment so the next record starts on
+		// a clean line. Only the unsealed tail can be lost this way.
+		if err := os.Truncate(path, st.tornStart); err != nil {
+			return nil, fmt.Errorf("audit: healing torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	l := &Ledger{
+		cfg:      cfg,
+		path:     path,
+		f:        f,
+		w:        bufio.NewWriter(f),
+		seq:      uint64(len(st.records)),
+		recHead:  st.recHead,
+		sealHead: st.sealHead,
+		records:  st.records,
+		batches:  st.batches,
+		pending:  st.pendingLeaves,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	if !cfg.SyncEachRecord {
+		l.flusher.Add(1)
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// flushLoop is the group-commit worker: it seals whatever is pending
+// every FlushEvery (bounding the crash-loss window in time the same way
+// FlushRecords bounds it in count) and runs every fsync the append path
+// deferred. Errors are sticky in l.failed; the loop keeps draining so a
+// poisoned ledger still reports through Err rather than wedging.
+func (l *Ledger) flushLoop() {
+	defer l.flusher.Done()
+	t := time.NewTicker(l.cfg.FlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+		case <-l.kick:
+		}
+		l.mu.Lock()
+		_ = l.sealLocked()
+		l.mu.Unlock()
+		_ = l.syncDirty()
+	}
+}
+
+// Append chains and writes one record, returning its receipt. The line
+// reaches the OS before Append returns, but is only fsynced by the next
+// group commit — the whole point of the batcher is that the request hot
+// path never waits on the disk. A record that fills the batch seals it
+// inline (batch boundaries stay deterministic) and hands the fsync to the
+// background flusher. With SyncEachRecord the record is sealed and
+// fsynced before Append returns.
+func (l *Ledger) Append(rec Record) (Receipt, error) {
+	r, sealed, err := l.appendLocked(rec)
+	if err != nil {
+		return Receipt{}, err
+	}
+	if sealed {
+		if l.cfg.SyncEachRecord {
+			if err := l.syncDirty(); err != nil {
+				return Receipt{}, err
+			}
+		} else {
+			select {
+			case l.kick <- struct{}{}:
+			default: // a wake-up is already queued
+			}
+		}
+	}
+	return r, nil
+}
+
+// appendLocked is Append's critical section: chain, write, and (at a
+// batch boundary) seal — everything except the fsync, which must not run
+// under l.mu. The bool reports whether this append sealed a batch.
+func (l *Ledger) appendLocked(rec Record) (Receipt, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Receipt{}, false, errors.New("audit: ledger is closed")
+	}
+	if l.failed != nil {
+		return Receipt{}, false, l.failed
+	}
+	rec.Seq = l.seq
+	rec.TimeNS = l.cfg.Clock().UnixNano()
+	rec.Prev = l.recHead
+	h, err := recordHash(rec)
+	if err != nil {
+		return Receipt{}, false, err
+	}
+	rec.Hash = h
+	leaf, err := leafHash(h)
+	if err != nil {
+		return Receipt{}, false, err
+	}
+	b, err := json.Marshal(entry{Record: &rec})
+	if err != nil {
+		return Receipt{}, false, fmt.Errorf("audit: %w", err)
+	}
+	if err := l.writeLine(b); err != nil {
+		return Receipt{}, false, err
+	}
+	l.seq++
+	l.recHead = h
+	l.records = append(l.records, rec)
+	l.pending = append(l.pending, leaf)
+	l.appended++
+	sealed := false
+	if l.cfg.SyncEachRecord || len(l.pending) >= l.cfg.FlushRecords {
+		if err := l.sealLocked(); err != nil {
+			return Receipt{}, false, err
+		}
+		sealed = true
+	}
+	return Receipt{Seq: rec.Seq, Hash: h}, sealed, nil
+}
+
+// writeLine writes one JSONL line through the write-fault probe and
+// flushes it to the OS. A failure (injected faults emit a torn prefix
+// first, the shape a real kill leaves) poisons the ledger: the in-memory
+// chain can no longer be trusted to mirror the file.
+func (l *Ledger) writeLine(b []byte) error {
+	b = append(b, '\n')
+	if err := l.cfg.Injector.Probe(faultinject.PointAuditWrite); err != nil {
+		_, _ = l.w.Write(b[:len(b)/2])
+		_ = l.w.Flush()
+		return l.fail(err)
+	}
+	if _, err := l.w.Write(b); err != nil {
+		return l.fail(err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	return nil
+}
+
+// fail records the sticky failure and returns it.
+func (l *Ledger) fail(err error) error {
+	l.failed = fmt.Errorf("%w: %w", ErrLedgerFailed, err)
+	return l.failed
+}
+
+// Flush seals the pending records into one batch now — Merkle root, seal
+// line, one fsync — and waits for the fsync, also covering any batch the
+// append path sealed but had not yet synced. No-op when nothing is
+// pending or dirty.
+func (l *Ledger) Flush() error {
+	l.mu.Lock()
+	err := l.sealLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return l.syncDirty()
+}
+
+// sealLocked is the group commit's first half: Merkle root and seal line,
+// written through to the OS. The batch becomes provable immediately — its
+// durability is OS-level until syncDirty lands the fsync, the same
+// guarantee a record's receipt carries between group commits. Callers
+// hold l.mu.
+func (l *Ledger) sealLocked() error {
+	if l.failed != nil {
+		return l.failed
+	}
+	if len(l.pending) == 0 {
+		return nil
+	}
+	root := merkleRoot(l.pending)
+	seal := Seal{
+		Batch:    uint64(len(l.batches)),
+		FirstSeq: l.seq - uint64(len(l.pending)),
+		Count:    len(l.pending),
+		Root:     hex.EncodeToString(root[:]),
+		Prev:     l.sealHead,
+	}
+	h, err := sealHash(seal)
+	if err != nil {
+		return err
+	}
+	seal.Hash = h
+	b, err := json.Marshal(entry{Seal: &seal})
+	if err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	if err := l.writeLine(b); err != nil {
+		return err
+	}
+	leaves := make([][sha256.Size]byte, len(l.pending))
+	copy(leaves, l.pending)
+	l.batches = append(l.batches, sealedBatch{seal: seal, leaves: leaves})
+	l.sealHead = seal.Hash
+	l.pending = l.pending[:0]
+	l.dirty = true
+	return nil
+}
+
+// syncDirty is the group commit's second half: one fsync covering every
+// sealed-but-unsynced byte. It runs under syncMu only, so appends (and
+// further seals) proceed while the disk works; a seal that lands mid-sync
+// keeps dirty set for the next round.
+func (l *Ledger) syncDirty() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	if !l.dirty {
+		l.mu.Unlock()
+		return nil
+	}
+	synced := len(l.batches)
+	l.mu.Unlock()
+
+	start := l.cfg.Clock()
+	serr := l.cfg.Injector.Probe(faultinject.PointAuditFsync)
+	if serr == nil {
+		serr = l.f.Sync()
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if serr != nil {
+		return l.fail(serr)
+	}
+	if len(l.batches) == synced {
+		l.dirty = false
+	}
+	l.fsyncs++
+	l.lastFlush = l.cfg.Clock().Sub(start)
+	return nil
+}
+
+// Close seals the tail, stops the flusher, syncs, and closes the file. A
+// failed ledger still closes its file; the sticky error is returned.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	l.flusher.Wait()
+
+	l.mu.Lock()
+	ferr := l.sealLocked()
+	l.mu.Unlock()
+	if serr := l.syncDirty(); ferr == nil {
+		ferr = serr
+	}
+	l.mu.Lock()
+	cerr := l.f.Close()
+	l.mu.Unlock()
+	if ferr != nil {
+		return ferr
+	}
+	if cerr != nil {
+		return fmt.Errorf("audit: %w", cerr)
+	}
+	return nil
+}
+
+// Err returns the sticky failure, if any. A non-nil Err means the file
+// and the in-memory chain may disagree; the service must stop serving
+// until the ledger is reopened (which re-verifies and self-heals).
+func (l *Ledger) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// Head returns the next sequence number and the record-chain head.
+func (l *Ledger) Head() (uint64, string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq, l.recHead
+}
+
+// Record returns the record at seq, if it exists.
+func (l *Ledger) Record(seq uint64) (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq >= uint64(len(l.records)) {
+		return Record{}, false
+	}
+	return l.records[seq], true
+}
+
+// Proof builds the inclusion proof for a sealed record. ErrNotFound for a
+// never-assigned seq; ErrUnsealed for a record still waiting for its
+// group commit (retry after the flush interval).
+func (l *Ledger) Proof(seq uint64) (Proof, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq >= l.seq {
+		return Proof{}, fmt.Errorf("%w: seq %d (head %d)", ErrNotFound, seq, l.seq)
+	}
+	sealed := l.seq - uint64(len(l.pending))
+	if seq >= sealed {
+		return Proof{}, fmt.Errorf("%w: seq %d is in the pending tail (sealed through %d)", ErrUnsealed, seq, sealed)
+	}
+	// Batches cover contiguous ranges from 0, so the owning batch is the
+	// first whose range ends past seq.
+	i := sort.Search(len(l.batches), func(i int) bool {
+		s := l.batches[i].seal
+		return s.FirstSeq+uint64(s.Count) > seq
+	})
+	batch := l.batches[i]
+	idx := int(seq - batch.seal.FirstSeq)
+	rec := l.records[seq]
+	leaf, err := leafHash(rec.Hash)
+	if err != nil {
+		return Proof{}, err
+	}
+	return Proof{
+		Seq:      seq,
+		Record:   rec,
+		LeafHash: hex.EncodeToString(leaf[:]),
+		Index:    idx,
+		Path:     merklePath(batch.leaves, idx),
+		Seal:     batch.seal,
+	}, nil
+}
+
+// Stats snapshots the ledger counters.
+func (l *Ledger) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Records:       l.seq,
+		RecordHead:    l.recHead,
+		SealHead:      l.sealHead,
+		SealedBatches: uint64(len(l.batches)),
+		SealedRecords: l.seq - uint64(len(l.pending)),
+		Pending:       len(l.pending),
+		Appended:      l.appended,
+		Fsyncs:        l.fsyncs,
+		LastFlushMS:   float64(l.lastFlush) / float64(time.Millisecond),
+	}
+	if l.fsyncs > 0 {
+		st.RecordsPerFsync = float64(l.appended) / float64(l.fsyncs)
+	}
+	if l.failed != nil {
+		st.Error = l.failed.Error()
+	}
+	return st
+}

@@ -1,0 +1,176 @@
+package audit
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// The Merkle construction follows RFC 6962 (Certificate Transparency):
+// domain-separated leaf and node hashes, and trees over non-power-of-two
+// batch sizes split at the largest power of two strictly below n. Domain
+// separation (0x00 for leaves, 0x01 for interior nodes) is what prevents
+// an interior node from being replayed as a leaf — the classic
+// second-preimage trick against naive Merkle trees.
+
+// leafHash hashes a record's chain hash into its Merkle leaf.
+func leafHash(recordHashHex string) ([sha256.Size]byte, error) {
+	raw, err := hex.DecodeString(recordHashHex)
+	if err != nil || len(raw) != sha256.Size {
+		return [sha256.Size]byte{}, fmt.Errorf("audit: record hash %q is not a hex SHA-256", recordHashHex)
+	}
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(raw)
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out, nil
+}
+
+// nodeHash combines two subtree hashes into their parent.
+func nodeHash(l, r [sha256.Size]byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// splitPoint is the largest power of two strictly less than n (n >= 2).
+func splitPoint(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// merkleRoot computes the RFC 6962 tree hash over the leaves. It panics
+// on an empty slice — a seal always covers at least one record.
+func merkleRoot(leaves [][sha256.Size]byte) [sha256.Size]byte {
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(merkleRoot(leaves[:k]), merkleRoot(leaves[k:]))
+}
+
+// ProofStep is one sibling on the path from a leaf to its batch root.
+// Left records which side the sibling joins from, so the path can be
+// folded without knowing the leaf index.
+type ProofStep struct {
+	Hash string `json:"hash"`
+	Left bool   `json:"left"`
+}
+
+// merklePath returns the audit path for leaf i: the sibling subtree
+// hashes from the leaf up to (excluding) the root, in fold order.
+func merklePath(leaves [][sha256.Size]byte, i int) []ProofStep {
+	if len(leaves) == 1 {
+		return nil
+	}
+	k := splitPoint(len(leaves))
+	if i < k {
+		return append(merklePath(leaves[:k], i), ProofStep{
+			Hash: hex.EncodeToString(sibling(leaves[k:])), Left: false,
+		})
+	}
+	return append(merklePath(leaves[k:], i-k), ProofStep{
+		Hash: hex.EncodeToString(sibling(leaves[:k])), Left: true,
+	})
+}
+
+// sibling computes a subtree's hash for inclusion in a path.
+func sibling(leaves [][sha256.Size]byte) []byte {
+	root := merkleRoot(leaves)
+	return root[:]
+}
+
+// foldPath recomputes the root implied by a leaf and its audit path.
+func foldPath(leaf [sha256.Size]byte, path []ProofStep) ([sha256.Size]byte, error) {
+	cur := leaf
+	for _, step := range path {
+		raw, err := hex.DecodeString(step.Hash)
+		if err != nil || len(raw) != sha256.Size {
+			return cur, fmt.Errorf("audit: proof step %q is not a hex SHA-256", step.Hash)
+		}
+		var sib [sha256.Size]byte
+		copy(sib[:], raw)
+		if step.Left {
+			cur = nodeHash(sib, cur)
+		} else {
+			cur = nodeHash(cur, sib)
+		}
+	}
+	return cur, nil
+}
+
+// Proof is an offline-verifiable inclusion proof for one sealed record:
+// the record itself, its leaf path to the batch's Merkle root, and the
+// seal that commits the root into the seal chain. VerifyProof checks it
+// without any access to the ledger.
+type Proof struct {
+	Seq    uint64 `json:"seq"`
+	Record Record `json:"record"`
+	// LeafHash is the domain-separated Merkle leaf over Record.Hash
+	// (redundant — VerifyProof recomputes it — but lets thin clients
+	// check the path without reimplementing record hashing).
+	LeafHash string `json:"leaf_hash"`
+	// Index is the record's leaf position within its batch
+	// (Seq - Seal.FirstSeq).
+	Index int         `json:"index"`
+	Path  []ProofStep `json:"path"`
+	Seal  Seal        `json:"seal"`
+}
+
+// VerifyProof checks a Proof offline: the record's chain hash recomputes,
+// its leaf folds through the path to the seal's Merkle root, the seal's
+// own hash recomputes, and the positions are consistent. A nil return
+// means the sealed ledger the proof came from really contained this exact
+// record at this exact position.
+func VerifyProof(p Proof) error {
+	if p.Record.Seq != p.Seq {
+		return fmt.Errorf("%w: proof seq %d carries record seq %d", ErrChainBroken, p.Seq, p.Record.Seq)
+	}
+	if p.Seq < p.Seal.FirstSeq || p.Seq >= p.Seal.FirstSeq+uint64(p.Seal.Count) {
+		return fmt.Errorf("%w: seq %d outside sealed range [%d, %d)",
+			ErrChainBroken, p.Seq, p.Seal.FirstSeq, p.Seal.FirstSeq+uint64(p.Seal.Count))
+	}
+	if want := int(p.Seq - p.Seal.FirstSeq); p.Index != want {
+		return fmt.Errorf("%w: proof index %d, want %d", ErrChainBroken, p.Index, want)
+	}
+	h, err := recordHash(p.Record)
+	if err != nil {
+		return err
+	}
+	if h != p.Record.Hash {
+		return fmt.Errorf("%w: record %d content does not match its hash", ErrChainBroken, p.Seq)
+	}
+	leaf, err := leafHash(p.Record.Hash)
+	if err != nil {
+		return err
+	}
+	if got := hex.EncodeToString(leaf[:]); got != p.LeafHash {
+		return fmt.Errorf("%w: leaf hash mismatch for seq %d", ErrChainBroken, p.Seq)
+	}
+	root, err := foldPath(leaf, p.Path)
+	if err != nil {
+		return err
+	}
+	wantRoot, err := hex.DecodeString(p.Seal.Root)
+	if err != nil || !bytes.Equal(root[:], wantRoot) {
+		return fmt.Errorf("%w: path for seq %d folds to a different root than seal %d",
+			ErrChainBroken, p.Seq, p.Seal.Batch)
+	}
+	sh, err := sealHash(p.Seal)
+	if err != nil {
+		return err
+	}
+	if sh != p.Seal.Hash {
+		return fmt.Errorf("%w: seal %d content does not match its hash", ErrChainBroken, p.Seal.Batch)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func testLeaves(n int) [][sha256.Size]byte {
+	leaves := make([][sha256.Size]byte, n)
+	for i := range leaves {
+		leaves[i] = sha256.Sum256([]byte(fmt.Sprintf("leaf-%d", i)))
+	}
+	return leaves
+}
+
+// TestMerklePathFoldsToRoot checks, for every batch size up to 33 and
+// every leaf index, that the audit path folds the leaf back to the root —
+// and stops doing so when the leaf or any path step is perturbed.
+func TestMerklePathFoldsToRoot(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		leaves := testLeaves(n)
+		root := merkleRoot(leaves)
+		for i := 0; i < n; i++ {
+			path := merklePath(leaves, i)
+			got, err := foldPath(leaves[i], path)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: fold: %v", n, i, err)
+			}
+			if got != root {
+				t.Fatalf("n=%d i=%d: path does not fold to root", n, i)
+			}
+			// A different leaf with the same path must not fold to the root.
+			bad := leaves[i]
+			bad[0] ^= 0xff
+			if got, _ := foldPath(bad, path); got == root {
+				t.Fatalf("n=%d i=%d: altered leaf still folds to root", n, i)
+			}
+			if len(path) > 0 {
+				perturbed := append([]ProofStep{}, path...)
+				raw, _ := hex.DecodeString(perturbed[0].Hash)
+				raw[0] ^= 0xff
+				perturbed[0].Hash = hex.EncodeToString(raw)
+				if got, _ := foldPath(leaves[i], perturbed); got == root {
+					t.Fatalf("n=%d i=%d: altered path still folds to root", n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMerkleDomainSeparation pins the RFC 6962 second-preimage defense:
+// an interior node presented as a leaf hashes differently, so a two-leaf
+// tree can never be impersonated by its own root.
+func TestMerkleDomainSeparation(t *testing.T) {
+	leaves := testLeaves(2)
+	root := merkleRoot(leaves)
+	var asLeaf [sha256.Size]byte
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(root[:])
+	copy(asLeaf[:], h.Sum(nil))
+	if asLeaf == root {
+		t.Fatal("interior node re-hashed as leaf collides with itself")
+	}
+	if merkleRoot([][sha256.Size]byte{root}) != root {
+		t.Fatal("single-leaf tree must be the leaf itself (RFC 6962)")
+	}
+}
+
+// TestMerkleSplitPoint pins the RFC 6962 split rule.
+func TestMerkleSplitPoint(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 4, 8: 4, 9: 8, 16: 8, 17: 16}
+	for n, want := range cases {
+		if got := splitPoint(n); got != want {
+			t.Fatalf("splitPoint(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package audit
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLedgerTornTailHealsAtEveryByteOffset truncates a ledger at every
+// byte offset of its final record line and asserts that reopening always
+// self-heals: the sealed history and the complete part of the unsealed
+// tail survive, at most the one torn record is lost, and the resumed
+// chain stays fully verifiable.
+func TestLedgerTornTailHealsAtEveryByteOffset(t *testing.T) {
+	// Build a ledger with one sealed batch (r0..r2) and an unsealed tail
+	// (r3, r4). The file is read before Close so the tail stays unsealed
+	// (a sixth append would trigger the size-bound seal inline); every
+	// append is bufio-flushed to the OS, so the bytes are all there.
+	dir := t.TempDir()
+	l := openTest(t, dir, func(c *Config) { c.FlushRecords = 3 })
+	appendN(t, l, 0, 5)
+	base, err := os.ReadFile(filepath.Join(dir, ledgerFile))
+	if err != nil {
+		t.Fatalf("read ledger: %v", err)
+	}
+	if err := l.Close(); err != nil { // seals the tail in dir; base keeps the unsealed shape
+		t.Fatalf("Close: %v", err)
+	}
+	if base[len(base)-1] != '\n' {
+		t.Fatal("ledger file does not end with a newline")
+	}
+	lastLineStart := bytes.LastIndexByte(base[:len(base)-1], '\n') + 1
+
+	for cut := lastLineStart; cut < len(base); cut++ {
+		mdir := t.TempDir()
+		path := filepath.Join(mdir, ledgerFile)
+		if err := os.WriteFile(path, base[:cut], 0o644); err != nil {
+			t.Fatalf("cut %d: write: %v", cut, err)
+		}
+		torn := cut > lastLineStart // cut == lastLineStart is a clean end after r3
+
+		l2 := openTest(t, mdir, func(c *Config) { c.FlushRecords = 1 << 20 })
+		st := l2.Stats()
+		// Sealed history is never lost; of the unsealed tail, exactly the
+		// torn final record is — r3 survives every cut.
+		if st.SealedBatches != 1 || st.SealedRecords != 3 {
+			t.Fatalf("cut %d: sealed history lost: %+v", cut, st)
+		}
+		if st.Records != 4 {
+			t.Fatalf("cut %d: records = %d, want 4 (r4 torn, r3 intact)", cut, st.Records)
+		}
+		if torn {
+			// The torn fragment must actually be gone from disk.
+			healed, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("cut %d: read healed: %v", cut, err)
+			}
+			if len(healed) != lastLineStart {
+				t.Fatalf("cut %d: healed file is %d bytes, want %d", cut, len(healed), lastLineStart)
+			}
+		}
+		// Resume: re-append the lost record, seal, and verify offline.
+		if _, err := l2.Append(testRecord(4)); err != nil {
+			t.Fatalf("cut %d: resume append: %v", cut, err)
+		}
+		if err := l2.Flush(); err != nil {
+			t.Fatalf("cut %d: flush: %v", cut, err)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		rep, err := VerifyDir(mdir)
+		if err != nil {
+			t.Fatalf("cut %d: VerifyDir after resume: %v", cut, err)
+		}
+		if rep.Records != 5 || rep.Pending != 0 || rep.TornBytes != 0 {
+			t.Fatalf("cut %d: resumed report = %+v", cut, rep)
+		}
+	}
+}
+
+// TestVerifyDirReportsTornTailWithoutHealing pins that offline
+// verification is read-only: it counts the torn bytes but leaves the file
+// alone, so running the verifier never mutates evidence.
+func TestVerifyDirReportsTornTailWithoutHealing(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, nil)
+	appendN(t, l, 0, 2)
+	path := filepath.Join(dir, ledgerFile)
+	base, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	cut := len(base) - 7 // mid final record line
+	if err := os.WriteFile(path, base[:cut], 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	rep, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatalf("VerifyDir: %v", err)
+	}
+	if rep.Records != 1 || rep.TornBytes == 0 {
+		t.Fatalf("report = %+v, want 1 record and a torn tail", rep)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reread: %v", err)
+	}
+	if !bytes.Equal(after, base[:cut]) {
+		t.Fatal("VerifyDir modified the ledger file")
+	}
+}

@@ -1,0 +1,184 @@
+package audit
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// chainState is the result of replaying a ledger file: the verified
+// records and seals, the two chain heads, the leaves still awaiting a
+// seal, and the byte offset of a torn final line (-1 when the file ends
+// cleanly).
+type chainState struct {
+	records       []Record
+	batches       []sealedBatch
+	pendingLeaves [][sha256.Size]byte
+	recHead       string
+	sealHead      string
+	tornStart     int64
+}
+
+// replay parses and verifies a whole ledger file. It returns a
+// *ChainError (wrapping ErrChainBroken) at the first interior violation;
+// a torn FINAL line is not a violation — a kill mid-write is the one way
+// it legitimately appears, so it is reported via tornStart for the caller
+// to heal or count.
+func replay(data []byte) (*chainState, error) {
+	st := &chainState{recHead: recordGenesis, sealHead: sealGenesis, tornStart: -1}
+	lineNo := 0
+	for off := int64(0); off < int64(len(data)); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Bytes past the final newline: a torn write. Writes always
+			// end with '\n', so only a kill (or fault) mid-write leaves
+			// this shape, and only as the very last line.
+			st.tornStart = off
+			return st, nil
+		}
+		lineNo++
+		line := data[off : off+int64(nl)]
+		off += int64(nl) + 1
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil || (e.Record == nil) == (e.Seal == nil) {
+			// A complete line that is not exactly one record or seal can
+			// only be corruption: resume truncates tears, so no scars
+			// accumulate mid-file.
+			return nil, &ChainError{Seq: uint64(len(st.records)), Line: lineNo, Reason: "unparseable entry"}
+		}
+		// Lines are only ever written as canonical json.Marshal output, so a
+		// stored line must be bit-identical to the re-marshaling of what it
+		// parsed to. This closes the JSON malleability gap: a byte flip that
+		// is semantically neutral (say, renaming a key whose field held its
+		// zero value) leaves the content hash intact but can never reproduce
+		// the canonical bytes.
+		if canon, err := json.Marshal(e); err != nil || !bytes.Equal(canon, line) {
+			return nil, &ChainError{Seq: uint64(len(st.records)), Line: lineNo, Reason: "non-canonical line encoding"}
+		}
+		if e.Record != nil {
+			if err := st.verifyRecord(*e.Record, lineNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := st.verifySeal(*e.Seal, lineNo); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// verifyRecord checks one record against the chain and absorbs it.
+func (st *chainState) verifyRecord(rec Record, lineNo int) error {
+	if want := uint64(len(st.records)); rec.Seq != want {
+		return &ChainError{Seq: rec.Seq, Line: lineNo,
+			Reason: fmt.Sprintf("record seq %d, want %d (insertion or deletion)", rec.Seq, want)}
+	}
+	if rec.Prev != st.recHead {
+		return &ChainError{Seq: rec.Seq, Line: lineNo,
+			Reason: "prev hash does not match the preceding record"}
+	}
+	h, err := recordHash(rec)
+	if err != nil {
+		return err
+	}
+	if h != rec.Hash {
+		return &ChainError{Seq: rec.Seq, Line: lineNo,
+			Reason: "record content does not match its hash (altered record)"}
+	}
+	leaf, err := leafHash(h)
+	if err != nil {
+		return err
+	}
+	st.records = append(st.records, rec)
+	st.pendingLeaves = append(st.pendingLeaves, leaf)
+	st.recHead = h
+	return nil
+}
+
+// verifySeal checks one seal against the pending records and absorbs it.
+func (st *chainState) verifySeal(seal Seal, lineNo int) error {
+	if want := uint64(len(st.batches)); seal.Batch != want {
+		return &ChainError{Seq: seal.FirstSeq, Line: lineNo,
+			Reason: fmt.Sprintf("seal batch %d, want %d", seal.Batch, want)}
+	}
+	sealedThrough := uint64(len(st.records)) - uint64(len(st.pendingLeaves))
+	if seal.FirstSeq != sealedThrough || seal.Count != len(st.pendingLeaves) || seal.Count == 0 {
+		return &ChainError{Seq: seal.FirstSeq, Line: lineNo,
+			Reason: fmt.Sprintf("seal covers [%d,+%d), want [%d,+%d)",
+				seal.FirstSeq, seal.Count, sealedThrough, len(st.pendingLeaves))}
+	}
+	if seal.Prev != st.sealHead {
+		return &ChainError{Seq: seal.FirstSeq, Line: lineNo,
+			Reason: "seal prev hash does not match the preceding seal"}
+	}
+	root := merkleRoot(st.pendingLeaves)
+	if hex.EncodeToString(root[:]) != seal.Root {
+		return &ChainError{Seq: seal.FirstSeq, Line: lineNo,
+			Reason: "merkle root does not match the sealed records"}
+	}
+	h, err := sealHash(seal)
+	if err != nil {
+		return err
+	}
+	if h != seal.Hash {
+		return &ChainError{Seq: seal.FirstSeq, Line: lineNo,
+			Reason: "seal content does not match its hash (altered seal)"}
+	}
+	leaves := make([][sha256.Size]byte, len(st.pendingLeaves))
+	copy(leaves, st.pendingLeaves)
+	st.batches = append(st.batches, sealedBatch{seal: seal, leaves: leaves})
+	st.pendingLeaves = st.pendingLeaves[:0]
+	st.sealHead = seal.Hash
+	return nil
+}
+
+// Report summarizes an offline chain verification.
+type Report struct {
+	// Records is the number of chain-verified records.
+	Records uint64 `json:"records"`
+	// SealedBatches and SealedRecords count the proof-carrying history.
+	SealedBatches uint64 `json:"sealed_batches"`
+	SealedRecords uint64 `json:"sealed_records"`
+	// Pending counts verified records not yet covered by a seal.
+	Pending int `json:"pending_records"`
+	// TornBytes is the length of a torn final line that a reopen would
+	// truncate (0 for a cleanly-ended file).
+	TornBytes int64 `json:"torn_bytes"`
+	// RecordHead and SealHead are the verified chain heads.
+	RecordHead string `json:"record_head"`
+	SealHead   string `json:"seal_head"`
+}
+
+// VerifyDir replays and verifies the ledger in dir without touching it.
+// On a broken chain the error is a *ChainError (wrapping ErrChainBroken)
+// naming the first bad record; the report still describes the verified
+// prefix. A missing ledger file verifies as empty — an absent ledger is
+// not a tampered one.
+func VerifyDir(dir string) (Report, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ledgerFile))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return Report{}, fmt.Errorf("audit: %w", err)
+	}
+	st, cerr := replay(data)
+	if cerr != nil {
+		return Report{}, cerr
+	}
+	rep := Report{
+		Records:       uint64(len(st.records)),
+		SealedBatches: uint64(len(st.batches)),
+		SealedRecords: uint64(len(st.records) - len(st.pendingLeaves)),
+		Pending:       len(st.pendingLeaves),
+		RecordHead:    st.recHead,
+		SealHead:      st.sealHead,
+	}
+	if st.tornStart >= 0 {
+		rep.TornBytes = int64(len(data)) - st.tornStart
+	}
+	return rep, nil
+}

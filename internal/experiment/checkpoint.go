@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"altroute/internal/audit"
 )
 
 // ErrCheckpointMismatch is returned by OpenCheckpoint when the journal on
@@ -45,6 +47,14 @@ type Record struct {
 	Degraded bool    `json:"degraded,omitempty"`
 	// FailKind is the FailureKind of the attack error when OK is false.
 	FailKind string `json:"fail_kind,omitempty"`
+	// Prev and Hash chain the record into the journal, exactly like the
+	// audit ledger's records: Prev is the previous record's Hash (the
+	// Header's hash for the first), Hash the SHA-256 of this record's
+	// canonical JSON with the field blanked. Appends always chain; records
+	// from journals written before chaining carry neither field and are
+	// loaded without verification (the chain picks up after them).
+	Prev string `json:"prev,omitempty"`
+	Hash string `json:"hash,omitempty"`
 }
 
 type recordKey struct {
@@ -70,18 +80,34 @@ type line struct {
 // The file tolerates a truncated final line (the run was killed mid-write):
 // that record is dropped and recomputed. Records are flushed per append, not
 // fsynced — a power failure may cost the tail, never the file's integrity.
+//
+// Records are hash-chained behind the fingerprint header (the chain genesis
+// is the Header's hash), so an altered, deleted, or reordered journal record
+// is detected on reopen with an error wrapping audit.ErrChainBroken. Two
+// tolerated gaps, both documented limitations rather than accidents: records
+// written before chaining existed verify as legacy (no Hash), and a torn
+// tear-scar line mid-file is skipped — in both cases the chain resumes at
+// the next chained record, so stripping the final records of a journal is
+// indistinguishable from a crash that never wrote them.
 type Checkpoint struct {
 	mu   sync.Mutex
 	f    *os.File
 	w    *bufio.Writer
 	done map[recordKey]Record
+	// head is the hash chain head: the Header's hash for an empty journal,
+	// then the last chained record's Hash.
+	head string
 }
 
 // OpenCheckpoint opens (or creates) the journal at path. An existing journal
 // must carry an equal Header or ErrCheckpointMismatch is returned; its
 // records are loaded for Lookup and subsequent Appends extend the same file.
 func OpenCheckpoint(path string, h Header) (*Checkpoint, error) {
-	c := &Checkpoint{done: map[recordKey]Record{}}
+	genesis, err := audit.HashJSON(h)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	c := &Checkpoint{done: map[recordKey]Record{}, head: genesis}
 	data, err := os.ReadFile(path)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
@@ -116,13 +142,16 @@ func OpenCheckpoint(path string, h Header) (*Checkpoint, error) {
 	return c, nil
 }
 
-// load parses an existing journal and verifies its header.
+// load parses an existing journal, verifies its header, and verifies the
+// record hash chain.
 func (c *Checkpoint) load(data []byte, h Header) error {
 	sawHeader := false
+	lineNo := 0
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	for sc.Scan() {
 		raw := sc.Bytes()
+		lineNo++
 		if len(raw) == 0 {
 			continue
 		}
@@ -140,12 +169,41 @@ func (c *Checkpoint) load(data []byte, h Header) error {
 			}
 			sawHeader = true
 		case l.Record != nil:
-			c.done[l.Record.key()] = *l.Record
+			rec := *l.Record
+			if rec.Hash != "" { // legacy pre-chain records carry no hash
+				if err := c.verifyChained(rec, lineNo); err != nil {
+					return err
+				}
+			}
+			c.done[rec.key()] = rec
 		}
 	}
 	if !sawHeader {
 		return fmt.Errorf("%w: journal has no header", ErrCheckpointMismatch)
 	}
+	return nil
+}
+
+// verifyChained checks one chained record against the journal's chain head
+// and advances it. Violations wrap audit.ErrChainBroken: the journal was
+// altered after it was written, and resuming over it would launder the
+// alteration into served results.
+func (c *Checkpoint) verifyChained(rec Record, lineNo int) error {
+	if rec.Prev != c.head {
+		return fmt.Errorf("%w: checkpoint line %d (%s/%s/%s/%s unit %d): prev hash does not match the chain head",
+			audit.ErrChainBroken, lineNo, rec.City, rec.Weight, rec.Algorithm, rec.CostType, rec.Unit)
+	}
+	blank := rec
+	blank.Hash = ""
+	h, err := audit.HashJSON(blank)
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	if h != rec.Hash {
+		return fmt.Errorf("%w: checkpoint line %d (%s/%s/%s/%s unit %d): record content does not match its hash",
+			audit.ErrChainBroken, lineNo, rec.City, rec.Weight, rec.Algorithm, rec.CostType, rec.Unit)
+	}
+	c.head = rec.Hash
 	return nil
 }
 
@@ -161,18 +219,27 @@ func (c *Checkpoint) Lookup(city, weight, alg, ct string, unit int) (Record, boo
 	return rec, ok
 }
 
-// Append journals a completed unit. Safe on a nil checkpoint (no-op) and for
-// concurrent use; each record is flushed to the OS before returning.
+// Append journals a completed unit, chaining it onto the journal head. Safe
+// on a nil checkpoint (no-op) and for concurrent use; each record is flushed
+// to the OS before returning.
 func (c *Checkpoint) Append(rec Record) error {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	rec.Prev = c.head
+	rec.Hash = ""
+	h, err := audit.HashJSON(rec)
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint: %w", err)
+	}
+	rec.Hash = h
 	if err := c.append(line{Record: &rec}); err != nil {
 		return err
 	}
 	c.done[rec.key()] = rec
+	c.head = h
 	return nil
 }
 

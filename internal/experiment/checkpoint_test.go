@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"altroute/internal/audit"
 	"altroute/internal/core"
 	"altroute/internal/faultinject"
 	"altroute/internal/roadnet"
@@ -28,6 +30,13 @@ func zeroRuntimes(t Table) Table {
 
 func testHeader() Header {
 	return Header{Seed: 11, Scale: 0.015, PathRank: 8, Sources: 2}
+}
+
+// unchain blanks the chain fields Append stamps onto a record, so journaled
+// records can be compared against the inputs they were built from.
+func unchain(r Record) Record {
+	r.Prev, r.Hash = "", ""
+	return r
 }
 
 func TestCheckpointKillAndResumeBitIdentical(t *testing.T) {
@@ -194,7 +203,7 @@ func TestCheckpointTruncatedTailTolerated(t *testing.T) {
 	if reopened.Len() != 1 {
 		t.Fatalf("records = %d, want 1 (torn tail dropped)", reopened.Len())
 	}
-	if got, ok := reopened.Lookup("Boston", "TIME", "GreedyEdge", "UNIFORM", 0); !ok || got != rec {
+	if got, ok := reopened.Lookup("Boston", "TIME", "GreedyEdge", "UNIFORM", 0); !ok || unchain(got) != rec {
 		t.Errorf("Lookup = %+v, %v; want the intact record", got, ok)
 	}
 	// The journal must still be appendable after a torn tail: a resumed run
@@ -212,8 +221,125 @@ func TestCheckpointTruncatedTailTolerated(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer final.Close()
-	if got, ok := final.Lookup("Boston", "TIME", "GreedyEdge", "UNIFORM", 1); !ok || got != rec2 {
+	if got, ok := final.Lookup("Boston", "TIME", "GreedyEdge", "UNIFORM", 1); !ok || unchain(got) != rec2 {
 		t.Errorf("post-tear append lost on reopen: %+v, %v", got, ok)
+	}
+}
+
+// TestCheckpointDetectsTamper alters and deletes chained journal records
+// and asserts reopening refuses with audit.ErrChainBroken — resuming over
+// a doctored journal would launder the alteration into served results.
+func TestCheckpointDetectsTamper(t *testing.T) {
+	build := func(t *testing.T) (string, []Record) {
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+		ckpt, err := OpenCheckpoint(path, testHeader())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []Record
+		for unit := 0; unit < 3; unit++ {
+			r := Record{City: "Boston", Weight: "TIME", Algorithm: "GreedyEdge", CostType: "UNIFORM", Unit: unit, OK: true, Edges: 2 + unit, Cost: 2}
+			if err := ckpt.Append(r); err != nil {
+				t.Fatal(err)
+			}
+			recs = append(recs, r)
+		}
+		if err := ckpt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path, recs
+	}
+
+	t.Run("AlteredRecord", func(t *testing.T) {
+		path, _ := build(t)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doctored := bytes.Replace(data, []byte(`"edges":3`), []byte(`"edges":9`), 1)
+		if bytes.Equal(doctored, data) {
+			t.Fatal("tamper target not found in journal")
+		}
+		if err := os.WriteFile(path, doctored, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenCheckpoint(path, testHeader()); !errors.Is(err, audit.ErrChainBroken) {
+			t.Errorf("reopen of altered journal = %v, want ErrChainBroken", err)
+		}
+	})
+
+	t.Run("DeletedInteriorRecord", func(t *testing.T) {
+		path, _ := build(t)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := bytes.SplitAfter(data, []byte("\n"))
+		// lines: header, rec0, rec1, rec2, "" — drop rec1.
+		doctored := bytes.Join([][]byte{lines[0], lines[1], lines[3]}, nil)
+		if err := os.WriteFile(path, doctored, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenCheckpoint(path, testHeader()); !errors.Is(err, audit.ErrChainBroken) {
+			t.Errorf("reopen of journal with deleted record = %v, want ErrChainBroken", err)
+		}
+	})
+
+	t.Run("DroppedTailIsInvisible", func(t *testing.T) {
+		// Removing the final record is indistinguishable from a crash that
+		// never wrote it — the documented detectability boundary.
+		path, _ := build(t)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := bytes.SplitAfter(data, []byte("\n"))
+		if err := os.WriteFile(path, bytes.Join(lines[:3], nil), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ckpt, err := OpenCheckpoint(path, testHeader())
+		if err != nil {
+			t.Fatalf("reopen after tail drop = %v, want nil", err)
+		}
+		defer ckpt.Close()
+		if ckpt.Len() != 2 {
+			t.Errorf("Len = %d, want 2", ckpt.Len())
+		}
+	})
+}
+
+// TestCheckpointLegacyUnchainedTolerated pins backward compatibility: a
+// journal written before chaining (records without hashes) still loads,
+// and new appends start the chain after it.
+func TestCheckpointLegacyUnchainedTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	legacy := `{"header":{"seed":11,"scale":0.015,"path_rank":8,"sources":2}}
+{"record":{"city":"Boston","weight":"TIME","algorithm":"GreedyEdge","cost_type":"UNIFORM","unit":0,"ok":true,"edges":2,"cost":2}}
+`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatalf("open legacy journal: %v", err)
+	}
+	if ckpt.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ckpt.Len())
+	}
+	rec2 := Record{City: "Boston", Weight: "TIME", Algorithm: "GreedyEdge", CostType: "UNIFORM", Unit: 1, OK: true, Edges: 3, Cost: 2}
+	if err := ckpt.Append(rec2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatalf("reopen mixed legacy/chained journal: %v", err)
+	}
+	defer reopened.Close()
+	if got, ok := reopened.Lookup("Boston", "TIME", "GreedyEdge", "UNIFORM", 1); !ok || unchain(got) != rec2 {
+		t.Errorf("chained record after legacy prefix: %+v, %v", got, ok)
 	}
 }
 

@@ -59,6 +59,12 @@ type Spec struct {
 	// type, unit) attack and replays journaled results instead of
 	// recomputing them, so an interrupted run resumes where it stopped.
 	Checkpoint *Checkpoint
+	// Audit, when non-nil, observes every freshly computed unit (after it
+	// is journaled, never for checkpoint replays — a replayed unit was
+	// audited when first computed). The server uses it to chain batch
+	// units into the audit ledger. Must be safe for concurrent use: the
+	// parallel runner invokes it from every worker.
+	Audit func(Record)
 }
 
 func (s *Spec) fill() {
@@ -362,6 +368,9 @@ func runCell(ctx context.Context, g *graph.Graph, snap *graph.Snapshot, w, cost 
 		if err := spec.Checkpoint.Append(rec); err != nil {
 			cell.finalize()
 			return cell, err
+		}
+		if spec.Audit != nil {
+			spec.Audit(rec)
 		}
 		cell.replay(rec)
 	}

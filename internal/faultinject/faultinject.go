@@ -45,6 +45,14 @@ const (
 	// exercising the server's request-level panic isolation (the recover
 	// in Server.ServeHTTP, outside core.RunCtx's own recover).
 	PointServerPanic Point = "server/handler-panic"
+	// PointAuditWrite fails an audit-ledger line write after emitting only
+	// a prefix of its bytes — the torn-write shape a mid-write kill or a
+	// full disk leaves on a JSONL file.
+	PointAuditWrite Point = "audit/write"
+	// PointAuditFsync fails the audit ledger's group-commit fsync after
+	// the batch's seal line reached the OS, so the batch's durability (not
+	// its integrity) is in doubt on the next open.
+	PointAuditFsync Point = "audit/fsync"
 )
 
 // ErrInjected marks a failure manufactured by an Injector.
@@ -156,6 +164,18 @@ func Fires(ctx context.Context, p Point) bool {
 // fires, nil otherwise.
 func Fire(ctx context.Context, p Point) error {
 	if Fires(ctx, p) {
+		return fmt.Errorf("%w at %s", ErrInjected, p)
+	}
+	return nil
+}
+
+// Probe counts one hit on p directly against the injector — for
+// components (like the audit ledger) that hold an injector for their
+// lifetime rather than receive one per call through a context — and
+// returns an ErrInjected-wrapped error when the armed rule fires. Safe on
+// a nil injector (never fires).
+func (in *Injector) Probe(p Point) error {
+	if in.fires(p) {
 		return fmt.Errorf("%w at %s", ErrInjected, p)
 	}
 	return nil

@@ -30,7 +30,7 @@ type ctxFlow struct {
 // preloads run full-graph sweeps that must abort with the serve context).
 func NewCtxFlow(pkgNames ...string) Analyzer {
 	if len(pkgNames) == 0 {
-		pkgNames = []string{"core", "graph", "lp", "server", "registry"}
+		pkgNames = []string{"core", "graph", "lp", "server", "registry", "audit"}
 	}
 	set := make(map[string]bool, len(pkgNames))
 	for _, n := range pkgNames {
@@ -41,7 +41,7 @@ func NewCtxFlow(pkgNames ...string) Analyzer {
 
 func (ctxFlow) Name() string { return "ctxflow" }
 func (ctxFlow) Doc() string {
-	return "exported nested-loop funcs in core/graph/lp/server/registry must accept and check a context.Context"
+	return "exported nested-loop funcs in core/graph/lp/server/registry/audit must accept and check a context.Context"
 }
 
 func (c ctxFlow) Check(pkg *Package) []Diagnostic {

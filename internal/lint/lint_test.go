@@ -28,6 +28,7 @@ var golden = []struct {
 	{"ctxflow", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
 	{"ctxflowserver", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
 	{"ctxflowregistry", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
+	{"ctxflowaudit", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
 	{"suppress", All},
 }
 

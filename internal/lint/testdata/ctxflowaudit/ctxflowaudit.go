@@ -1,0 +1,39 @@
+// Fixture for the ctxflow analyzer's audit coverage. The package is
+// named "audit" so the default target-package set applies, as it does to
+// the real internal/audit package: an exported verifier that replays an
+// unbounded ledger must stay cancellable, while the real package keeps
+// its hot-path exports loop-free (recursion and unexported helpers).
+package audit
+
+import "context"
+
+// ReplayAll walks every line of every ledger segment with no way to stop
+// early — the unbounded-verification shape the analyzer flags.
+func ReplayAll(segments [][]string) int { // want "never consults a context.Context"
+	n := 0
+	for _, seg := range segments {
+		for range seg {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplayAllCtx checks the context between lines: compliant.
+func ReplayAllCtx(ctx context.Context, segments [][]string) int {
+	n := 0
+	for _, seg := range segments {
+		for range seg {
+			if ctx.Err() != nil {
+				return n
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// VerifyAll delegates the nested replay to a *Ctx variant: compliant.
+func VerifyAll(ctx context.Context, segments [][]string) int {
+	return ReplayAllCtx(ctx, segments)
+}

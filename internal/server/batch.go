@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"path/filepath"
 
+	"altroute/internal/audit"
 	"altroute/internal/core"
 	"altroute/internal/experiment"
 	"altroute/internal/faultinject"
@@ -118,12 +119,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusConflict, "checkpoint_mismatch", err)
 			return
 		}
+		if errors.Is(err, audit.ErrChainBroken) {
+			// The journal's hash chain does not verify: someone altered a
+			// completed unit after it was written. Resuming would launder
+			// the alteration into served results, so the batch is refused.
+			s.writeError(w, http.StatusConflict, "checkpoint_tampered", err)
+			return
+		}
 		if err != nil {
 			s.writeError(w, http.StatusInternalServerError, "other", err)
 			return
 		}
 		defer ckpt.Close()
 		spec.Checkpoint = ckpt
+	}
+
+	// Every freshly computed unit is chained into the audit ledger
+	// (checkpoint replays were audited when first computed).
+	if s.ledger != nil {
+		batchID, city, seed := req.ID, shard.Name(), spec.Seed
+		spec.Audit = func(rec experiment.Record) { s.auditBatchUnit(batchID, city, seed, rec) }
 	}
 
 	// The batch mutates edges transactionally, so it borrows a
@@ -136,6 +151,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	table, runErr := experiment.RunTableOnUnitsCtx(ctx, net, units2, *spec)
+	if s.ledger != nil {
+		if aerr := s.ledger.Err(); aerr != nil {
+			// The ledger was poisoned mid-batch: some computed units went
+			// unaudited. The results are safe in the checkpoint, but the
+			// response is refused — the service does not serve what it
+			// cannot account for.
+			s.writeError(w, http.StatusServiceUnavailable, "audit_failed", aerr)
+			return
+		}
+	}
 	switch {
 	case runErr == nil:
 		s.writeBatch(w, http.StatusOK, table, BatchResponse{})

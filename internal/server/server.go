@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"altroute/internal/audit"
 	"altroute/internal/core"
 	"altroute/internal/experiment"
 	"altroute/internal/faultinject"
@@ -88,6 +89,19 @@ type Config struct {
 	// Scale is recorded in batch checkpoint headers so a journal written
 	// at one network scale cannot be replayed at another. Default 1.
 	Scale float64
+	// AuditDir, when non-empty, enables the tamper-evident attack-audit
+	// ledger: every served /v1/attack result and every freshly computed
+	// /v1/batch unit is hash-chained into AuditDir/ledger.jsonl, and
+	// GET /v1/audit/{seq}/proof serves offline-verifiable inclusion
+	// proofs. A ledger whose chain fails verification at startup puts the
+	// server in refuse mode: health endpoints explain, work is rejected.
+	AuditDir string
+	// AuditFlushEvery and AuditFlushRecords tune the ledger's group
+	// commit (defaults 100ms / 64 records); AuditSyncEachRecord switches
+	// to the per-record-fsync baseline.
+	AuditFlushEvery     time.Duration
+	AuditFlushRecords   int
+	AuditSyncEachRecord bool
 	// Injector, when non-nil, is attached to every request context for
 	// chaos testing.
 	Injector *faultinject.Injector
@@ -214,6 +228,13 @@ type Server struct {
 
 	batchMu sync.Mutex
 	batches map[string]bool // active checkpoint ids, to serialize journals
+
+	// ledger is the tamper-evident audit ledger (nil when disabled).
+	// auditErr is set instead when the ledger's chain failed verification
+	// at startup: the server constructs — so health endpoints can explain
+	// — but refuses all attack work until the operator intervenes.
+	ledger   *audit.Ledger
+	auditErr error
 }
 
 // New validates cfg and returns a ready Server. The network's weight and
@@ -266,10 +287,33 @@ func New(cfg Config) (*Server, error) {
 		stopDrain: stopDrain,
 		batches:   map[string]bool{},
 	}
+	if cfg.AuditDir != "" {
+		ledger, err := audit.Open(audit.Config{
+			Dir:            cfg.AuditDir,
+			FlushEvery:     cfg.AuditFlushEvery,
+			FlushRecords:   cfg.AuditFlushRecords,
+			SyncEachRecord: cfg.AuditSyncEachRecord,
+			Injector:       cfg.Injector,
+		})
+		switch {
+		case errors.Is(err, audit.ErrChainBroken):
+			// Refuse mode: the server comes up so /healthz and /readyz can
+			// name the broken record, but no attack work is served over a
+			// tampered ledger.
+			s.auditErr = err
+		case err != nil:
+			return nil, err
+		default:
+			s.ledger = ledger
+		}
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /v1/attack", s.guarded(s.handleAttack))
 	s.mux.HandleFunc("POST /v1/batch", s.guarded(s.handleBatch))
+	// The proof endpoint is read-only and bypasses the drain gate: clients
+	// must be able to verify history while the server refuses new work.
+	s.mux.HandleFunc("GET /v1/audit/{seq}/proof", s.handleAuditProof)
 	return s, nil
 }
 
@@ -313,8 +357,28 @@ func (s *Server) guarded(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer s.gate.exit()
+		if kind, err := s.auditRefusal(); err != nil {
+			s.writeError(w, http.StatusServiceUnavailable, kind, err)
+			return
+		}
 		h(w, r)
 	}
+}
+
+// auditRefusal reports why attack work must be refused on the ledger's
+// account: a chain that failed verification at startup, or a ledger
+// poisoned by a write/fsync failure (results the service cannot audit, it
+// does not serve).
+func (s *Server) auditRefusal() (string, error) {
+	if s.auditErr != nil {
+		return "audit_chain_broken", s.auditErr
+	}
+	if s.ledger != nil {
+		if err := s.ledger.Err(); err != nil {
+			return "audit_failed", err
+		}
+	}
+	return "", nil
 }
 
 // BeginDrain stops admitting work and cancels in-flight batch contexts so
@@ -349,17 +413,32 @@ func (s *Server) Breaker() *Breaker { return s.brk }
 // operational mutation via Shard.SetRoad).
 func (s *Server) Registry() *registry.Registry { return s.reg }
 
+// Ledger exposes the audit ledger (nil when auditing is disabled or the
+// server is in chain-broken refuse mode). cmd/serve closes it after the
+// drain so the unsealed tail gets its final group commit.
+func (s *Server) Ledger() *audit.Ledger { return s.ledger }
+
+// AuditErr reports the startup chain verification failure that put the
+// server in refuse mode (nil when the chain verified or auditing is
+// disabled). cmd/serve surfaces it at startup so the operator sees why
+// every work request will 503.
+func (s *Server) AuditErr() error { return s.auditErr }
+
 // --- health -----------------------------------------------------------
 
 // healthzResponse is the /healthz body: liveness plus the cache,
 // coalescing, and per-city stats that tell an operator whether the hot
 // path is actually hot.
 type healthzResponse struct {
-	Status       string               `json:"status"`
+	Status       string                `json:"status"`
 	Cities       []registry.ShardStats `json:"cities"`
-	ResultCache  registry.CacheStats  `json:"result_cache"`
-	PathsetCache registry.CacheStats  `json:"pathset_cache"`
-	Coalescing   registry.GroupStats  `json:"coalescing"`
+	ResultCache  registry.CacheStats   `json:"result_cache"`
+	PathsetCache registry.CacheStats   `json:"pathset_cache"`
+	Coalescing   registry.GroupStats   `json:"coalescing"`
+	// Audit carries the ledger counters (chain heads, sealed batches,
+	// pending tail, fsync coalescing ratio, last group-commit latency) when
+	// auditing is enabled — or just the startup chain error in refuse mode.
+	Audit *audit.Stats `json:"audit,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -371,6 +450,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, shard := range s.reg.Shards() {
 		resp.Cities = append(resp.Cities, shard.Stats())
+	}
+	switch {
+	case s.ledger != nil:
+		st := s.ledger.Stats()
+		resp.Audit = &st
+	case s.auditErr != nil:
+		resp.Audit = &audit.Stats{Error: s.auditErr.Error()}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -384,6 +470,9 @@ type readyzResponse struct {
 	QueuedWaiters int    `json:"queued_waiters"`
 	UsedUnits     int    `json:"used_units"`
 	CapacityUnits int    `json:"capacity_units"`
+	// Audit is "ok" when the ledger is healthy, "audit_chain_broken" or
+	// "audit_failed" when it is refusing work, and empty when disabled.
+	Audit string `json:"audit,omitempty"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
@@ -395,7 +484,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		UsedUnits:     s.adm.Used(),
 		CapacityUnits: s.cfg.Capacity,
 	}
+	if s.ledger != nil || s.auditErr != nil {
+		resp.Audit = "ok"
+	}
 	status := http.StatusOK
+	if kind, err := s.auditRefusal(); err != nil {
+		resp.Status, resp.Audit = kind, kind
+		status = http.StatusServiceUnavailable
+	}
 	if s.gate.isDraining() {
 		resp.Status = "draining"
 		status = http.StatusServiceUnavailable
@@ -440,6 +536,10 @@ type AttackResponse struct {
 	// bit-identical to an uncached computation.
 	Cached    bool `json:"cached,omitempty"`
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Audit is the ledger receipt when auditing is enabled: quote Seq at
+	// GET /v1/audit/{seq}/proof (after the next group commit) for an
+	// offline-verifiable inclusion proof.
+	Audit *AuditRef `json:"audit,omitempty"`
 }
 
 // ErrorResponse is the structured error body on every non-2xx response.
@@ -514,9 +614,15 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 
 	// Cache-first fast path: a hit runs no graph work and holds no clone,
 	// queue slot, or admission units — the hot working set must never
-	// queue behind cold traffic, and admission charges hits nothing.
+	// queue behind cold traffic, and admission charges hits nothing. A hit
+	// is still a served result, so it is still audited (Cached flag set).
 	if out, ok := s.results.Get(key); ok {
-		s.writeAttack(w, shard.Name(), out, true, false)
+		ref, aerr := s.auditAttack(shard.Name(), &req, key, &out, true, nil)
+		if aerr != nil {
+			s.writeError(w, http.StatusServiceUnavailable, "audit_failed", aerr)
+			return
+		}
+		s.writeAttack(w, shard.Name(), out, true, false, ref)
 		return
 	}
 
@@ -545,14 +651,25 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 	})
 	if err = mapComputeErr(err); err != nil {
 		if errors.Is(err, errAdmission) {
+			// Backpressure rejections are not attack outcomes — nothing was
+			// computed or served — so they are not audited.
 			s.writeAdmissionError(w, err)
 			return
 		}
+		// A failed attack is still a served answer; audit it best-effort
+		// (an append failure here poisons the ledger, and the NEXT request
+		// is refused by the guard — this response already carries an error).
+		_, _ = s.auditAttack(shard.Name(), &req, key, nil, false, err)
 		kind := failureKind(err)
 		s.writeError(w, statusForKind(kind), kind, err)
 		return
 	}
-	s.writeAttack(w, shard.Name(), out, false, shared)
+	ref, aerr := s.auditAttack(shard.Name(), &req, key, &out, false, nil)
+	if aerr != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "audit_failed", aerr)
+		return
+	}
+	s.writeAttack(w, shard.Name(), out, false, shared, ref)
 }
 
 // ctxSentinel maps a dead context to the typed core sentinels.

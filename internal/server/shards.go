@@ -230,8 +230,9 @@ func (s *Server) runAttack(ctx context.Context, shard *registry.Shard, clone *ro
 
 // writeAttack renders an outcome. Breaker state is read at render time
 // (it is response metadata, not part of the computed result).
-func (s *Server) writeAttack(w http.ResponseWriter, city string, out attackOutcome, cached, coalesced bool) {
+func (s *Server) writeAttack(w http.ResponseWriter, city string, out attackOutcome, cached, coalesced bool, ref *AuditRef) {
 	resp := AttackResponse{
+		Audit:           ref,
 		City:            city,
 		Algorithm:       out.alg.String(),
 		Removed:         edgeIDs(out.res.Removed),

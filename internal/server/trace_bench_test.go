@@ -92,11 +92,19 @@ func hotSet() []AttackRequest {
 }
 
 // benchTrace runs b.N requests of the trace through GOMAXPROCS concurrent
-// workers and reports rps / p50_ms / p99_ms / hit_rate.
-func benchTrace(b *testing.B, cacheBytes int64, hotPer10 int) {
-	s, err := New(Config{Net: gridNetwork(b, traceDim), CacheBytes: cacheBytes})
+// workers and reports rps / p50_ms / p99_ms / hit_rate. mutate, when
+// non-nil, adjusts the server config (the audit benchmarks use it).
+func benchTrace(b *testing.B, cacheBytes int64, hotPer10 int, mutate func(*Config)) {
+	cfg := Config{Net: gridNetwork(b, traceDim), CacheBytes: cacheBytes}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
 	if err != nil {
 		b.Fatalf("New: %v", err)
+	}
+	if s.Ledger() != nil {
+		defer s.Ledger().Close()
 	}
 	hot := hotSet()
 
@@ -161,8 +169,8 @@ func benchTrace(b *testing.B, cacheBytes int64, hotPer10 int) {
 // the trace replays a 16-request hot set, 10% is never-seen-before cold
 // traffic — the regime the result cache and coalescer are built for.
 func BenchmarkTraceMixedHotCold(b *testing.B) {
-	b.Run("cache", func(b *testing.B) { benchTrace(b, 64<<20, 9) })
-	b.Run("nocache", func(b *testing.B) { benchTrace(b, -1, 9) })
+	b.Run("cache", func(b *testing.B) { benchTrace(b, 64<<20, 9, nil) })
+	b.Run("nocache", func(b *testing.B) { benchTrace(b, -1, 9, nil) })
 }
 
 // BenchmarkTracePureCold is the overhead guard: every request is unique,
@@ -170,6 +178,25 @@ func BenchmarkTraceMixedHotCold(b *testing.B) {
 // with eviction) is pure cost. cache-mode p99 must stay within noise of
 // nocache.
 func BenchmarkTracePureCold(b *testing.B) {
-	b.Run("cache", func(b *testing.B) { benchTrace(b, 64<<20, 0) })
-	b.Run("nocache", func(b *testing.B) { benchTrace(b, -1, 0) })
+	b.Run("cache", func(b *testing.B) { benchTrace(b, 64<<20, 0, nil) })
+	b.Run("nocache", func(b *testing.B) { benchTrace(b, -1, 0, nil) })
+}
+
+// BenchmarkTraceAudit is the ledger's acceptance benchmark on the mixed
+// hot/cold trace: "none" is the no-ledger baseline, "group" the Merkle
+// group-commit ledger (one fsync per batch), "synceach" the per-record
+// fsync it replaces. The claim under test: group-commit p99 stays within
+// a few percent of no-ledger, while synceach pays a disk round-trip per
+// request.
+func BenchmarkTraceAudit(b *testing.B) {
+	b.Run("none", func(b *testing.B) { benchTrace(b, 64<<20, 9, nil) })
+	b.Run("group", func(b *testing.B) {
+		benchTrace(b, 64<<20, 9, func(c *Config) { c.AuditDir = b.TempDir() })
+	})
+	b.Run("synceach", func(b *testing.B) {
+		benchTrace(b, 64<<20, 9, func(c *Config) {
+			c.AuditDir = b.TempDir()
+			c.AuditSyncEachRecord = true
+		})
+	})
 }
