@@ -3,12 +3,21 @@
 // unsuppressed finding. It is the CI gate behind the bit-identical
 // parallel-Yen and checkpoint/resume guarantees.
 //
+// Two modes:
+//
+//   - typed (default): type-checks the module and runs the syntactic
+//     analyzers plus the interprocedural ones (ctxflow, lockorder,
+//     snapgen, goroleak) over the cross-package call graph.
+//   - syntactic: AST-only, no type information. The only mode that can
+//     lint _test.go files (-tests), since external _test packages cannot
+//     share a type-checked unit with their package under test.
+//
 // Usage:
 //
-//	go run ./cmd/lint ./...          # whole repo, production sources
-//	go run ./cmd/lint -tests ./...   # include _test.go files
-//	go run ./cmd/lint -json ./...    # machine-readable report
-//	go run ./cmd/lint internal/core  # one package
+//	go run ./cmd/lint ./...                   # whole repo, typed suite
+//	go run ./cmd/lint -mode=syntactic -tests ./...  # test files, AST suite
+//	go run ./cmd/lint -json ./...             # machine-readable report
+//	go run ./cmd/lint internal/core           # one package
 //
 // Suppress a finding on its own line (or the line above) with a reason:
 //
@@ -51,36 +60,36 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	jsonOut := fs.Bool("json", false, "emit a JSON report instead of text lines")
-	withTests := fs.Bool("tests", false, "also lint _test.go files")
+	withTests := fs.Bool("tests", false, "also lint _test.go files (syntactic mode only)")
+	mode := fs.String("mode", "typed", "analyzer suite: typed or syntactic")
 	fs.Usage = func() {}
 	if err := fs.Parse(args); err != nil {
 		return usageError(fs)
+	}
+	if *mode != "typed" && *mode != "syntactic" {
+		return usageError(fs)
+	}
+	if *withTests && *mode != "syntactic" {
+		return fmt.Errorf("-tests requires -mode=syntactic: %w", usageError(fs))
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	fset := token.NewFileSet()
-	opts := lint.LoadOptions{Tests: *withTests}
-	var pkgs []*lint.Package
-	seen := make(map[string]bool)
-	for _, pat := range patterns {
-		loaded, err := load(fset, pat, opts)
-		if err != nil {
-			return err
-		}
-		for _, p := range loaded {
-			if !seen[p.Dir] {
-				seen[p.Dir] = true
-				pkgs = append(pkgs, p)
-			}
-		}
+	var diags []lint.Diagnostic
+	var err error
+	if *mode == "typed" {
+		diags, err = runTyped(patterns)
+	} else {
+		diags, err = runSyntactic(patterns, lint.LoadOptions{Tests: *withTests})
+	}
+	if err != nil {
+		return err
 	}
 
-	diags := lint.Run(pkgs, lint.All())
 	if *jsonOut {
-		if err := lint.WriteJSON(out, diags); err != nil {
+		if err := lint.WriteJSON(out, *mode, diags); err != nil {
 			return err
 		}
 	} else if err := lint.WriteText(out, diags); err != nil {
@@ -92,38 +101,214 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// runSyntactic is the AST-only path: parse the pattern scope, run the
+// syntactic suite.
+func runSyntactic(patterns []string, opts lint.LoadOptions) ([]lint.Diagnostic, error) {
+	fset := token.NewFileSet()
+	var pkgs []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		loaded, err := load(fset, pat, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range loaded {
+			if !seen[p.Dir] {
+				seen[p.Dir] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	return lint.Run(pkgs, lint.All()), nil
+}
+
+// runTyped resolves each pattern against its enclosing module: packages
+// inside a module type-check together (one Program per module root, so
+// the call graph spans packages), while directories outside any module
+// — or excluded from the module walk, like testdata fixtures —
+// type-check standalone against the standard library. Diagnostics from
+// all programs merge into one globally-sorted report.
+func runTyped(patterns []string) ([]lint.Diagnostic, error) {
+	fset := token.NewFileSet()
+	progs := make(map[string]*lint.Program) // by module root
+	type group struct {
+		prog *lint.Program
+		pkgs []*lint.Package
+	}
+	var groups []*group
+	groupOf := make(map[*lint.Program]*group)
+	claimed := make(map[*lint.Package]bool)
+	add := func(prog *lint.Program, pkgs ...*lint.Package) {
+		g := groupOf[prog]
+		if g == nil {
+			g = &group{prog: prog}
+			groupOf[prog] = g
+			groups = append(groups, g)
+		}
+		for _, p := range pkgs {
+			if !claimed[p] {
+				claimed[p] = true
+				g.pkgs = append(g.pkgs, p)
+			}
+		}
+	}
+
+	for _, pat := range patterns {
+		root, recursive := splitPattern(pat)
+		if modRoot, modPath, ok := lint.FindModule(root); ok {
+			prog := progs[modRoot]
+			if prog == nil {
+				var err error
+				prog, err = lint.LoadTypedModule(fset, modRoot, modPath)
+				if err != nil {
+					return nil, err
+				}
+				progs[modRoot] = prog
+			}
+			matched, err := matchModulePkgs(prog, modRoot, root, recursive)
+			if err != nil {
+				return nil, err
+			}
+			if len(matched) > 0 {
+				add(prog, matched...)
+				continue
+			}
+			// Inside the module but not in its walk (testdata fixture):
+			// fall through to the standalone path.
+		}
+		dirs, err := standaloneDirs(root, recursive)
+		if err != nil {
+			return nil, err
+		}
+		for _, dir := range dirs {
+			rel := dir
+			if rel == "." {
+				rel = ""
+			}
+			prog, err := lint.LoadTypedDir(fset, dir, rel)
+			if err != nil {
+				return nil, err
+			}
+			add(prog, prog.Packages()...)
+		}
+	}
+
+	var diags []lint.Diagnostic
+	for _, g := range groups {
+		diags = append(diags, lint.Run(g.pkgs, lint.AllTyped(g.prog))...)
+	}
+	lint.SortDiagnostics(diags)
+	return diags, nil
+}
+
+// matchModulePkgs filters a module program's packages to those under
+// the pattern root.
+func matchModulePkgs(prog *lint.Program, modRoot, root string, recursive bool) ([]*lint.Package, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		rel = ""
+	}
+	var out []*lint.Package
+	for _, p := range prog.Packages() {
+		switch {
+		case p.Dir == rel:
+			out = append(out, p)
+		case recursive && (rel == "" || strings.HasPrefix(p.Dir, rel+"/")):
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// standaloneDirs enumerates the directories a non-module pattern
+// covers, mirroring the walk's skip rules.
+func standaloneDirs(root string, recursive bool) ([]string, error) {
+	if !recursive {
+		return []string{root}, nil
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				if dir := filepath.Dir(path); !seen[dir] {
+					seen[dir] = true
+					dirs = append(dirs, dir)
+				}
+			}
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", root)
+	}
+	return dirs, nil
+}
+
 // load resolves one pattern: "dir/..." walks recursively, anything else
 // is a single directory. "./..." therefore lints the whole tree rooted
 // at the current directory.
 func load(fset *token.FileSet, pattern string, opts lint.LoadOptions) ([]*lint.Package, error) {
-	if rest, ok := strings.CutSuffix(pattern, "..."); ok {
-		root := filepath.Clean(strings.TrimSuffix(rest, "/"))
-		if root == "" {
-			root = "."
-		}
+	root, recursive := splitPattern(pattern)
+	if recursive {
 		return lint.Walk(fset, root, opts)
 	}
-	dir := filepath.Clean(pattern)
-	rel := dir
+	rel := root
 	if rel == "." {
 		rel = ""
 	}
-	pkg, err := lint.LoadDir(fset, dir, rel, opts)
+	pkg, err := lint.LoadDir(fset, root, rel, opts)
 	if err != nil {
 		return nil, err
 	}
 	if pkg == nil {
-		return nil, fmt.Errorf("no Go files in %s", dir)
+		return nil, fmt.Errorf("no Go files in %s", root)
 	}
 	return []*lint.Package{pkg}, nil
 }
 
+// splitPattern separates "dir/..." into its root and recursion flag.
+func splitPattern(pattern string) (root string, recursive bool) {
+	if rest, ok := strings.CutSuffix(pattern, "..."); ok {
+		root = filepath.Clean(strings.TrimSuffix(rest, "/"))
+		if root == "" {
+			root = "."
+		}
+		return root, true
+	}
+	return filepath.Clean(pattern), false
+}
+
 func usageError(fs *flag.FlagSet) error {
 	var b strings.Builder
-	b.WriteString("usage: lint [-json] [-tests] [pattern ...]\n\nanalyzers:\n")
+	b.WriteString("usage: lint [-json] [-mode=typed|syntactic] [-tests] [pattern ...]\n\nsyntactic analyzers:\n")
 	for _, a := range lint.All() {
 		fmt.Fprintf(&b, "  %-11s %s\n", a.Name(), a.Doc())
 	}
-	b.WriteString("\nsuppress with: //lint:allow <analyzer> <reason>")
+	b.WriteString("\ntyped analyzers (-mode=typed, the default):\n")
+	for _, name := range []string{"ctxflow", "lockorder", "snapgen", "goroleak"} {
+		b.WriteString("  " + name + "\n")
+	}
+	b.WriteString("\n-tests requires -mode=syntactic (test files are never type-checked)\n")
+	b.WriteString("suppress with: //lint:allow <analyzer> <reason>")
 	return errors.New(b.String())
 }

@@ -17,7 +17,7 @@ import (
 // packages.
 var fixtures = []string{
 	"wallclock", "seededrand", "maporder", "floateq", "errcmp", "ctxflow",
-	"ctxflowserver", "suppress",
+	"lockorder", "snapgen", "goroleak", "suppress",
 }
 
 func fixtureDir(name string) string {
@@ -120,5 +120,63 @@ func TestBadUsage(t *testing.T) {
 	}
 	if err := run([]string{filepath.Join(t.TempDir(), "missing")}, &bytes.Buffer{}); err == nil {
 		t.Fatal("missing directory should error")
+	}
+	if err := run([]string{"-mode=nope", "."}, &bytes.Buffer{}); err == nil || errors.Is(err, errFindings) {
+		t.Fatal("unknown mode should be a usage error")
+	}
+	if err := run([]string{"-tests", fixtureDir("wallclock")}, &bytes.Buffer{}); err == nil || errors.Is(err, errFindings) {
+		t.Fatal("-tests without -mode=syntactic should be a usage error")
+	}
+}
+
+// TestSyntacticMode exercises the heuristic-only path: the same fixture
+// still fails, and -tests folds _test.go files into the load.
+func TestSyntacticMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode=syntactic", fixtureDir("wallclock")}, &out); !errors.Is(err, errFindings) {
+		t.Fatalf("want errFindings, got %v (output: %s)", err, out.String())
+	}
+
+	dir := t.TempDir()
+	src := "package clean\n\nfunc Add(a, b int) int { return a + b }\n"
+	if err := os.WriteFile(filepath.Join(dir, "clean.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	testSrc := "package clean\n\nimport (\n\t\"testing\"\n\t\"time\"\n)\n\n" +
+		"func TestTick(t *testing.T) { _ = time.Now() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "clean_test.go"), []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-mode=syntactic", dir}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("without -tests the _test.go finding must not load: %v", err)
+	}
+	if err := run([]string{"-mode=syntactic", "-tests", dir}, &bytes.Buffer{}); !errors.Is(err, errFindings) {
+		t.Fatalf("-tests should surface the wallclock finding, got %v", err)
+	}
+}
+
+// TestModeFieldInJSON pins the report's mode tag to the selected mode.
+func TestModeFieldInJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json", "-mode=syntactic", fixtureDir("wallclock")}, &out); !errors.Is(err, errFindings) {
+		t.Fatalf("want errFindings, got %v", err)
+	}
+	var rep lint.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "syntactic" {
+		t.Fatalf("mode field = %q, want syntactic", rep.Mode)
+	}
+
+	out.Reset()
+	if err := run([]string{"-json", fixtureDir("wallclock")}, &out); !errors.Is(err, errFindings) {
+		t.Fatalf("want errFindings, got %v", err)
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "typed" {
+		t.Fatalf("default mode field = %q, want typed", rep.Mode)
 	}
 }

@@ -131,7 +131,7 @@ type Ledger struct {
 // unsealed tail the crash window may cost); any other violation returns a
 // *ChainError wrapping ErrChainBroken, and the caller must refuse to
 // build on the directory.
-func Open(cfg Config) (*Ledger, error) {
+func Open(cfg Config) (*Ledger, error) { //lint:allow ctxflow replay is linear in the on-disk ledger and runs once at open; recovery is not cancellable mid-verification
 	cfg.fill()
 	if cfg.Dir == "" {
 		return nil, errors.New("audit: Config.Dir is required")

@@ -133,7 +133,7 @@ func EdgeBetweennessCtx(ctx context.Context, g *Graph, w WeightFunc, opts Betwee
 
 // TopEdgesByScore returns the indices of the k highest-scoring enabled
 // edges, in descending score order (ties broken by lower edge ID).
-func TopEdgesByScore(g *Graph, score []float64, k int) []EdgeID { //lint:allow ctxflow bounded top-k selection over an in-memory score slice, no graph search
+func TopEdgesByScore(g *Graph, score []float64, k int) []EdgeID {
 	if k <= 0 {
 		return nil
 	}

@@ -2,7 +2,7 @@ package graph
 
 // ReachableFrom returns, for every node, whether it is reachable from s over
 // enabled edges (s itself is reachable).
-func ReachableFrom(g *Graph, s NodeID) []bool { //lint:allow ctxflow single linear traversal, O(V+E) even on metro graphs
+func ReachableFrom(g *Graph, s NodeID) []bool {
 	n := g.NumNodes()
 	seen := make([]bool, n)
 	if !g.validNode(s) {
@@ -42,7 +42,7 @@ func CanReach(g *Graph, s, t NodeID) bool {
 // number of components, computed over enabled edges with an iterative
 // Tarjan algorithm. Component indices are assigned in reverse topological
 // order of the condensation (Tarjan's natural output order).
-func StronglyConnectedComponents(g *Graph) (comp []int, count int) { //lint:allow ctxflow iterative Tarjan visits each node and edge once, O(V+E)
+func StronglyConnectedComponents(g *Graph) (comp []int, count int) {
 	n := g.NumNodes()
 	comp = make([]int, n)
 	for i := range comp {

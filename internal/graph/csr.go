@@ -67,7 +67,7 @@ type Snapshot struct {
 // returning the same values for as long as the snapshot is used — every
 // weight model in this repository is a pure table lookup, which
 // satisfies both.
-func Freeze(g *Graph, w WeightFunc) *Snapshot { //lint:allow ctxflow one bounded O(V+E) layout pass over the adjacency, no search
+func Freeze(g *Graph, w WeightFunc) *Snapshot {
 	n, m := g.NumNodes(), g.NumEdges()
 	c := &Snapshot{
 		g: g, gen: g.gen, wf: w, n: n, m: m,

@@ -156,6 +156,9 @@ func (r *Router) shortest(s, t NodeID, w WeightFunc) (Path, bool) {
 	r.heap.push(heapItem{dist: 0, node: s})
 
 	for len(r.heap) > 0 {
+		if r.interrupted() {
+			return Path{}, false // cancelled mid-search (see SetContext)
+		}
 		it := r.heap.pop()
 		u := it.node
 		if it.dist > r.dist[u] || r.stamp[u] != r.cur {

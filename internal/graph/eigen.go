@@ -47,7 +47,7 @@ func (o *EigenOptions) fill() {
 // GreedyEig (paper §III-A, adapted from PATHATTACK) scores a directed edge
 // u→v as out[u]·in[v], the directed analogue of the undirected uᵢ·uⱼ
 // eigenscore, and cuts the edge with the highest score-to-cost ratio.
-func EigenvectorCentrality(g *Graph, dir EigenDirection, opts EigenOptions) []float64 { //lint:allow ctxflow bounded by opts.MaxIter power iterations
+func EigenvectorCentrality(g *Graph, dir EigenDirection, opts EigenOptions) []float64 {
 	opts.fill()
 	n := g.NumNodes()
 	x := make([]float64, n)

@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is the cross-package static call graph over every function
+// declared in the program. Nodes are *types.Func declarations; edges are
+// direct calls whose callee resolves statically through go/types — plain
+// function calls, method calls with a concrete receiver, and qualified
+// cross-package calls. Calls through interfaces and function values are
+// not resolved (the per-analyzer soundness boundary documented in
+// DESIGN.md §13): the analyzers built on top demand structural evidence
+// along statically-known paths and accept //lint:allow for the rest.
+//
+// Function literals do not get their own nodes: their bodies (and the
+// calls inside them) are attributed to the enclosing declaration, so a
+// worker closure spawned inside an exported search loop is still that
+// function's work.
+type CallGraph struct {
+	prog  *Program
+	funcs map[*types.Func]*FuncInfo
+	order []*FuncInfo // deterministic: package walk order, then file, then position
+
+	// lockorder's program-wide result, computed once (see lockorder.go).
+	lockDiags     []programDiag
+	lockDiagsDone bool
+}
+
+// FuncInfo is one call-graph node.
+type FuncInfo struct {
+	Obj     *types.Func
+	Decl    *ast.FuncDecl
+	Pkg     *TypedPackage
+	File    *File
+	Callees []*types.Func // static module-internal callees, first-call order, deduped
+
+	// analyzer memo slots, computed lazily with the tri-state memo
+	// pattern (0 unknown / 1 false / 2 true) so cyclic call graphs
+	// terminate.
+	ctxCheck  int8
+	anyLoop   int8
+	joinSig   int8
+	evidence  *loopEvidence
+	lockAcqs  []lockAcq
+	lockSumm  map[string]bool
+	lockDone  bool
+	lockOnCar bool // summary computation in progress (cycle guard)
+}
+
+// Graph builds (once) and returns the program's call graph.
+func (p *Program) Graph() *CallGraph {
+	p.graphOnce.Do(func() {
+		g := &CallGraph{prog: p, funcs: make(map[*types.Func]*FuncInfo)}
+		for _, tp := range p.Pkgs {
+			for _, f := range tp.Files {
+				for _, decl := range f.AST.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: tp, File: f}
+					g.funcs[obj] = fi
+					g.order = append(g.order, fi)
+				}
+			}
+		}
+		for _, fi := range g.order {
+			g.collectCallees(fi)
+		}
+		p.graph = g
+	})
+	return p.graph
+}
+
+// Lookup returns the node for a function object (nil for functions
+// without a body in this program — stdlib, interface methods).
+func (g *CallGraph) Lookup(obj *types.Func) *FuncInfo {
+	if obj == nil {
+		return nil
+	}
+	if fi, ok := g.funcs[obj]; ok {
+		return fi
+	}
+	// Instantiated generic methods resolve to their origin declaration.
+	if orig := obj.Origin(); orig != obj {
+		return g.funcs[orig]
+	}
+	return nil
+}
+
+// Funcs returns every node in deterministic program order.
+func (g *CallGraph) Funcs() []*FuncInfo { return g.order }
+
+// Callee resolves one call expression to the *types.Func it statically
+// invokes, or nil for dynamic calls (function values, interface methods
+// stay nil only if unresolvable — a concrete method through a selection
+// resolves fine).
+func (g *CallGraph) Callee(call *ast.CallExpr) *types.Func {
+	return calleeOf(g.prog.Info, call)
+}
+
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// collectCallees walks fi's body (function literals included) recording
+// every statically-resolved callee that has a declaration in the
+// program.
+func (g *CallGraph) collectCallees(fi *FuncInfo) {
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(g.prog.Info, call)
+		if fn == nil {
+			return true
+		}
+		if target := g.Lookup(fn); target != nil && !seen[target.Obj] {
+			seen[target.Obj] = true
+			fi.Callees = append(fi.Callees, target.Obj)
+		}
+		return true
+	})
+}
+
+// Reaches reports whether pred holds for start or any function
+// transitively callable from it through static module-internal edges.
+func (g *CallGraph) Reaches(start *FuncInfo, pred func(*FuncInfo) bool) bool {
+	seen := make(map[*FuncInfo]bool)
+	var walk func(fi *FuncInfo) bool
+	walk = func(fi *FuncInfo) bool {
+		if fi == nil || seen[fi] {
+			return false
+		}
+		seen[fi] = true
+		if pred(fi) {
+			return true
+		}
+		for _, callee := range fi.Callees {
+			if walk(g.Lookup(callee)) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(start)
+}
+
+// memoized evaluates a tri-state memo slot with a cycle-safe default:
+// while a node is being evaluated it reports false to itself.
+func memoized(slot *int8, eval func() bool) bool {
+	switch *slot {
+	case 1:
+		return false
+	case 2:
+		return true
+	}
+	*slot = 1 // provisional: cycles read false
+	if eval() {
+		*slot = 2
+		return true
+	}
+	return false
+}
+
+// hasAnyLoop reports whether fi's body contains any for/range statement
+// (function literals included).
+func (g *CallGraph) hasAnyLoop(fi *FuncInfo) bool {
+	return memoized(&fi.anyLoop, func() bool {
+		found := false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				found = true
+			}
+			return !found
+		})
+		return found
+	})
+}
+
+// loopyCallee reports whether fn resolves to a module function whose
+// body (transitively) contains a loop — the "calls search work from a
+// loop" half of the long-running trigger.
+func (g *CallGraph) loopyCallee(fn *types.Func) bool {
+	fi := g.Lookup(fn)
+	if fi == nil {
+		return false // stdlib and unresolved callees are assumed bounded
+	}
+	return g.Reaches(fi, g.hasAnyLoop)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// hasCtxCheck reports whether fi's own body consults a context: a
+// .Err()/.Done() call on a context.Context value, context.Cause, or a
+// call to one of the repo's poll helpers (interrupted, ctxErr).
+func (g *CallGraph) hasCtxCheck(fi *FuncInfo) bool {
+	return memoized(&fi.ctxCheck, func() bool {
+		return ctxCheckIn(g.prog.Info, fi.Decl.Body)
+	})
+}
+
+// ctxCheckIn is the node-level form of hasCtxCheck, shared with
+// goroleak's join-signal scan.
+func ctxCheckIn(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if name == "Err" || name == "Done" {
+				if tv, ok := info.Types[fun.X]; ok && isContextContext(tv.Type) {
+					found = true
+					return false
+				}
+			}
+			if name == "Cause" {
+				if fn := calleeOf(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+					found = true
+					return false
+				}
+			}
+			if name == "interrupted" || name == "Interrupted" || name == "ctxErr" {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if fun.Name == "interrupted" || fun.Name == "ctxErr" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ReachesCtxCheck reports whether a context check is reachable from fi
+// through the static call graph.
+func (g *CallGraph) ReachesCtxCheck(fi *FuncInfo) bool {
+	return g.Reaches(fi, g.hasCtxCheck)
+}

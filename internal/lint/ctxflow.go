@@ -3,169 +3,101 @@ package lint
 import (
 	"fmt"
 	"go/ast"
-	"strings"
 )
 
-// ctxFlow enforces the PR 2 cancellation contract on the packages that
-// do unbounded graph/LP work: an exported function whose body nests
-// loops (the syntactic signature of super-linear work — Yen rounds,
-// simplex pivots, betweenness sweeps) must participate in cooperative
-// cancellation. Participation means any of:
+// ctxFlow2 is the typed, interprocedural cancellation analyzer ("ctxflow
+// v2"). It replaces the old nested-loop heuristic with call-graph
+// reachability in both directions:
 //
-//   - a context.Context parameter that the body actually uses,
-//   - polling an attached context (the graph.Router `ctx` field /
-//     interrupted() pattern, or a ctxErr helper),
-//   - delegating to a *Ctx variant that carries the context.
+//   - Obligation: an exported function in a contract package is
+//     long-running when loop evidence (see loops.go) is reachable from it
+//     through static module-internal calls — its own nested loops, or a
+//     callee's, however deep the laundering helper chain.
+//   - Discharge: the function passes when a context check (ctx.Err,
+//     ctx.Done, context.Cause, interrupted(), ctxErr()) is reachable the
+//     same way. The check need not be lexically inside the function: a
+//     kernel that polls r.interrupted() discharges every caller that
+//     reaches it.
 //
-// Genuinely bounded functions (single-pass BFS, fixed-iteration power
-// method) opt out with //lint:allow ctxflow <why it is bounded>.
-type ctxFlow struct {
-	pkgs map[string]bool // package names the contract applies to
+// Functions whose only "nested" loops match a bounded proof shape
+// (worklist, partition, budgeted — loops.go) carry no obligation at all,
+// which is what retires the old bounded-O(V+E) allow comments: the
+// analyzer now proves what the comments asserted.
+//
+// Soundness boundary: reachability is over statically-resolved calls.
+// Calls through interfaces and function values contribute neither
+// evidence nor discharge, and "a check is reachable" does not prove the
+// check runs on every path or every iteration — it proves the
+// cancellation machinery is wired through, which is the structural
+// contract PR 2 established.
+type ctxFlow2 struct {
+	prog *Program
+	pkgs map[string]bool
 }
 
-// NewCtxFlow returns the ctxflow analyzer. With no arguments it targets
-// the packages named by the cancellation contract: core, graph, lp,
-// server (whose handlers must propagate request deadlines into the
-// pipeline rather than looping uncancellably), and registry (whose shard
-// preloads run full-graph sweeps that must abort with the serve context).
-func NewCtxFlow(pkgNames ...string) Analyzer {
+// ctxFlowPackages is the cancellation contract's package set: the attack
+// pipeline (core, graph, lp), the serving stack (server, registry,
+// audit), and the scenario layer whose sweeps ride on the same budget
+// (defense, sim, traffic, partition, metrics).
+var ctxFlowPackages = []string{
+	"core", "graph", "lp", "server", "registry", "audit",
+	"defense", "sim", "traffic", "partition", "metrics",
+}
+
+// NewCtxFlow returns the typed ctxflow analyzer over prog. With no
+// package names it applies the default contract set.
+func NewCtxFlow(prog *Program, pkgNames ...string) Analyzer {
 	if len(pkgNames) == 0 {
-		pkgNames = []string{"core", "graph", "lp", "server", "registry", "audit"}
+		pkgNames = ctxFlowPackages
 	}
 	set := make(map[string]bool, len(pkgNames))
 	for _, n := range pkgNames {
 		set[n] = true
 	}
-	return ctxFlow{pkgs: set}
+	return &ctxFlow2{prog: prog, pkgs: set}
 }
 
-func (ctxFlow) Name() string { return "ctxflow" }
-func (ctxFlow) Doc() string {
-	return "exported nested-loop funcs in core/graph/lp/server/registry/audit must accept and check a context.Context"
+func (*ctxFlow2) Name() string { return "ctxflow" }
+func (*ctxFlow2) Doc() string {
+	return "exported funcs reaching long-running work must reach a ctx.Err/Done/interrupted check (typed, interprocedural)"
 }
 
-func (c ctxFlow) Check(pkg *Package) []Diagnostic {
-	if !c.pkgs[pkg.Name] {
+func (c *ctxFlow2) Check(pkg *Package) []Diagnostic {
+	tp := c.prog.Typed(pkg)
+	if tp == nil || !c.pkgs[tp.Types.Name()] {
 		return nil
 	}
+	g := c.prog.Graph()
 	var out []Diagnostic
-	for _, f := range pkg.Files {
-		ctxPkg := importName(f.AST, "context")
-		for _, decl := range f.AST.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !fd.Name.IsExported() {
-				continue
-			}
-			if !hasNestedLoop(fd.Body) {
-				continue
-			}
-			if checksContext(fd, ctxPkg) {
-				continue
-			}
-			out = append(out, pkg.diag(f, fd.Pos(), "ctxflow", fmt.Sprintf(
-				"exported %s runs nested loops but never consults a context.Context; accept and poll ctx (or delegate to a *Ctx variant) per the cancellation contract", fd.Name.Name)))
+	for _, fi := range g.Funcs() {
+		if fi.Pkg != tp || !fi.Decl.Name.IsExported() {
+			continue
 		}
+		var ev *loopEvidence
+		longRunning := g.Reaches(fi, func(callee *FuncInfo) bool {
+			e := g.Evidence(callee)
+			if e.present && ev == nil {
+				ev = e
+				if callee != fi {
+					ev = &loopEvidence{present: true, pos: ev.pos,
+						kind: "reaches " + callee.Obj.Name() + " (" + e.kind + ")"}
+				}
+			}
+			return e.present
+		})
+		if !longRunning || g.ReachesCtxCheck(fi) {
+			continue
+		}
+		pos := c.prog.Fset.Position(ev.pos)
+		out = append(out, pkg.diag(fi.File, fi.Decl.Pos(), "ctxflow", fmt.Sprintf(
+			"exported %s %s (line %d) but no ctx.Err/Done/interrupted check is reachable; thread a context through per the cancellation contract",
+			fi.Decl.Name.Name, ev.kind, pos.Line)))
 	}
 	return out
 }
 
-// hasNestedLoop reports whether body contains a for/range statement
-// lexically inside another one. Function literals do not reset the
-// depth: a loop inside a worker closure inside a loop is still nested
-// work on the caller's clock.
-func hasNestedLoop(body *ast.BlockStmt) bool {
-	return nestedLoopIn(body, 0)
-}
-
-// nestedLoopIn reports whether a loop occurs under n at loop-depth >= 1.
-func nestedLoopIn(n ast.Node, depth int) bool {
-	found := false
-	ast.Inspect(n, func(m ast.Node) bool {
-		if found || m == nil || m == n {
-			return !found
-		}
-		switch s := m.(type) {
-		case *ast.ForStmt:
-			if depth >= 1 || nestedLoopIn(s.Body, depth+1) {
-				found = true
-			}
-			return false // children handled by the recursive call
-		case *ast.RangeStmt:
-			if depth >= 1 || nestedLoopIn(s.Body, depth+1) {
-				found = true
-			}
-			return false
-		}
-		return true
-	})
-	return found
-}
-
-// checksContext reports whether fd satisfies the contract: it either
-// uses a context.Context parameter, polls a stored context, or
-// delegates to a *Ctx variant.
-func checksContext(fd *ast.FuncDecl, ctxPkg string) bool {
-	// 1. context.Context parameter, referenced in the body.
-	for _, field := range fd.Type.Params.List {
-		if !isContextType(field.Type, ctxPkg) {
-			continue
-		}
-		for _, name := range field.Names {
-			if name.Name != "_" && identUsed(fd.Body, name.Name) {
-				return true
-			}
-		}
-	}
-	// 2/3. Polls a context or delegates: any mention of a `ctx` ident or
-	// field, a call to interrupted()/ctxErr(), or a call whose name ends
-	// in "Ctx".
-	ok := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if ok {
-			return false
-		}
-		switch v := n.(type) {
-		case *ast.Ident:
-			if v.Name == "ctx" {
-				ok = true
-			}
-		case *ast.SelectorExpr:
-			name := v.Sel.Name
-			if name == "ctx" || name == "interrupted" || name == "Interrupted" ||
-				name == "ctxErr" || strings.HasSuffix(name, "Ctx") {
-				ok = true
-			}
-		case *ast.CallExpr:
-			if fn, isIdent := v.Fun.(*ast.Ident); isIdent {
-				name := fn.Name
-				if name == "ctxErr" || name == "interrupted" || strings.HasSuffix(name, "Ctx") {
-					ok = true
-				}
-			}
-		}
-		return !ok
-	})
-	return ok
-}
-
-// isContextType matches context.Context (alias-aware) and a bare
-// Context ident (for packages that alias or dot-import).
-func isContextType(e ast.Expr, ctxPkg string) bool {
-	if name, ok := isPkgSel(e, ctxPkg); ok {
-		return name == "Context"
-	}
-	id, ok := e.(*ast.Ident)
-	return ok && id.Name == "Context"
-}
-
-// identUsed reports whether name occurs as an identifier in body.
-func identUsed(body *ast.BlockStmt, name string) bool {
-	used := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && id.Name == name {
-			used = true
-		}
-		return !used
-	})
-	return used
+// funcPos is a tiny helper other typed analyzers share: the diagnostic
+// file for a declaration inside a typed package.
+func declFile(tp *TypedPackage, decl ast.Node) *File {
+	return tp.fileOf(decl.Pos())
 }

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroLeak flags goroutines started without a join path. Every `go`
+// statement in this repo's production code belongs to one of three
+// shapes the concurrency review established: a pooled worker that
+// signals completion through a sync.WaitGroup, a pipeline stage that
+// communicates over channels (send, close, receive, or select), or a
+// background loop that drains on context cancellation. A goroutine with
+// none of those signals can outlive its parent silently — the leak that
+// turns a cancelled attack sweep into a slow memory bleed.
+//
+// The join signal may live in the spawned function literal itself or be
+// reachable from it through static module-internal calls: `go
+// l.flushLoop()` passes because flushLoop selects on the stop channel,
+// and `go func() { worker(ctx, jobs) }()` passes because worker both
+// receives from jobs and checks ctx.
+//
+// Soundness boundary: a `go` on a function value or interface method is
+// not resolvable statically and is not flagged (no evidence either
+// way); and "a signal exists" does not prove the parent waits on it.
+// The race detector remains the dynamic authority; this catches the
+// structurally signal-free spawn.
+type goroLeak struct {
+	prog *Program
+}
+
+// NewGoroLeak returns the goroleak analyzer over prog.
+func NewGoroLeak(prog *Program) Analyzer { return &goroLeak{prog: prog} }
+
+func (*goroLeak) Name() string { return "goroleak" }
+func (*goroLeak) Doc() string {
+	return "goroutines must have a join path: WaitGroup.Done, channel signal, select, or ctx check (typed)"
+}
+
+func (gl *goroLeak) Check(pkg *Package) []Diagnostic {
+	tp := gl.prog.Typed(pkg)
+	if tp == nil {
+		return nil
+	}
+	g := gl.prog.Graph()
+	var out []Diagnostic
+	for _, fi := range g.Funcs() {
+		if fi.Pkg != tp {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if g.goroutineJoins(gs.Call) {
+				return true
+			}
+			out = append(out, pkg.diag(fi.File, gs.Pos(), "goroleak",
+				"goroutine has no join path (no WaitGroup.Done, channel send/close/receive, select, or ctx check is reachable); it can outlive its parent"))
+			return true
+		})
+	}
+	return out
+}
+
+// goroutineJoins reports whether the spawned call carries a join signal:
+// directly in a function literal's body, or reachable from the (static)
+// callee through the call graph. Unresolvable targets pass.
+func (g *CallGraph) goroutineJoins(call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if joinSignalIn(g.prog.Info, lit.Body) {
+			return true
+		}
+		return g.anyCalleeJoins(lit.Body)
+	}
+	fn := calleeOf(g.prog.Info, call)
+	if fn == nil {
+		return true // dynamic target: no evidence either way
+	}
+	fi := g.Lookup(fn)
+	if fi == nil {
+		return true // body outside the program (stdlib)
+	}
+	return g.Reaches(fi, g.hasJoinSignal)
+}
+
+// anyCalleeJoins reports whether any statically-resolved call inside
+// body reaches a join signal.
+func (g *CallGraph) anyCalleeJoins(body ast.Node) bool {
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fi := g.Lookup(calleeOf(g.prog.Info, call)); fi != nil && g.Reaches(fi, g.hasJoinSignal) {
+			joined = true
+			return false
+		}
+		return true
+	})
+	return joined
+}
+
+// hasJoinSignal reports whether fi's own body contains a join signal
+// (memoized; transitivity comes from Reaches).
+func (g *CallGraph) hasJoinSignal(fi *FuncInfo) bool {
+	return memoized(&fi.joinSig, func() bool {
+		return joinSignalIn(g.prog.Info, fi.Decl.Body)
+	})
+}
+
+// joinSignalIn scans one body for a direct join signal: channel send,
+// close, receive, select, range over a channel, (*sync.WaitGroup).Done,
+// or a context check.
+func joinSignalIn(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[v.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(v.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+						found = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" || fun.Sel.Name == "Wait" {
+					if fn := calleeOf(info, v); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	return ctxCheckIn(info, body)
+}

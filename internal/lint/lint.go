@@ -70,7 +70,8 @@ type Analyzer interface {
 	Check(pkg *Package) []Diagnostic
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the syntactic analyzer suite in stable order. These run
+// on parsed ASTs alone and work on any file set, test files included.
 func All() []Analyzer {
 	return []Analyzer{
 		NewWallClock(),
@@ -78,8 +79,27 @@ func All() []Analyzer {
 		NewMapOrder(),
 		NewFloatEq(),
 		NewErrCmp(),
-		NewCtxFlow(),
 	}
+}
+
+// AllTyped returns the full suite for a type-checked program: the
+// syntactic analyzers plus the four typed ones (ctxflow, lockorder,
+// snapgen, goroleak) closed over prog.
+func AllTyped(prog *Program) []Analyzer {
+	return append(All(),
+		NewCtxFlow(prog),
+		NewLockOrder(prog),
+		NewSnapGen(prog),
+		NewGoroLeak(prog),
+	)
+}
+
+// reservedAnalyzers are the typed analyzer names. Syntactic-mode runs
+// (which cannot execute them) treat allows naming these as belonging to
+// the other mode instead of flagging them unknown/unused; typed runs
+// hold them to the normal hygiene rules.
+var reservedAnalyzers = map[string]bool{
+	"ctxflow": true, "lockorder": true, "snapgen": true, "goroleak": true,
 }
 
 // diag is the helper every analyzer uses to address a finding.
@@ -193,6 +213,9 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 					Message:  `malformed allow directive: want "//lint:allow <analyzer> <reason>"`,
 				})
 			case !known[a.analyzer]:
+				if reservedAnalyzers[a.analyzer] {
+					continue // typed-only analyzer, not part of this run
+				}
 				out = append(out, Diagnostic{
 					Analyzer: "lint",
 					File:     a.file.Filename,
@@ -212,8 +235,17 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		}
 	}
 
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer,
+// message — the deterministic order Run guarantees. Exported so drivers
+// merging several Run calls (one per type-checked program) can restore
+// the global order.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -228,7 +260,6 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return out
 }
 
 // importName resolves the local name an import path is bound to in a

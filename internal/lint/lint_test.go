@@ -17,19 +17,20 @@ import (
 // over it. Fixtures encode expectations as // want "regex" comments on
 // the offending lines.
 var golden = []struct {
-	dir       string
-	analyzers func() []Analyzer
+	dir   string
+	typed bool // load the fixture through LoadTypedDir and hand the Program to pick
+	pick  func(prog *Program) []Analyzer
 }{
-	{"wallclock", func() []Analyzer { return []Analyzer{NewWallClock()} }},
-	{"seededrand", func() []Analyzer { return []Analyzer{NewSeededRand()} }},
-	{"maporder", func() []Analyzer { return []Analyzer{NewMapOrder()} }},
-	{"floateq", func() []Analyzer { return []Analyzer{NewFloatEq()} }},
-	{"errcmp", func() []Analyzer { return []Analyzer{NewErrCmp()} }},
-	{"ctxflow", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
-	{"ctxflowserver", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
-	{"ctxflowregistry", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
-	{"ctxflowaudit", func() []Analyzer { return []Analyzer{NewCtxFlow()} }},
-	{"suppress", All},
+	{dir: "wallclock", pick: func(*Program) []Analyzer { return []Analyzer{NewWallClock()} }},
+	{dir: "seededrand", pick: func(*Program) []Analyzer { return []Analyzer{NewSeededRand()} }},
+	{dir: "maporder", pick: func(*Program) []Analyzer { return []Analyzer{NewMapOrder()} }},
+	{dir: "floateq", pick: func(*Program) []Analyzer { return []Analyzer{NewFloatEq()} }},
+	{dir: "errcmp", pick: func(*Program) []Analyzer { return []Analyzer{NewErrCmp()} }},
+	{dir: "ctxflow", typed: true, pick: func(p *Program) []Analyzer { return []Analyzer{NewCtxFlow(p)} }},
+	{dir: "lockorder", typed: true, pick: func(p *Program) []Analyzer { return []Analyzer{NewLockOrder(p)} }},
+	{dir: "snapgen", typed: true, pick: func(p *Program) []Analyzer { return []Analyzer{NewSnapGen(p)} }},
+	{dir: "goroleak", typed: true, pick: func(p *Program) []Analyzer { return []Analyzer{NewGoroLeak(p)} }},
+	{dir: "suppress", pick: func(*Program) []Analyzer { return All() }},
 }
 
 var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
@@ -55,15 +56,27 @@ func TestGoldenFixtures(t *testing.T) {
 		t.Run(tt.dir, func(t *testing.T) {
 			dir := filepath.Join("testdata", tt.dir)
 			fset := token.NewFileSet()
-			pkg, err := LoadDir(fset, dir, tt.dir, LoadOptions{})
-			if err != nil {
-				t.Fatal(err)
+			var pkg *Package
+			var prog *Program
+			if tt.typed {
+				var err error
+				prog, err = LoadTypedDir(fset, dir, tt.dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pkg = prog.Packages()[0]
+			} else {
+				var err error
+				pkg, err = LoadDir(fset, dir, tt.dir, LoadOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
 			}
 			if pkg == nil {
 				t.Fatalf("no fixture files in %s", dir)
 			}
 
-			diags := Run([]*Package{pkg}, tt.analyzers())
+			diags := Run([]*Package{pkg}, tt.pick(prog))
 
 			// Index findings by (file, line).
 			got := make(map[string]map[int][]Diagnostic)
@@ -117,7 +130,7 @@ func TestRunDeterministicOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := Run([]*Package{pkg}, All())
-	b := Run([]*Package{pkg}, []Analyzer{NewCtxFlow(), NewWallClock(), NewErrCmp(), NewFloatEq(), NewMapOrder(), NewSeededRand()})
+	b := Run([]*Package{pkg}, []Analyzer{NewWallClock(), NewErrCmp(), NewFloatEq(), NewMapOrder(), NewSeededRand()})
 	if len(a) == 0 {
 		t.Fatal("expected findings in the wallclock fixture")
 	}
@@ -234,24 +247,95 @@ func TestReporters(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := WriteJSON(&buf, diags); err != nil {
+	if err := WriteJSON(&buf, "typed", diags); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
 	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Count != 2 || len(rep.Diagnostics) != 2 || rep.Diagnostics[0] != diags[0] {
+	if rep.Mode != "typed" || rep.Count != 2 || len(rep.Diagnostics) != 2 || rep.Diagnostics[0] != diags[0] {
 		t.Fatalf("json round-trip mismatch: %+v", rep)
 	}
 
 	// Empty reports must still carry a non-null array.
 	buf.Reset()
-	if err := WriteJSON(&buf, nil); err != nil {
+	if err := WriteJSON(&buf, "syntactic", nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `"diagnostics": []`) {
 		t.Fatalf("empty report should have an empty array, got %s", buf.String())
+	}
+}
+
+// TestTypedDeterministicOrder asserts that repeated typed runs over the
+// same fixture produce identical diagnostics, and that the module
+// loader's package order matches the syntactic Walk order.
+func TestTypedDeterministicOrder(t *testing.T) {
+	dir := filepath.Join("testdata", "ctxflow")
+	var prev []Diagnostic
+	for i := 0; i < 3; i++ {
+		fset := token.NewFileSet()
+		prog, err := LoadTypedDir(fset, dir, "ctxflow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := Run(prog.Packages(), AllTyped(prog))
+		if len(diags) == 0 {
+			t.Fatal("expected findings in the ctxflow fixture")
+		}
+		if i > 0 {
+			if len(diags) != len(prev) {
+				t.Fatalf("run %d changed finding count: %d vs %d", i, len(diags), len(prev))
+			}
+			for j := range diags {
+				if diags[j] != prev[j] {
+					t.Fatalf("run %d changed output at %d: %v vs %v", i, j, diags[j], prev[j])
+				}
+			}
+		}
+		prev = diags
+	}
+
+	root, modPath, ok := FindModule(".")
+	if !ok {
+		t.Fatal("lint package is not inside a module")
+	}
+	fset := token.NewFileSet()
+	prog, err := LoadTypedModule(fset, root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Walk(fset, root, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := prog.Packages()
+	if len(typed) != len(syn) {
+		t.Fatalf("typed loader found %d packages, syntactic walk %d", len(typed), len(syn))
+	}
+	for i := range typed {
+		if typed[i].Dir != syn[i].Dir {
+			t.Fatalf("package order diverges at %d: typed %s, syntactic %s", i, typed[i].Dir, syn[i].Dir)
+		}
+	}
+}
+
+// TestWholeModuleTypedClean runs the full typed suite over the module
+// itself: production code must be free of findings and stale allows.
+func TestWholeModuleTypedClean(t *testing.T) {
+	root, modPath, ok := FindModule(".")
+	if !ok {
+		t.Fatal("lint package is not inside a module")
+	}
+	fset := token.NewFileSet()
+	prog, err := LoadTypedModule(fset, root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog.Packages(), AllTyped(prog))
+	if len(diags) != 0 {
+		t.Fatalf("module is not clean under the typed suite:\n%s", strings.Join(messagesOf(diags), "\n"))
 	}
 }
 

@@ -1,0 +1,518 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockOrder derives the mutex-acquisition ordering graph over every
+// sync.Mutex / sync.RWMutex in the program and enforces two invariants:
+//
+//  1. The order must be globally acyclic. Locks are identified by their
+//     declaration site (struct field or package-level variable), so
+//     l.mu on every *Ledger instance is one lock class. Acquiring M
+//     while holding L — directly or through any statically-resolved
+//     callee, however deep (Append → appendLocked → sealLocked) — adds
+//     the edge L→M; a cycle in the resulting graph is a deadlock
+//     schedule and every edge on it is reported.
+//  2. A lock acquired without `defer Unlock` must not be held across a
+//     return: an early error return between Lock and Unlock leaks the
+//     lock. Explicit Unlock-before-every-return (the interleaved
+//     syncDirty pattern) passes; a missed path is flagged at the return.
+//
+// Soundness boundary: acquisition tracking is a lexical walk with
+// branch-local state — conditionally *released* locks (Unlock inside an
+// if that falls through) are assumed still held afterwards, and callee
+// locksets are may-acquire summaries, so a guarded re-lock can produce
+// a false self-edge. Both directions fail safe (extra edges, never
+// missed ones on resolved calls) and carry //lint:allow with a reason
+// when the schedule is provably impossible.
+type lockOrder struct {
+	prog *Program
+}
+
+// NewLockOrder returns the lockorder analyzer over prog.
+func NewLockOrder(prog *Program) Analyzer { return &lockOrder{prog: prog} }
+
+func (*lockOrder) Name() string { return "lockorder" }
+func (*lockOrder) Doc() string {
+	return "mutex acquisition order must be globally acyclic; non-deferred locks must not leak across returns (typed)"
+}
+
+// lockAcq is one acquisition site: fn acquires key at pos while holding
+// `holding` (possibly empty).
+type lockAcq struct {
+	key string
+	pos token.Pos
+}
+
+// lockEdge is one ordering edge with its witness site.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	fi       *FuncInfo
+}
+
+func (lo *lockOrder) Check(pkg *Package) []Diagnostic {
+	tp := lo.prog.Typed(pkg)
+	if tp == nil {
+		return nil
+	}
+	g := lo.prog.Graph()
+	lo.ensureProgramAnalysis(g)
+
+	var out []Diagnostic
+	// Report cycle edges and return-leaks at their sites within this
+	// package only, so diagnostics land in the right Run partition.
+	for _, d := range lo.programDiags(g) {
+		if d.fi.Pkg == tp {
+			out = append(out, pkg.diag(d.fi.File, d.pos, "lockorder", d.msg))
+		}
+	}
+	return out
+}
+
+// programDiag is a finding located before package partitioning.
+type programDiag struct {
+	fi  *FuncInfo
+	pos token.Pos
+	msg string
+}
+
+func (lo *lockOrder) programDiags(g *CallGraph) []programDiag {
+	return g.lockDiags
+}
+
+func (lo *lockOrder) ensureProgramAnalysis(g *CallGraph) {
+	if g.lockDiagsDone {
+		return
+	}
+	var edges []lockEdge
+	var diags []programDiag
+	for _, fi := range g.Funcs() {
+		w := &lockWalker{lo: lo, g: g, fi: fi}
+		w.block(fi.Decl.Body, &lockState{})
+		edges = append(edges, w.edges...)
+		diags = append(diags, w.diags...)
+	}
+
+	// Cycle detection over the ordering graph: every edge that sits on a
+	// cycle (its endpoints belong to one strongly connected component,
+	// or it is a self-edge) is reported at its witness site.
+	adj := make(map[string][]string)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	comp := sccOf(adj)
+	for _, e := range edges {
+		inCycle := e.from == e.to || (comp[e.from] == comp[e.to] && comp[e.from] != 0)
+		if !inCycle {
+			continue
+		}
+		var msg string
+		if e.from == e.to {
+			msg = fmt.Sprintf("acquires %s while a call path may already hold it (self-deadlock)", e.to)
+		} else {
+			msg = fmt.Sprintf("lock order cycle: acquires %s while holding %s, but the reverse order also exists; pick one global order", e.to, e.from)
+		}
+		diags = append(diags, programDiag{fi: e.fi, pos: e.pos, msg: msg})
+	}
+	g.lockDiags = diags
+	g.lockDiagsDone = true
+}
+
+// sccOf assigns a component id to every node with Tarjan over the string
+// graph; ids are nonzero only for components of size >= 2.
+func sccOf(adj map[string][]string) map[string]int {
+	nodes := sortedKeys(adj)
+	seenTo := make(map[string]bool)
+	for _, n := range nodes {
+		seenTo[n] = true
+	}
+	for _, n := range nodes {
+		for _, m := range adj[n] {
+			if !seenTo[m] {
+				seenTo[m] = true
+				nodes = append(nodes, m)
+			}
+		}
+	}
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, compID := 1, 1
+	var strong func(v string)
+	strong = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] == 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) >= 2 {
+				for _, m := range members {
+					comp[m] = compID
+				}
+				compID++
+			}
+		}
+	}
+	for _, n := range nodes {
+		if index[n] == 0 {
+			strong(n)
+		}
+	}
+	return comp
+}
+
+// lockState is the walker's branch-local held set.
+type lockState struct {
+	held []heldLock
+}
+
+type heldLock struct {
+	key      string
+	pos      token.Pos
+	deferred bool // released by a defer at function exit
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{held: make([]heldLock, len(s.held))}
+	copy(c.held, s.held)
+	return c
+}
+
+func (s *lockState) acquire(key string, pos token.Pos) {
+	s.held = append(s.held, heldLock{key: key, pos: pos})
+}
+
+func (s *lockState) release(key string) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].key == key {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *lockState) markDeferred(key string) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].key == key && !s.held[i].deferred {
+			s.held[i].deferred = true
+			return
+		}
+	}
+}
+
+// lockWalker walks one function body tracking held locks.
+type lockWalker struct {
+	lo    *lockOrder
+	g     *CallGraph
+	fi    *FuncInfo
+	edges []lockEdge
+	diags []programDiag
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt, st *lockState) {
+	if b == nil {
+		return
+	}
+	for _, stmt := range b.List {
+		w.stmt(stmt, st)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st *lockState) {
+	switch v := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(v.X, st)
+	case *ast.DeferStmt:
+		// `defer x.Unlock()` — also matches unlocks buried one level
+		// inside a deferred closure.
+		if key, op := w.lockOp(v.Call); op == opUnlock {
+			st.markDeferred(key)
+			return
+		}
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if key, op := w.lockOp(call); op == opUnlock {
+						st.markDeferred(key)
+					}
+				}
+				return true
+			})
+		}
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			w.expr(e, st)
+		}
+		for _, h := range st.held {
+			if !h.deferred {
+				w.diags = append(w.diags, programDiag{fi: w.fi, pos: v.Pos(), msg: fmt.Sprintf(
+					"returns while holding %s (acquired at line %d) without defer; an error path here leaks the lock",
+					h.key, w.g.prog.Fset.Position(h.pos).Line)})
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range v.Rhs {
+			w.expr(e, st)
+		}
+	case *ast.IfStmt:
+		if v.Init != nil {
+			w.stmt(v.Init, st)
+		}
+		w.expr(v.Cond, st)
+		w.block(v.Body, st.clone())
+		if v.Else != nil {
+			w.stmt(v.Else, st.clone())
+		}
+	case *ast.BlockStmt:
+		w.block(v, st)
+	case *ast.ForStmt:
+		w.block(v.Body, st.clone())
+	case *ast.RangeStmt:
+		w.expr(v.X, st)
+		w.block(v.Body, st.clone())
+	case *ast.SwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				cst := st.clone()
+				for _, b := range cc.Body {
+					w.stmt(b, cst)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				cst := st.clone()
+				for _, b := range cc.Body {
+					w.stmt(b, cst)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				cst := st.clone()
+				for _, b := range cc.Body {
+					w.stmt(b, cst)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine runs on its own stack: a fresh held-set.
+		if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+			w.block(lit.Body, &lockState{})
+		}
+	case *ast.LabeledStmt:
+		w.stmt(v.Stmt, st)
+	}
+}
+
+// expr handles lock-relevant call expressions inside an expression tree.
+func (w *lockWalker) expr(e ast.Expr, st *lockState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			// Immediately-invoked or stored literals run with unknown
+			// caller state; analyze them with the current held set only
+			// when lexically inline (conservative: current set).
+			w.block(lit.Body, st.clone())
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, op := w.lockOp(call); op != opNone {
+			switch op {
+			case opLock:
+				for _, h := range st.held {
+					if h.key != "" {
+						w.edges = append(w.edges, lockEdge{from: h.key, to: key, pos: call.Pos(), fi: w.fi})
+					}
+				}
+				st.acquire(key, call.Pos())
+			case opUnlock:
+				st.release(key)
+			}
+			return false
+		}
+		// A statically-resolved module callee: its may-acquire summary
+		// orders after everything currently held.
+		if fn := calleeOf(w.g.prog.Info, call); fn != nil {
+			if fi := w.g.Lookup(fn); fi != nil && len(st.held) > 0 {
+				for _, acq := range w.lo.acquireSummary(w.g, fi) {
+					for _, h := range st.held {
+						w.edges = append(w.edges, lockEdge{from: h.key, to: acq, pos: call.Pos(), fi: w.fi})
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies a call as Lock/RLock (acquire) or Unlock/RUnlock
+// (release) on a sync.Mutex/RWMutex, returning the lock's identity key.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (string, lockOp) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone
+	}
+	selection, ok := w.g.prog.Info.Selections[sel]
+	if !ok {
+		return "", opNone
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	key := w.lockKey(sel.X)
+	if key == "" {
+		return "", opNone
+	}
+	return key, op
+}
+
+// lockKey names the lock class behind the receiver expression: the
+// declaring struct type and field for field locks, the package path and
+// name for variables.
+func (w *lockWalker) lockKey(recv ast.Expr) string {
+	switch v := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		// x.mu — resolve the field object.
+		if selection, ok := w.g.prog.Info.Selections[v]; ok {
+			if field, ok := selection.Obj().(*types.Var); ok && field.IsField() {
+				return fieldKey(selection.Recv(), field)
+			}
+		}
+		if obj := w.g.prog.Info.Uses[v.Sel]; obj != nil {
+			return objKey(obj)
+		}
+	case *ast.Ident:
+		if obj := w.g.prog.Info.Uses[v]; obj != nil {
+			if field, ok := obj.(*types.Var); ok && field.IsField() {
+				// Embedded or shadowed selector resolved to a field.
+				return objKey(field)
+			}
+			return objKey(obj)
+		}
+	}
+	return ""
+}
+
+func fieldKey(recv types.Type, field *types.Var) string {
+	t := recv
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	name := "?"
+	if named, ok := t.(*types.Named); ok {
+		name = named.Obj().Name()
+		if p := named.Obj().Pkg(); p != nil {
+			name = p.Name() + "." + name
+		}
+	}
+	return name + "." + field.Name()
+}
+
+func objKey(obj types.Object) string {
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// acquireSummary is the transitive may-acquire lockset of fi, memoized
+// on the node; cycles in the call graph read their provisional (partial)
+// set, which converges because locksets only grow along one DFS.
+func (lo *lockOrder) acquireSummary(g *CallGraph, fi *FuncInfo) []string {
+	if fi.lockDone {
+		return sortedSummary(fi.lockSumm)
+	}
+	if fi.lockOnCar {
+		return sortedSummary(fi.lockSumm)
+	}
+	fi.lockOnCar = true
+	if fi.lockSumm == nil {
+		fi.lockSumm = make(map[string]bool)
+	}
+	w := &lockWalker{lo: lo, g: g, fi: fi}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, op := w.lockOp(call); op == opLock {
+				fi.lockSumm[key] = true
+			} else if op == opNone {
+				if fn := calleeOf(g.prog.Info, call); fn != nil {
+					if callee := g.Lookup(fn); callee != nil && callee != fi {
+						for _, k := range lo.acquireSummary(g, callee) {
+							fi.lockSumm[k] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	fi.lockOnCar = false
+	fi.lockDone = true
+	return sortedSummary(fi.lockSumm)
+}
+
+func sortedSummary(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders an edge for debugging.
+func (e lockEdge) String() string {
+	return strings.Join([]string{e.from, e.to}, " -> ")
+}

@@ -1,0 +1,473 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Long-running evidence: ctxflow v2 obligates a function when it
+// (transitively) performs super-linear work. The trigger is a loop chain
+// of counted depth >= 2, or a counted loop that calls module code which
+// itself loops. Three loop shapes are *proven bounded* and count zero —
+// they are exactly the shapes behind the old heuristic's allow-comment
+// noise, each with an explicit amortization argument:
+//
+//	W (worklist)  — `for len(W) > 0` where every append to W inside the
+//	                loop is guarded by a monotone visited check (a `!seen[v]`
+//	                or `idx[v] == <sentinel>` condition whose guarded block
+//	                re-assigns the same element). Each element enters W at
+//	                most once, so the whole subtree telescopes to O(V+E):
+//	                iterative DFS/BFS (ReachableFrom, Tarjan SCC).
+//	P (partition) — an inner loop ranging over X[i] where i is the
+//	                enclosing loop's variable: Σ|X[i]| = |X| total, the
+//	                CSR/adjacency layout pass (Freeze).
+//	B (budgeted)  — a loop whose bound is a caller-supplied parameter (or
+//	                a field of one) and whose body calls no module code
+//	                that loops: top-k selection, MaxIterations power
+//	                steps. The caller holds the budget, and with no loopy
+//	                callees inside there is no hidden search to cancel.
+//	                A budgeted loop *with* loopy calls inside (Yen's k
+//	                rounds of spur searches) stays counted.
+//
+// The prover is a proof sketch, not a verifier — it establishes the
+// amortization shape, not the absence of other writes. That boundary is
+// deliberate: the shapes are specific enough that matching one by
+// accident while doing unbounded work requires adversarial code, which
+// code review owns.
+
+// loopEvidence summarizes one function body's long-running evidence.
+type loopEvidence struct {
+	pos     token.Pos // first evidence site (loop or in-loop call)
+	kind    string    // "nested loops" or "calls <name> from a loop"
+	present bool
+}
+
+// loopAnalysis walks one function body's loop tree.
+type loopAnalysis struct {
+	g  *CallGraph
+	fi *FuncInfo
+}
+
+// Evidence computes (once) the long-running evidence for fi's body.
+func (g *CallGraph) Evidence(fi *FuncInfo) *loopEvidence {
+	if fi.evidence == nil {
+		la := &loopAnalysis{g: g, fi: fi}
+		ev := &loopEvidence{}
+		la.walk(fi.Decl.Body, 0, fi.Decl, ev)
+		fi.evidence = ev
+	}
+	return fi.evidence
+}
+
+// walk descends n with `counted` enclosing counted-loops above it,
+// recording the first evidence found. enclosing is the nearest enclosing
+// counted loop statement (for the partition rule), or the FuncDecl.
+func (la *loopAnalysis) walk(n ast.Node, counted int, enclosing ast.Node, ev *loopEvidence) {
+	if ev.present {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if ev.present || m == nil || m == n {
+			return !ev.present
+		}
+		switch s := m.(type) {
+		case *ast.ForStmt:
+			la.visitLoop(s, counted, enclosing, ev)
+			return false // the recursive call owns the subtree
+		case *ast.RangeStmt:
+			la.visitLoop(s, counted, enclosing, ev)
+			return false
+		case *ast.CallExpr:
+			if counted >= 1 {
+				if fn := calleeOf(la.g.prog.Info, s); fn != nil && la.g.loopyCallee(fn) {
+					ev.present = true
+					ev.pos = s.Pos()
+					ev.kind = "calls " + fn.Name() + " from a loop"
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (la *loopAnalysis) visitLoop(loop ast.Stmt, counted int, enclosing ast.Node, ev *loopEvidence) {
+	body := loopBody(loop)
+	if body == nil {
+		return
+	}
+	// Worklist loops prune lexical nesting entirely, but in-loop calls to
+	// loopy module code inside them still count (a worklist that runs a
+	// search per pop is O(V) searches).
+	if la.isWorklistLoop(loop) {
+		la.walkCallsOnly(body, ev)
+		return
+	}
+	weight := 1
+	switch {
+	case la.isPartitionLoop(loop, enclosing):
+		weight = 0
+	case la.isBudgetedLoop(loop):
+		weight = 0
+	}
+	if counted+weight >= 2 {
+		ev.present = true
+		ev.pos = loop.Pos()
+		ev.kind = "nested loops"
+		return
+	}
+	next := enclosing
+	if weight == 1 {
+		next = loop
+	}
+	la.walk(body, counted+weight, next, ev)
+}
+
+// walkCallsOnly scans a pruned (worklist) subtree for in-loop calls to
+// loopy module functions only.
+func (la *loopAnalysis) walkCallsOnly(n ast.Node, ev *loopEvidence) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if ev.present {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if fn := calleeOf(la.g.prog.Info, call); fn != nil && la.g.loopyCallee(fn) {
+				ev.present = true
+				ev.pos = call.Pos()
+				ev.kind = "calls " + fn.Name() + " from a loop"
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func loopBody(loop ast.Stmt) *ast.BlockStmt {
+	switch s := loop.(type) {
+	case *ast.ForStmt:
+		return s.Body
+	case *ast.RangeStmt:
+		return s.Body
+	}
+	return nil
+}
+
+// isWorklistLoop matches `for len(W) > 0` (or != 0) over a slice W where
+// every `W = append(W, ...)` in the body sits under a monotone visited
+// guard.
+func (la *loopAnalysis) isWorklistLoop(loop ast.Stmt) bool {
+	fs, ok := loop.(*ast.ForStmt)
+	if !ok || fs.Cond == nil || fs.Init != nil || fs.Post != nil {
+		return false
+	}
+	bin, ok := fs.Cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.GTR && bin.Op != token.NEQ) {
+		return false
+	}
+	call, ok := ast.Unparen(bin.X).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "len" {
+		return false
+	}
+	work := la.objOf(call.Args[0])
+	if work == nil {
+		return false
+	}
+	if lit, ok := bin.Y.(*ast.BasicLit); !ok || lit.Value != "0" {
+		return false
+	}
+	// Every push to the worklist must be visited-guarded. Any worklist
+	// append outside a guard disqualifies the proof. (Pops — shrinking
+	// re-slices — and pushes to *other* worklists consumed by inner
+	// worklist loops are fine: those loops prove themselves.)
+	ok = true
+	la.forEachAppend(fs.Body, work, func(app *ast.CallExpr) {
+		if !la.guardedByVisited(fs.Body, app) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// forEachAppend calls fn for every `W = append(W, ...)` assignment where
+// W resolves to work.
+func (la *loopAnalysis) forEachAppend(body ast.Node, work types.Object, fn func(*ast.CallExpr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			if i < len(as.Lhs) && la.objOf(as.Lhs[i]) == work && la.objOf(call.Args[0]) == work {
+				fn(call)
+			}
+		}
+		return true
+	})
+}
+
+// guardedByVisited reports whether node sits inside an if-statement whose
+// condition reads an indexed element against a monotone sentinel (`!v[i]`,
+// `v[i] == -1`, `v[i] < 0`, ...) and whose body re-assigns that same
+// element — the each-element-enters-once argument.
+func (la *loopAnalysis) guardedByVisited(root ast.Node, node ast.Node) bool {
+	found := false
+	var path []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == nil {
+			path = path[:len(path)-1]
+			return true
+		}
+		path = append(path, n)
+		if n == node {
+			for _, anc := range path {
+				ifs, ok := anc.(*ast.IfStmt)
+				if !ok {
+					continue
+				}
+				if col, idx := la.visitedCheck(ifs.Cond); col != nil && la.assignsElem(ifs.Body, col, idx) {
+					found = true
+				}
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// visitedCheck matches a monotone visited condition and returns the
+// checked collection object and index expression: `!seen[v]`,
+// `idx[v] == <lit>`, `idx[v] < <lit>`, or either side of a && chain.
+func (la *loopAnalysis) visitedCheck(cond ast.Expr) (types.Object, ast.Expr) {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			if ix, ok := ast.Unparen(c.X).(*ast.IndexExpr); ok {
+				return la.objOf(ix.X), ix.Index
+			}
+		}
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND {
+			if col, idx := la.visitedCheck(c.X); col != nil {
+				return col, idx
+			}
+			return la.visitedCheck(c.Y)
+		}
+		if c.Op == token.EQL || c.Op == token.LSS || c.Op == token.NEQ {
+			if ix, ok := ast.Unparen(c.X).(*ast.IndexExpr); ok {
+				if isLiteralish(c.Y) {
+					return la.objOf(ix.X), ix.Index
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isLiteralish matches sentinel comparands: literals and negated literals.
+func isLiteralish(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := v.X.(*ast.BasicLit)
+		return ok
+	case *ast.Ident:
+		return v.Name == "true" || v.Name == "false" || v.Name == "nil"
+	}
+	return false
+}
+
+// assignsElem reports whether body assigns col[idx'] for the same
+// collection (idx compared structurally by identifier name).
+func (la *loopAnalysis) assignsElem(body ast.Node, col types.Object, idx ast.Expr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && la.objOf(ix.X) == col && sameIdent(ix.Index, idx) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	ai, aok := ast.Unparen(a).(*ast.Ident)
+	bi, bok := ast.Unparen(b).(*ast.Ident)
+	return aok && bok && ai.Name == bi.Name
+}
+
+// isPartitionLoop reports whether loop iterates a partition indexed by
+// the enclosing loop's variable: `range X[i]`, or a cursor bounded by
+// `len(X[i])` / `X[i+1]`, where i is owned by enclosing.
+func (la *loopAnalysis) isPartitionLoop(loop ast.Stmt, enclosing ast.Node) bool {
+	vars := loopVars(la.g.prog.Info, enclosing)
+	if len(vars) == 0 {
+		return false
+	}
+	var space ast.Expr
+	switch s := loop.(type) {
+	case *ast.RangeStmt:
+		space = s.X
+	case *ast.ForStmt:
+		space = s.Cond
+	}
+	if space == nil {
+		return false
+	}
+	// The iteration space must index through one of the enclosing loop's
+	// variables.
+	found := false
+	ast.Inspect(space, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ix.Index, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := la.g.prog.Info.Uses[id]; obj != nil && vars[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// loopVars returns the iteration variables owned by the enclosing loop
+// statement (range key/value, or idents assigned in a for-init).
+func loopVars(info *types.Info, enclosing ast.Node) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	switch s := enclosing.(type) {
+	case *ast.RangeStmt:
+		if s.Key != nil {
+			add(s.Key)
+		}
+		if s.Value != nil {
+			add(s.Value)
+		}
+	case *ast.ForStmt:
+		if init, ok := s.Init.(*ast.AssignStmt); ok {
+			for _, lhs := range init.Lhs {
+				add(lhs)
+			}
+		}
+	}
+	return vars
+}
+
+// isBudgetedLoop reports whether loop's bound is a caller-supplied
+// parameter (or a selector rooted at one) and its body calls no loopy
+// module code: the caller owns the iteration budget and there is no
+// hidden search inside.
+func (la *loopAnalysis) isBudgetedLoop(loop ast.Stmt) bool {
+	fs, ok := loop.(*ast.ForStmt)
+	if !ok || fs.Cond == nil {
+		return false
+	}
+	bin, ok := fs.Cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.LSS && bin.Op != token.LEQ) {
+		return false
+	}
+	if !la.paramRooted(bin.Y) {
+		return false
+	}
+	// No loopy module callees anywhere in the body.
+	bounded := true
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		if !bounded {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeOf(la.g.prog.Info, call); fn != nil && la.g.loopyCallee(fn) {
+				bounded = false
+			}
+		}
+		return true
+	})
+	return bounded
+}
+
+// paramRooted reports whether e is a parameter of the function (or a
+// field selection rooted at one): `k`, `opts.MaxIterations`.
+func (la *loopAnalysis) paramRooted(e ast.Expr) bool {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.Ident:
+			obj := la.g.prog.Info.Uses[v]
+			if obj == nil {
+				return false
+			}
+			return la.isParam(obj)
+		default:
+			return false
+		}
+	}
+}
+
+func (la *loopAnalysis) isParam(obj types.Object) bool {
+	sig, ok := la.fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// objOf resolves an expression to the object it denotes (identifier or
+// selector tail), nil otherwise.
+func (la *loopAnalysis) objOf(e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := la.g.prog.Info.Uses[v]; obj != nil {
+			return obj
+		}
+		return la.g.prog.Info.Defs[v]
+	case *ast.SelectorExpr:
+		if obj := la.g.prog.Info.Uses[v.Sel]; obj != nil {
+			return obj
+		}
+	}
+	return nil
+}

@@ -17,8 +17,11 @@ func WriteText(w io.Writer, diags []Diagnostic) error {
 	return nil
 }
 
-// Report is the -json output shape of cmd/lint.
+// Report is the -json output shape of cmd/lint. Mode records which
+// suite produced the diagnostics ("typed" or "syntactic") so archived
+// artifacts are self-describing.
 type Report struct {
+	Mode        string       `json:"mode"`
 	Count       int          `json:"count"`
 	Diagnostics []Diagnostic `json:"diagnostics"`
 }
@@ -26,11 +29,11 @@ type Report struct {
 // WriteJSON emits the diagnostics as an indented Report object. The
 // diagnostics array is never null, so consumers can index it
 // unconditionally.
-func WriteJSON(w io.Writer, diags []Diagnostic) error {
+func WriteJSON(w io.Writer, mode string, diags []Diagnostic) error {
 	if diags == nil {
 		diags = []Diagnostic{}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Report{Count: len(diags), Diagnostics: diags})
+	return enc.Encode(Report{Mode: mode, Count: len(diags), Diagnostics: diags})
 }

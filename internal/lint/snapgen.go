@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// snapGen flags frozen-snapshot values used across a generation bump.
+// A graph.Snapshot (any module type named Snapshot) and a pooled clone
+// handed out by AcquireClone are frozen at one generation; a SetRoad /
+// AddRoad / AddNode on their source network between binding the value
+// and using it means the use reads pre-mutation state — exactly the bug
+// class the registry's gen-consistency retry loop guards at runtime.
+// The static rule: after a bump on the snapshot's source, the snapshot
+// must be re-bound (fresh Snapshot()/Freeze call, s = s.Refresh(), or
+// AcquireClone again) before its next use.
+//
+// Provenance is tracked by the receiver's root identifier: snap :=
+// shard.Snapshot(wt) ties snap to shard, so clone.SetRoad(...) — a
+// private mutation of a clone the caller owns — does not invalidate
+// shard's snapshots, while shard.SetRoad(...) does. A bump whose source
+// cannot be resolved invalidates conservatively.
+//
+// Soundness boundary: the walk is lexical and per-function — a bump
+// reached through a callee or a concurrent goroutine is not seen, and
+// snapshots stored in struct fields are not tracked. Runtime generation
+// checks stay the authority; this catches the straight-line misuse a
+// reviewer would.
+type snapGen struct {
+	prog *Program
+}
+
+// NewSnapGen returns the snapgen analyzer over prog.
+func NewSnapGen(prog *Program) Analyzer { return &snapGen{prog: prog} }
+
+func (*snapGen) Name() string { return "snapgen" }
+func (*snapGen) Doc() string {
+	return "no Snapshot/pooled-clone use across a SetRoad/generation bump without Refresh or re-acquire (typed)"
+}
+
+// bumpNames are the mutation entry points that advance a graph or shard
+// generation and invalidate frozen state derived from the receiver.
+var bumpNames = map[string]bool{
+	"SetRoad": true, "AddRoad": true, "AddTwoWayRoad": true,
+	"AddIntersection": true, "AddNode": true, "AddEdge": true,
+}
+
+func (sg *snapGen) Check(pkg *Package) []Diagnostic {
+	tp := sg.prog.Typed(pkg)
+	if tp == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range tp.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &snapWalker{
+				sg: sg, tp: tp, file: f, pkg: pkg,
+				tracked: make(map[types.Object]*snapBinding),
+			}
+			w.walk(fd.Body)
+			out = append(out, w.diags...)
+		}
+	}
+	return out
+}
+
+// snapBinding is one tracked snapshot-typed local.
+type snapBinding struct {
+	bindPos token.Pos
+	source  types.Object // provenance root (nil: unknown, invalidated by any bump)
+	bumpPos token.Pos    // set when a bump exposed this binding
+	exposed bool
+}
+
+// snapWalker tracks snapshot bindings through one function body in
+// source order.
+type snapWalker struct {
+	sg    *snapGen
+	tp    *TypedPackage
+	file  *File
+	pkg   *Package
+	diags []Diagnostic
+
+	tracked map[types.Object]*snapBinding
+}
+
+func (w *snapWalker) walk(body *ast.BlockStmt) {
+	info := w.sg.prog.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range v.Rhs {
+				w.scan(rhs)
+			}
+			clone := w.acquireClone(v)
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if isSnapshotType(obj.Type()) || (clone != nil && i == 0) {
+					w.tracked[obj] = &snapBinding{bindPos: id.Pos(), source: w.bindingSource(v, i)}
+				} else {
+					delete(w.tracked, obj) // rebound to something else
+				}
+			}
+			return false
+		default:
+			return true
+		case *ast.CallExpr:
+			w.scan(v)
+			return false
+		case *ast.Ident:
+			w.useOf(v)
+			return true
+		}
+	})
+}
+
+// scan processes one expression subtree: bump calls expose matching
+// bindings, identifier reads of exposed bindings are flagged.
+func (w *snapWalker) scan(e ast.Node) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if src, ok := w.bumpSource(call); ok {
+				for obj, b := range w.tracked {
+					if b.exposed || obj == src {
+						continue // a bump on the clone itself is a private mutation
+					}
+					if b.source == nil || src == nil || b.source == src {
+						b.exposed = true
+						b.bumpPos = call.Pos()
+					}
+				}
+				// Still scan the arguments for snapshot reads.
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			w.useOf(id)
+		}
+		return true
+	})
+}
+
+// useOf flags a read of an exposed snapshot variable.
+func (w *snapWalker) useOf(id *ast.Ident) {
+	obj := w.sg.prog.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	b, ok := w.tracked[obj]
+	if !ok || !b.exposed {
+		return
+	}
+	w.diags = append(w.diags, w.pkg.diag(w.file, id.Pos(), "snapgen", fmt.Sprintf(
+		"%s was frozen at line %d but a generation bump at line %d invalidated it; Refresh or re-acquire before this use",
+		id.Name,
+		w.sg.prog.Fset.Position(b.bindPos).Line,
+		w.sg.prog.Fset.Position(b.bumpPos).Line)))
+	delete(w.tracked, obj) // one finding per exposure
+}
+
+// bumpSource classifies call as a generation bump and returns the root
+// object of its receiver (nil when unresolvable).
+func (w *snapWalker) bumpSource(call *ast.CallExpr) (types.Object, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !bumpNames[sel.Sel.Name] {
+		return nil, false
+	}
+	fn := calleeOf(w.sg.prog.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, false
+	}
+	// Module-declared methods only: a stdlib AddNode is not a bump.
+	if _, isModule := w.sg.prog.byPath[fn.Pkg().Path()]; !isModule {
+		return nil, false
+	}
+	return w.rootObj(sel.X), true
+}
+
+// acquireClone returns the AcquireClone call when the assignment's RHS
+// is one (the first LHS is the generation-stamped pooled clone).
+func (w *snapWalker) acquireClone(as *ast.AssignStmt) *ast.CallExpr {
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "AcquireClone" {
+		return call
+	}
+	return nil
+}
+
+// bindingSource derives the provenance root for LHS index i of an
+// assignment: the receiver root of the producing call (shard in
+// shard.Snapshot(wt)), or the first argument's root for plain calls
+// (g in graph.Freeze(g, w)).
+func (w *snapWalker) bindingSource(as *ast.AssignStmt, i int) types.Object {
+	rhs := as.Rhs[0]
+	if len(as.Rhs) == len(as.Lhs) {
+		rhs = as.Rhs[i]
+	}
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return w.rootObj(rhs)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := w.sg.prog.Info.Selections[sel]; isMethod {
+			return w.rootObj(sel.X)
+		}
+	}
+	if len(call.Args) > 0 {
+		return w.rootObj(call.Args[0])
+	}
+	return nil
+}
+
+// rootObj resolves the base identifier of a selector/index chain.
+func (w *snapWalker) rootObj(e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.Ident:
+			if obj := w.sg.prog.Info.Uses[v]; obj != nil {
+				return obj
+			}
+			return w.sg.prog.Info.Defs[v]
+		default:
+			return nil
+		}
+	}
+}
+
+// isSnapshotType matches *T / T for a named type called Snapshot.
+func isSnapshotType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Snapshot"
+}

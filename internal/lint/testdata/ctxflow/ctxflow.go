@@ -1,11 +1,13 @@
-// Fixture for the ctxflow analyzer. The package is named "core" so the
-// default target-package set applies, as it does to the real
-// internal/core, internal/graph and internal/lp packages.
+// Fixture for the typed, interprocedural ctxflow analyzer. The package
+// is named "core" so the default contract-package set applies, as it
+// does to the real internal/core, internal/graph and internal/lp.
+// It type-checks standalone (stdlib imports only).
 package core
 
 import "context"
 
-func Nested(xs [][]int) int { // want "never consults a context.Context"
+// Direct nested loops with no reachable ctx check: obligated, flagged.
+func Nested(xs [][]int) int { // want "exported Nested nested loops"
 	s := 0
 	for _, row := range xs {
 		for _, v := range row {
@@ -15,7 +17,16 @@ func Nested(xs [][]int) int { // want "never consults a context.Context"
 	return s
 }
 
-func Ignored(ctx context.Context, xs [][]int) int { // want "never consults a context.Context"
+// Interprocedural laundering: the loops hide in an unexported helper.
+// The old syntactic heuristic missed this shape; the call graph does not.
+func Laundered(xs [][]int) int { // want "reaches sum2"
+	return indirection(xs)
+}
+
+func indirection(xs [][]int) int { return sum2(xs) }
+
+// Unexported: carries no obligation of its own.
+func sum2(xs [][]int) int {
 	s := 0
 	for _, row := range xs {
 		for _, v := range row {
@@ -25,7 +36,39 @@ func Ignored(ctx context.Context, xs [][]int) int { // want "never consults a co
 	return s
 }
 
-func NestedCtx(ctx context.Context, xs [][]int) int { // ok: polls its ctx param
+// A counted loop around a loopy module callee is the Yen shape:
+// obligated even though the lexical nesting depth is 1.
+func PerRow(xs [][]int) int { // want "calls rowSum from a loop"
+	t := 0
+	for _, row := range xs {
+		t += rowSum(row)
+	}
+	return t
+}
+
+func rowSum(row []int) int {
+	s := 0
+	for _, v := range row {
+		s += v
+	}
+	return s
+}
+
+// Discharged lexically: checks its own ctx.
+func Checked(ctx context.Context, xs [][]int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return sum2(xs)
+}
+
+// Discharged interprocedurally: the kernel polls, every caller that
+// reaches it passes.
+func ThroughKernel(ctx context.Context, xs [][]int) int {
+	return kernel(ctx, xs)
+}
+
+func kernel(ctx context.Context, xs [][]int) int {
 	s := 0
 	for _, row := range xs {
 		if ctx.Err() != nil {
@@ -38,52 +81,68 @@ func NestedCtx(ctx context.Context, xs [][]int) int { // ok: polls its ctx param
 	return s
 }
 
-func Single(xs []int) int { // ok: one bounded pass, no nested work
-	s := 0
-	for _, v := range xs {
-		s += v
-	}
-	return s
-}
-
-func nestedUnexported(xs [][]int) int { // ok: contract covers exported API only
-	s := 0
-	for _, row := range xs {
-		for _, v := range row {
-			s += v
-		}
-	}
-	return s
-}
-
-func Delegating(xs [][]int) int { // ok: hands the work to a *Ctx variant
-	return NestedCtx(context.Background(), xs)
-}
-
-type walker struct{ ctx context.Context }
-
-func (w *walker) Walk(xs [][]int) int { // ok: polls the stored context
-	s := 0
-	for _, row := range xs {
-		if w.ctx != nil && w.ctx.Err() != nil {
-			break
-		}
-		for _, v := range row {
-			s += v
-		}
-	}
-	return s
-}
-
-func InClosure(xs [][]int) int { // want "never consults a context.Context"
-	s := 0
-	for _, row := range xs {
-		add := func() {
-			for _, v := range row {
-				s += v
+// Worklist shape (W): `for len(stack) > 0` where every push is guarded
+// by a monotone visited check. Each element enters the worklist at most
+// once, so the traversal is O(V+E): proven bounded, no obligation.
+func Reach(adj [][]int, s int) []bool {
+	seen := make([]bool, len(adj))
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
 			}
 		}
-		add()
 	}
-	return s
+	return seen
+}
+
+// Partition shape (P): the inner loop ranges over adj[u] for the outer
+// loop's u, so the total inner work telescopes to the edge count.
+func Degrees(adj [][]int) []int {
+	out := make([]int, len(adj))
+	for u := range adj {
+		for range adj[u] {
+			out[u]++
+		}
+	}
+	return out
+}
+
+// Budgeted shape (B): the outer bound is the caller's parameter and the
+// body calls no loopy module code — the caller owns the budget.
+func TopK(scores []int, k int) []int {
+	picked := make([]bool, len(scores))
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		best := -1
+		for j := range scores {
+			if picked[j] {
+				continue
+			}
+			if best < 0 || scores[j] > scores[best] {
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		picked[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+// A budgeted loop that launches module searches each round is NOT
+// proven bounded (Yen's k rounds of spur searches): still obligated.
+func Rounds(xs [][]int, k int) int { // want "calls sum2 from a loop"
+	t := 0
+	for i := 0; i < k; i++ {
+		t += sum2(xs)
+	}
+	return t
 }

@@ -1,0 +1,80 @@
+// Fixture for the typed goroleak analyzer: goroutines must carry a join
+// signal — WaitGroup.Done, a channel operation, a select, or a context
+// check — directly or through a statically-resolved callee.
+package gorofix
+
+import (
+	"context"
+	"sync"
+)
+
+// Leak spawns a goroutine with no join signal anywhere: flagged.
+func Leak() {
+	go func() { // want "no join path"
+		x := 0
+		for i := 0; i < 1000000; i++ {
+			x += i
+		}
+		_ = x
+	}()
+}
+
+// LeakNamed leaks through a named callee with no signal: flagged.
+func LeakNamed() {
+	go spin() // want "no join path"
+}
+
+func spin() {
+	for {
+		_ = 1
+	}
+}
+
+// Joined signals completion through a WaitGroup: clean.
+func Joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Sends communicates over a channel: clean.
+func Sends(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// Drains selects on a stop channel — the audit flushLoop shape — and the
+// signal is found through the named callee: clean.
+func Drains(stop chan struct{}) {
+	go drainLoop(stop)
+}
+
+func drainLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+	}
+}
+
+// Worker drains on ctx through a callee reached from the literal: clean.
+func Worker(ctx context.Context) {
+	go func() { work(ctx) }()
+}
+
+func work(ctx context.Context) {
+	for ctx.Err() == nil {
+		_ = 1
+	}
+}
+
+// Ranges consumes a jobs channel: clean.
+func Ranges(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}

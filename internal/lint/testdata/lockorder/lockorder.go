@@ -1,0 +1,86 @@
+// Fixture for the typed lockorder analyzer: acquisition-order cycles,
+// interprocedural self-deadlocks, and non-deferred locks leaking across
+// returns. The Ledger type mirrors the real audit ledger's appendMu /
+// syncMu pair — with a deliberately broken reverse nesting.
+package lockfix
+
+import (
+	"errors"
+	"sync"
+)
+
+// Ledger has the audit ledger's two locks. The real ledger nests only
+// syncMu -> appendMu; BadAppend introduces the reverse order.
+type Ledger struct {
+	appendMu sync.Mutex
+	syncMu   sync.Mutex
+}
+
+// Flush nests syncMu -> appendMu (the real ledger's one order). The
+// acquire sits on a cycle once BadAppend exists, so it is flagged too.
+func (l *Ledger) Flush() {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.appendMu.Lock() // want "lock order cycle"
+	defer l.appendMu.Unlock()
+}
+
+// BadAppend nests appendMu -> syncMu: the reverse order. Running Flush
+// and BadAppend concurrently can deadlock.
+func (l *Ledger) BadAppend() {
+	l.appendMu.Lock()
+	defer l.appendMu.Unlock()
+	l.syncMu.Lock() // want "lock order cycle"
+	defer l.syncMu.Unlock()
+}
+
+// Dirty releases explicitly before every return — the interleaved
+// pattern the real syncDirty uses. Explicit Unlock on each path is not
+// a leak.
+func (l *Ledger) Dirty(skip bool) error {
+	l.appendMu.Lock()
+	if skip {
+		l.appendMu.Unlock()
+		return nil
+	}
+	l.appendMu.Unlock()
+	return nil
+}
+
+// Box demonstrates the interprocedural self-deadlock: helper re-acquires
+// a lock the caller already holds.
+type Box struct {
+	mu sync.RWMutex
+}
+
+func (b *Box) Reenter() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.helper() // want "self-deadlock"
+}
+
+func (b *Box) helper() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// Leaky acquires without defer and returns on the error path while still
+// holding: the lock leaks.
+func (b *Box) Leaky(fail bool) error {
+	b.mu.Lock()
+	if fail {
+		return errors.New("leaked") // want "returns while holding"
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// Deferred release is immune to early returns.
+func (b *Box) Safe(fail bool) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fail {
+		return errors.New("fine")
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// Fixture for the typed snapgen analyzer: frozen Snapshot values and
+// pooled clones used across a generation bump without Refresh or
+// re-acquire. The types mimic the real graph.Snapshot / registry shard
+// shapes by name, which is what the analyzer keys on.
+package snapfix
+
+// Snapshot mirrors graph.Snapshot: frozen state stamped at a generation.
+type Snapshot struct {
+	gen uint64
+}
+
+// Gen reads the frozen generation.
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// Net mirrors the mutable network: bump methods advance gen.
+type Net struct {
+	gen  uint64
+	snap Snapshot
+}
+
+// Snapshot freezes the current state.
+func (n *Net) Snapshot() *Snapshot { return &Snapshot{gen: n.gen} }
+
+// SetRoad is a generation bump.
+func (n *Net) SetRoad(e int) { n.gen++ }
+
+// AcquireClone mirrors the registry pool: a gen-stamped private clone.
+func (n *Net) AcquireClone() (*Net, uint64) { return &Net{gen: n.gen}, n.gen }
+
+// Stale uses a snapshot after its source was mutated: flagged.
+func Stale(n *Net) uint64 {
+	s := n.Snapshot()
+	n.SetRoad(1)
+	return s.Gen() // want "generation bump at line"
+}
+
+// Refreshed re-binds after the bump: clean.
+func Refreshed(n *Net) uint64 {
+	s := n.Snapshot()
+	n.SetRoad(1)
+	s = n.Snapshot()
+	return s.Gen()
+}
+
+// Unrelated bumps another network: this snapshot stays valid.
+func Unrelated(n, m *Net) uint64 {
+	s := n.Snapshot()
+	m.SetRoad(1)
+	return s.Gen()
+}
+
+// StaleClone holds a pooled clone across a bump on its shard: flagged.
+func StaleClone(shard *Net) uint64 {
+	clone, gen := shard.AcquireClone()
+	shard.SetRoad(1)
+	_ = clone.gen // want "generation bump at line"
+	return gen
+}
+
+// PrivateMutation bumps the clone itself — the intended private-write
+// pattern (attack algorithms disable edges on their own clone): clean.
+func PrivateMutation(shard *Net) *Net {
+	clone, _ := shard.AcquireClone()
+	clone.SetRoad(1)
+	return clone
+}
+
+// Reacquired gets a fresh clone after the bump: clean.
+func Reacquired(shard *Net) uint64 {
+	clone, _ := shard.AcquireClone()
+	shard.SetRoad(1)
+	clone, gen := shard.AcquireClone()
+	_ = clone
+	return gen
+}

@@ -16,3 +16,8 @@ func above() time.Time {
 func open() time.Time {
 	return time.Now() // want "time.Now reads the wall clock"
 }
+
+// Typed-only analyzer names are reserved: in a syntactic run this allow
+// is neither "unknown" nor "unused" — it belongs to the other mode.
+//lint:allow lockorder fixture: reserved name, suppresses nothing syntactically
+func reservedName() {}

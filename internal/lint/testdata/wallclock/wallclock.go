@@ -4,7 +4,7 @@ package fixture
 
 import "time"
 
-func clock() (time.Time, time.Duration) {
+func readings() (time.Time, time.Duration) {
 	start := time.Now()    // want "time.Now reads the wall clock"
 	d := time.Since(start) // want "time.Since reads the wall clock"
 	_ = time.Unix(0, 0)    // ok: explicit instant, reproducible

@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the go/types-backed layer under the typed analyzers
+// (ctxflow v2, lockorder, snapgen, goroleak). It stays stdlib-only: the
+// module's own packages are parsed by the existing Walk/LoadDir loader and
+// type-checked here in dependency order; everything else (the standard
+// library) resolves through go/importer. The syntactic layer remains
+// untouched underneath — a TypedPackage embeds the same *Package the
+// AST analyzers see, so //lint:allow suppression, reporting, and walk
+// order are shared between both modes.
+
+// TypedPackage is one type-checked package: the parsed Package plus its
+// import path, *types.Package, and the program-wide types.Info.
+type TypedPackage struct {
+	*Package
+	Path  string // import path ("altroute/internal/graph", or the rel dir for standalone fixtures)
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a set of type-checked packages sharing one FileSet and one
+// types.Info, plus the cross-package call graph the typed analyzers
+// consume. Packages are kept in the same deterministic Dir order the
+// syntactic Walk produces.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*TypedPackage
+	Info *types.Info
+
+	byPkg  map[*Package]*TypedPackage
+	byPath map[string]*TypedPackage
+
+	graph     *CallGraph
+	graphOnce sync.Once
+}
+
+// Typed returns the TypedPackage wrapping pkg, or nil when pkg is not
+// part of this program (the adapter contract typed analyzers rely on).
+func (p *Program) Typed(pkg *Package) *TypedPackage { return p.byPkg[pkg] }
+
+// Packages returns the underlying syntactic packages in program order,
+// ready to hand to Run.
+func (p *Program) Packages() []*Package {
+	out := make([]*Package, len(p.Pkgs))
+	for i, tp := range p.Pkgs {
+		out[i] = tp.Package
+	}
+	return out
+}
+
+// newInfo allocates the shared types.Info with every map the typed
+// analyzers need populated.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// stdImporter resolves non-module import paths. It tries the compiled
+// export-data importer first (fast) and falls back to type-checking the
+// dependency from $GOROOT source, caching either result. Neither stdlib
+// importer documents concurrency safety, so lookups serialize on mu.
+type stdImporter struct {
+	mu     sync.Mutex
+	cache  map[string]*types.Package
+	gc     types.Importer
+	source types.Importer
+}
+
+var sharedStd = &stdImporter{cache: make(map[string]*types.Package)}
+
+func (s *stdImporter) Import(path string) (*types.Package, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pkg, ok := s.cache[path]; ok {
+		return pkg, nil
+	}
+	if s.gc == nil {
+		s.gc = importer.Default()
+		s.source = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	}
+	pkg, err := s.gc.Import(path)
+	if err != nil {
+		pkg, err = s.source.Import(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: importing %s: %w", path, err)
+	}
+	s.cache[path] = pkg
+	return pkg, nil
+}
+
+// progImporter resolves module-internal paths to packages type-checked
+// by this program and delegates everything else to the shared stdlib
+// importer.
+type progImporter struct {
+	byPath map[string]*types.Package
+}
+
+func (p *progImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := p.byPath[path]; ok {
+		return pkg, nil
+	}
+	return sharedStd.Import(path)
+}
+
+// FindModule walks up from dir looking for a go.mod, returning the
+// module root directory and module path. ok is false outside any module
+// (standalone fixture trees type-check with stdlib imports only).
+func FindModule(dir string) (root, modPath string, ok bool) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", false
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, found := strings.CutPrefix(line, "module "); found {
+					return dir, strings.TrimSpace(rest), true
+				}
+			}
+			return "", "", false
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", false
+		}
+		dir = parent
+	}
+}
+
+// importsOf collects the unique import paths of a parsed package in
+// first-appearance order.
+func importsOf(pkg *Package) []string {
+	var paths []string
+	seen := make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, imp := range f.AST.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+	return paths
+}
+
+// LoadTypedModule parses every package under moduleRoot (the syntactic
+// Walk, so typed and syntactic modes see identical package sets in
+// identical order) and type-checks them in dependency order. Test files
+// are never loaded: external _test packages cannot share a type-checked
+// unit with their package under test, and the cancellation/lock/
+// generation contracts the typed analyzers encode are production
+// invariants.
+func LoadTypedModule(fset *token.FileSet, moduleRoot, modPath string) (*Program, error) {
+	pkgs, err := Walk(fset, moduleRoot, LoadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	pathFor := func(pkg *Package) string {
+		if pkg.Dir == "" {
+			return modPath
+		}
+		return modPath + "/" + pkg.Dir
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, pkg := range pkgs {
+		byPath[pathFor(pkg)] = pkg
+	}
+
+	// Topological order over module-internal imports, deterministic
+	// because Walk order is and the DFS visits imports in source order.
+	prog := &Program{
+		Fset:   fset,
+		Info:   newInfo(),
+		byPkg:  make(map[*Package]*TypedPackage),
+		byPath: make(map[string]*TypedPackage),
+	}
+	typesByPath := make(map[string]*types.Package)
+	imp := &progImporter{byPath: typesByPath}
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int)
+	var check func(path string) error
+	check = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		}
+		state[path] = visiting
+		pkg := byPath[path]
+		for _, dep := range importsOf(pkg) {
+			if byPath[dep] != nil {
+				if err := check(dep); err != nil {
+					return err
+				}
+			}
+		}
+		tp, err := typeCheckPackage(fset, prog.Info, imp, pkg, path)
+		if err != nil {
+			return err
+		}
+		typesByPath[path] = tp.Types
+		prog.byPkg[pkg] = tp
+		prog.byPath[path] = tp
+		state[path] = done
+		return nil
+	}
+	for _, pkg := range pkgs {
+		if err := check(pathFor(pkg)); err != nil {
+			return nil, err
+		}
+	}
+	for _, pkg := range pkgs { // preserve Walk order, not check order
+		prog.Pkgs = append(prog.Pkgs, prog.byPkg[pkg])
+	}
+	return prog, nil
+}
+
+// LoadTypedDir type-checks the single package in dir as a standalone
+// program — the golden-fixture path. Imports must resolve outside the
+// module (in practice: the standard library).
+func LoadTypedDir(fset *token.FileSet, dir, rel string) (*Program, error) {
+	pkg, err := LoadDir(fset, dir, rel, LoadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	prog := &Program{
+		Fset:   fset,
+		Info:   newInfo(),
+		byPkg:  make(map[*Package]*TypedPackage),
+		byPath: make(map[string]*TypedPackage),
+	}
+	path := pkg.Dir
+	if path == "" {
+		path = pkg.Name
+	}
+	tp, err := typeCheckPackage(fset, prog.Info, sharedStd, pkg, path)
+	if err != nil {
+		return nil, err
+	}
+	prog.Pkgs = append(prog.Pkgs, tp)
+	prog.byPkg[pkg] = tp
+	prog.byPath[path] = tp
+	return prog, nil
+}
+
+func typeCheckPackage(fset *token.FileSet, info *types.Info, imp types.Importer, pkg *Package, path string) (*TypedPackage, error) {
+	files := make([]*ast.File, len(pkg.Files))
+	for i, f := range pkg.Files {
+		files[i] = f.AST
+	}
+	cfg := types.Config{Importer: imp}
+	tpkg, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &TypedPackage{Package: pkg, Path: path, Types: tpkg, Info: info}, nil
+}
+
+// fileOf maps a position back to the File holding it, for diagnostics
+// raised while walking another package's declarations.
+func (tp *TypedPackage) fileOf(pos token.Pos) *File {
+	position := tp.Fset.Position(pos)
+	for _, f := range tp.Files {
+		if tp.Fset.Position(f.AST.Pos()).Filename == position.Filename {
+			return f
+		}
+	}
+	return nil
+}
+
+// sortedKeys is a small helper for deterministic map iteration in the
+// typed analyzers.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -73,6 +73,14 @@ type Result struct {
 // costs as capacities. Disabled edges are ignored (already removed). The
 // graph is not modified.
 func IsolateArea(g *graph.Graph, area []graph.NodeID, cost graph.WeightFunc, dir Direction) (Result, error) {
+	return IsolateAreaCtx(context.Background(), g, area, cost, dir)
+}
+
+// IsolateAreaCtx is IsolateArea with cooperative cancellation: the
+// max-flow computation polls ctx once per Dinic phase. On cancellation
+// it returns the context's error rather than a cut built from partial
+// flow.
+func IsolateAreaCtx(ctx context.Context, g *graph.Graph, area []graph.NodeID, cost graph.WeightFunc, dir Direction) (Result, error) {
 	n := g.NumNodes()
 	if len(area) == 0 || len(area) >= n {
 		return Result{}, ErrBadArea
@@ -87,17 +95,17 @@ func IsolateArea(g *graph.Graph, area []graph.NodeID, cost graph.WeightFunc, dir
 
 	switch dir {
 	case Inbound, Outbound:
-		cut, flow, err := minCut(g, inArea, cost, dir == Outbound)
+		cut, flow, err := minCut(ctx, g, inArea, cost, dir == Outbound)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Cut: cut, TotalCost: flow, Direction: dir}, nil
 	case BothWays:
-		in, err := IsolateArea(g, area, cost, Inbound)
+		in, err := IsolateAreaCtx(ctx, g, area, cost, Inbound)
 		if err != nil {
 			return Result{}, err
 		}
-		out, err := IsolateArea(g, area, cost, Outbound)
+		out, err := IsolateAreaCtx(ctx, g, area, cost, Outbound)
 		if err != nil {
 			return Result{}, err
 		}
@@ -123,6 +131,12 @@ func IsolateArea(g *graph.Graph, area []graph.NodeID, cost graph.WeightFunc, dir
 // total cost (the max-flow value). Disabled edges are ignored. Used by the
 // defense package to measure how expensive full denial of a trip is.
 func MinCutBetween(g *graph.Graph, s, d graph.NodeID, cost graph.WeightFunc) ([]graph.EdgeID, float64, error) {
+	return MinCutBetweenCtx(context.Background(), g, s, d, cost)
+}
+
+// MinCutBetweenCtx is MinCutBetween with cooperative cancellation (one
+// ctx poll per Dinic phase).
+func MinCutBetweenCtx(ctx context.Context, g *graph.Graph, s, d graph.NodeID, cost graph.WeightFunc) ([]graph.EdgeID, float64, error) {
 	n := g.NumNodes()
 	if s < 0 || int(s) >= n || d < 0 || int(d) >= n || s == d {
 		return nil, 0, fmt.Errorf("partition: MinCutBetween: invalid endpoints %d, %d", s, d)
@@ -140,7 +154,10 @@ func MinCutBetween(g *graph.Graph, s, d graph.NodeID, cost graph.WeightFunc) ([]
 		arc := g.Arc(id)
 		dn.addEdge(int(arc.From), int(arc.To), c, id)
 	}
-	flow := dn.maxFlow(int(s), int(d))
+	flow, err := dn.maxFlow(ctx, int(s), int(d))
+	if err != nil {
+		return nil, 0, err
+	}
 
 	reach := make([]bool, n)
 	stack := []int{int(s)}
@@ -237,10 +254,15 @@ func (d *dinic) dfs(u, t int, f float64) float64 {
 	return 0
 }
 
-// maxFlow runs Dinic from s to t and returns the total flow.
-func (d *dinic) maxFlow(s, t int) float64 {
+// maxFlow runs Dinic from s to t and returns the total flow. ctx is
+// polled once per phase (each phase is one BFS plus its blocking flow,
+// so a cancelled cut computation stops within one level-graph round).
+func (d *dinic) maxFlow(ctx context.Context, s, t int) (float64, error) {
 	flow := 0.0
 	for d.bfs(s, t) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		for i := range d.iter {
 			d.iter[i] = 0
 		}
@@ -252,12 +274,12 @@ func (d *dinic) maxFlow(s, t int) float64 {
 			flow += f
 		}
 	}
-	return flow
+	return flow, nil
 }
 
 // minCut builds the flow network and extracts the minimum cut. When
 // outbound is true the roles are swapped: area is the source side.
-func minCut(g *graph.Graph, inArea []bool, cost graph.WeightFunc, outbound bool) ([]graph.EdgeID, float64, error) {
+func minCut(ctx context.Context, g *graph.Graph, inArea []bool, cost graph.WeightFunc, outbound bool) ([]graph.EdgeID, float64, error) {
 	n := g.NumNodes()
 	src, sink := n, n+1
 	d := newDinic(n + 2)
@@ -284,7 +306,10 @@ func minCut(g *graph.Graph, inArea []bool, cost graph.WeightFunc, outbound bool)
 		}
 	}
 
-	flow := d.maxFlow(src, sink)
+	flow, err := d.maxFlow(ctx, src, sink)
+	if err != nil {
+		return nil, 0, err
+	}
 	if math.IsInf(flow, 1) {
 		return nil, 0, errors.New("partition: infinite cut (area adjacency degenerate)")
 	}

@@ -276,6 +276,9 @@ func (s *Shard) SetRoad(e graph.EdgeID, r roadnet.Road) error {
 // generation is available; otherwise a fresh clone is cut (counted in
 // PoolMisses — the pool warms up as clones are released).
 func (s *Shard) AcquireClone() (*roadnet.Network, uint64) {
+	// Drain stale pool entries first; the loop is bounded by the channel
+	// capacity (each iteration pops one clone or exits).
+drain:
 	for {
 		select {
 		case pc := <-s.clones:
@@ -285,17 +288,18 @@ func (s *Shard) AcquireClone() (*roadnet.Network, uint64) {
 			}
 			s.poolStale.Add(1)
 		default:
-			s.poolMisses.Add(1)
-			// RLock pairs the generation read with the clone so a racing
-			// SetRoad cannot produce a new-weights clone stamped with the
-			// old generation.
-			s.mu.RLock()
-			gen := s.Generation()
-			clone := s.net.Clone()
-			s.mu.RUnlock()
-			return clone, gen
+			break drain
 		}
 	}
+	s.poolMisses.Add(1)
+	// RLock pairs the generation read with the clone so a racing
+	// SetRoad cannot produce a new-weights clone stamped with the
+	// old generation.
+	s.mu.RLock()
+	gen := s.Generation()
+	clone := s.net.Clone()
+	s.mu.RUnlock()
+	return clone, gen
 }
 
 // ReleaseClone sanitizes a clone (disabled edges from an unwound attack

@@ -82,7 +82,7 @@ func TestNewShardPreloadsArtifacts(t *testing.T) {
 		// The preloaded table must be bit-identical to a fresh sweep.
 		fresh := graph.NewRouter(s.Net().Graph()).ReversePotential(hospital, s.Net().Weight(wt))
 		for v := 0; v < s.Net().NumIntersections(); v++ {
-			if pot.At(graph.NodeID(v)) != fresh.At(graph.NodeID(v)) { //lint:allow floateq exact table equality is the contract
+			if pot.At(graph.NodeID(v)) != fresh.At(graph.NodeID(v)) {
 				t.Fatalf("Potential(%v) differs from fresh sweep at node %d: %v vs %v",
 					wt, v, pot.At(graph.NodeID(v)), fresh.At(graph.NodeID(v)))
 			}
@@ -125,7 +125,7 @@ func TestShardSetRoadAdvancesGeneration(t *testing.T) {
 	// The rebuilt table must match a fresh sweep over the mutated weights.
 	fresh := graph.NewRouter(s.Net().Graph()).ReversePotential(hospital, s.Net().Weight(roadnet.WeightLength))
 	for v := 0; v < s.Net().NumIntersections(); v++ {
-		if newPot.At(graph.NodeID(v)) != fresh.At(graph.NodeID(v)) { //lint:allow floateq exact table equality is the contract
+		if newPot.At(graph.NodeID(v)) != fresh.At(graph.NodeID(v)) {
 			t.Fatalf("post-SetRoad potential differs from fresh sweep at node %d", v)
 		}
 	}
@@ -165,7 +165,7 @@ func TestClonePoolRecyclesAndFlushes(t *testing.T) {
 	if g3 != 1 {
 		t.Errorf("post-mutation clone at generation %d, want 1", g3)
 	}
-	if c3.Road(0).LengthM != road.LengthM { //lint:allow floateq clone must carry the exact mutated value
+	if c3.Road(0).LengthM != road.LengthM {
 		t.Errorf("fresh clone carries stale road: %v, want %v", c3.Road(0).LengthM, road.LengthM)
 	}
 	if st := s.Stats(); st.PoolStale == 0 {

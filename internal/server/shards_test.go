@@ -38,9 +38,9 @@ func samePayload(t *testing.T, label string, got, want AttackResponse) {
 // waitFlight polls the coalescing stats until cond holds.
 func waitFlight(t *testing.T, s *Server, cond func(registry.GroupStats) bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(10 * time.Second) //lint:allow wallclock test polling deadline
 	for !cond(s.flight.Stats()) {
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //lint:allow wallclock test polling deadline
 			t.Fatalf("flight stats never converged: %+v", s.flight.Stats())
 		}
 		time.Sleep(time.Millisecond)

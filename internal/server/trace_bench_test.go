@@ -114,7 +114,7 @@ func benchTrace(b *testing.B, cacheBytes int64, hotPer10 int, mutate func(*Confi
 	var failed atomic.Int64
 
 	b.ResetTimer()
-	start := time.Now()
+	start := time.Now() //lint:allow wallclock benchmark measures real latency
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -126,9 +126,9 @@ func benchTrace(b *testing.B, cacheBytes int64, hotPer10 int, mutate func(*Confi
 					return
 				}
 				req := traceRequest(i, hotPer10, hot)
-				t0 := time.Now()
+				t0 := time.Now() //lint:allow wallclock benchmark measures real latency
 				rec, _, _ := postAttack(b, s, req)
-				lats[w] = append(lats[w], time.Since(t0))
+				lats[w] = append(lats[w], time.Since(t0)) //lint:allow wallclock benchmark measures real latency
 				if rec.Code != http.StatusOK {
 					failed.Add(1)
 				}
@@ -136,7 +136,7 @@ func benchTrace(b *testing.B, cacheBytes int64, hotPer10 int, mutate func(*Confi
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:allow wallclock benchmark measures real latency
 	b.StopTimer()
 
 	if n := failed.Load(); n > 0 {
