@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
@@ -104,12 +105,12 @@ func postJSON(t *testing.T, url string, body any) (int, []byte) {
 }
 
 // verifiedRecords runs the -verify-audit subcommand against dir as an
-// external oracle and returns the verified record count. Any chain
-// violation fails the test.
-func verifiedRecords(t *testing.T, dir string) int {
+// external oracle (plus any extra flags, e.g. -witness FILE) and returns
+// the verified record count. Any chain violation fails the test.
+func verifiedRecords(t *testing.T, dir string, extra ...string) int {
 	t.Helper()
 	out := &syncWriter{}
-	if err := run(context.Background(), []string{"-verify-audit", dir}, out); err != nil {
+	if err := run(context.Background(), append([]string{"-verify-audit", dir}, extra...), out); err != nil {
 		t.Fatalf("-verify-audit %s = %v\noutput: %s", dir, err, out.String())
 	}
 	m := regexp.MustCompile(`verifies: (\d+) records`).FindStringSubmatch(out.String())
@@ -128,12 +129,21 @@ func verifiedRecords(t *testing.T, dir string) int {
 // batch is in flight drains gracefully (run returns nil — exit 0), leaves
 // a resumable journal and a chain-clean ledger, and a restarted server
 // completes the batch from the journal with the ledger still verifying.
+// Rotation is forced down to one record per segment and every seal is
+// anchored to a witness file, so the resume provably crosses segment
+// boundaries and the final oracle run cross-checks the witness.
 func TestSIGTERMDrainsMidBatchAndResumes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a city and runs a batch; skipped in -short")
 	}
 	dir := t.TempDir()
 	adir := t.TempDir()
+	wfile := filepath.Join(t.TempDir(), "witness.jsonl")
+	auditFlags := []string{
+		"-checkpoint-dir", dir, "-audit-dir", adir,
+		"-audit-flush-records", "1", "-audit-rotate-bytes", "1",
+		"-audit-witness", wfile, "-audit-anchor-every", "1",
+	}
 
 	// Wedge the pipeline a few attack rounds in, so SIGTERM provably lands
 	// mid-batch rather than racing batch completion.
@@ -143,7 +153,7 @@ func TestSIGTERMDrainsMidBatchAndResumes(t *testing.T) {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
 	defer stop()
-	base, errc, out := startServe(t, ctx, "-checkpoint-dir", dir, "-audit-dir", adir)
+	base, errc, out := startServe(t, ctx, auditFlags...)
 
 	type result struct {
 		code int
@@ -205,7 +215,7 @@ func TestSIGTERMDrainsMidBatchAndResumes(t *testing.T) {
 	chaosInjector = nil
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	defer cancel2()
-	base2, errc2, _ := startServe(t, ctx2, "-checkpoint-dir", dir, "-audit-dir", adir)
+	base2, errc2, _ := startServe(t, ctx2, auditFlags...)
 	code, body := postJSON(t, base2+"/v1/batch", testBatch())
 	if code != http.StatusOK {
 		t.Fatalf("resumed batch = %d, want 200; body %s", code, body)
@@ -222,10 +232,23 @@ func TestSIGTERMDrainsMidBatchAndResumes(t *testing.T) {
 		t.Fatalf("second run exit = %v, want nil", err)
 	}
 
-	// The oracle again: the resumed run extended the same chain — journal
+	// The oracle again, now cross-checked against the witness file both
+	// runs anchored to: the resumed run extended the same chain — journal
 	// replays were not re-audited, so growth is only the remainder.
-	if after := verifiedRecords(t, adir); after <= drained {
+	after := verifiedRecords(t, adir, "-witness", wfile)
+	if after <= drained {
 		t.Fatalf("ledger did not grow across the resume: %d then %d", drained, after)
+	}
+
+	// With one record per segment, the resumed chain spans one sealed
+	// segment per record: the drain and resume provably crossed segment
+	// boundaries.
+	segs, err := filepath.Glob(filepath.Join(adir, "segment-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("resumed ledger has %d segments, want at least 3 (records: %d)", len(segs), after)
 	}
 }
 
@@ -308,6 +331,98 @@ func TestServeBadFlags(t *testing.T) {
 		if err := run(context.Background(), args, &syncWriter{}); err == nil {
 			t.Errorf("run(%v) = nil, want error", args)
 		}
+	}
+}
+
+// TestVerifyAuditNothingToVerify pins the empty-state contract: pointing
+// -verify-audit at a directory with no ledger (fresh, or the wrong one) is
+// its own outcome — exit 2 with a message saying so — distinct from both
+// a clean chain (0) and a violation (1).
+func TestVerifyAuditNothingToVerify(t *testing.T) {
+	for _, dir := range []string{t.TempDir(), filepath.Join(t.TempDir(), "never-created")} {
+		out := &syncWriter{}
+		err := run(context.Background(), []string{"-verify-audit", dir}, out)
+		if !errors.Is(err, audit.ErrNoLedger) {
+			t.Fatalf("-verify-audit %s = %v, want ErrNoLedger", dir, err)
+		}
+		if !strings.Contains(err.Error(), "nothing to verify") {
+			t.Fatalf("error does not explain itself: %v", err)
+		}
+		if c := exitCode(err); c != 2 {
+			t.Fatalf("exit code = %d, want 2", c)
+		}
+	}
+}
+
+// TestExitCodes pins the process exit mapping run's error lands in.
+func TestExitCodes(t *testing.T) {
+	if c := exitCode(nil); c != 0 {
+		t.Fatalf("exitCode(nil) = %d", c)
+	}
+	if c := exitCode(errors.New("boom")); c != 1 {
+		t.Fatalf("exitCode(error) = %d", c)
+	}
+	if c := exitCode(fmt.Errorf("wrapped: %w", audit.ErrNoLedger)); c != 2 {
+		t.Fatalf("exitCode(ErrNoLedger) = %d", c)
+	}
+}
+
+// TestVerifyAuditWitnessDetectsRollback rolls a ledger's tail back past
+// its last witness anchor: plain -verify-audit accepts the shortened chain
+// (it is internally consistent — exactly the blind spot), while
+// -verify-audit -witness refuses it.
+func TestVerifyAuditWitnessDetectsRollback(t *testing.T) {
+	dir := t.TempDir()
+	wfile := filepath.Join(t.TempDir(), "witness.jsonl")
+	fw, err := audit.OpenFileWitness(wfile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := audit.Open(audit.Config{Dir: dir, FlushRecords: 2, Witness: fw, AnchorEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(audit.Record{Kind: "attack", City: "boston", Source: int64(i), Dest: 9, OK: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean: the witness agrees, and the output says so.
+	out := &syncWriter{}
+	if err := run(context.Background(), []string{"-verify-audit", dir, "-witness", wfile}, out); err != nil {
+		t.Fatalf("witness verify over clean ledger = %v\noutput: %s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "agrees") {
+		t.Fatalf("output has no witness agreement line: %s", out.String())
+	}
+
+	// Roll the tail back to the first sealed batch (r0, r1, seal 0): still
+	// a perfectly consistent chain, so the plain oracle accepts it.
+	path := filepath.Join(dir, "ledger.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if err := os.WriteFile(path, bytes.Join(lines[:3], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n := verifiedRecords(t, dir); n != 2 {
+		t.Fatalf("plain verify of rolled-back ledger = %d records, want 2 (the blind spot)", n)
+	}
+	err = run(context.Background(), []string{"-verify-audit", dir, "-witness", wfile}, &syncWriter{})
+	if !errors.Is(err, audit.ErrChainBroken) || !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("witness verify of rolled-back ledger = %v, want rollback refusal", err)
+	}
+	if c := exitCode(err); c != 1 {
+		t.Fatalf("exit code = %d, want 1", c)
 	}
 }
 

@@ -1,0 +1,159 @@
+// Command witness runs a standalone audit witness: an append-only,
+// hash-chained anchor store on a failure domain separate from the ledger
+// it vouches for. A serve instance started with -audit-witness-url
+// periodically POSTs its latest seal root here; once an anchor lands,
+// rolling the ledger's tail back past it is detectable offline
+// (`serve -verify-audit DIR -witness FILE` over a copy of the witness
+// file), and submitting a contradictory history for an anchored batch is
+// refused loudly as equivocation.
+//
+// Endpoints:
+//
+//	POST /v1/witness/anchor   chain one anchor (409 on equivocation)
+//	GET  /v1/witness/anchors  the full anchor chain as JSON
+//	GET  /healthz             liveness + anchor count and chain head
+//
+// Offline, `witness -file FILE -list` verifies the anchor chain and
+// prints it without serving: exit 1 on a broken chain, exit 2 when the
+// file does not exist.
+//
+//	witness -file anchors.jsonl -addr :8090
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"altroute/internal/audit"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "witness:", err)
+		code := 1
+		if errors.Is(err, audit.ErrNoLedger) {
+			code = 2
+		}
+		os.Exit(code)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("witness", flag.ContinueOnError)
+	var (
+		file = fs.String("file", "", "append-only witness anchor file (required)")
+		addr = fs.String("addr", ":8090", "listen address")
+		list = fs.Bool("list", false, "verify the anchor chain and print it instead of serving")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return errors.New("-file is required")
+	}
+	if *list {
+		return listAnchors(*file, out)
+	}
+
+	w, err := audit.OpenFileWitness(*file, nil)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	fmt.Fprintf(out, "witness: %s holds %d anchors\n", *file, len(w.Anchors()))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/witness/anchor", func(rw http.ResponseWriter, r *http.Request) {
+		var a audit.Anchor
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			httpError(rw, http.StatusBadRequest, fmt.Errorf("decoding anchor: %w", err))
+			return
+		}
+		if a.SealHash == "" || a.Root == "" {
+			httpError(rw, http.StatusBadRequest, errors.New("anchor needs seal_hash and root"))
+			return
+		}
+		stored, err := w.Anchor(a)
+		switch {
+		case errors.Is(err, audit.ErrWitnessEquivocation):
+			httpError(rw, http.StatusConflict, err)
+		case err != nil:
+			httpError(rw, http.StatusServiceUnavailable, err)
+		default:
+			writeJSON(rw, stored)
+		}
+	})
+	mux.HandleFunc("GET /v1/witness/anchors", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, w.Anchors())
+	})
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		anchors := w.Anchors()
+		head := ""
+		if n := len(anchors); n > 0 {
+			head = anchors[n-1].Hash
+		}
+		writeJSON(rw, map[string]any{"status": "ok", "anchors": len(anchors), "head": head})
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "witness: listening on %s\n", ln.Addr())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second, ReadTimeout: 30 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(out, "witness: exiting")
+	return nil
+}
+
+// listAnchors is the -list mode: verify the chain read-only and print
+// each anchor, one line per seal witnessed.
+func listAnchors(path string, out io.Writer) error {
+	anchors, torn, err := audit.LoadWitnessFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "witness: %s verifies: %d anchors\n", path, len(anchors))
+	for _, a := range anchors {
+		fmt.Fprintf(out, "witness: anchor %d: batch %d, %d records, seal %s, root %s\n",
+			a.Index, a.Batch, a.Records, a.SealHash, a.Root)
+	}
+	if torn {
+		fmt.Fprintln(out, "witness: torn final line (healed at the next open)")
+	}
+	return nil
+}
+
+func httpError(rw http.ResponseWriter, status int, err error) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(v)
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"altroute/internal/audit"
+)
+
+// syncWriter is a goroutine-safe capture of run's stdout.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`witness: listening on (\S+)`)
+
+// startWitness launches run() on an ephemeral port and returns the base
+// URL and a channel carrying run's return value.
+func startWitness(t *testing.T, ctx context.Context, file string) (string, <-chan error, *syncWriter) {
+	t.Helper()
+	out := &syncWriter{}
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, []string{"-file", file, "-addr", "127.0.0.1:0"}, out) }()
+	deadline := time.Now().Add(30 * time.Second) //lint:allow wallclock test polling deadline
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], errc, out
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("run exited before listening: %v\noutput: %s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) { //lint:allow wallclock test polling deadline
+			t.Fatalf("witness never listened; output: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWitnessServeAnchorRoundTrip drives the daemon end to end: anchors
+// submitted over HTTP chain into the file, equivocation is refused with a
+// 409, health and listing endpoints report the chain, and SIGTERM-style
+// cancellation exits cleanly.
+func TestWitnessServeAnchorRoundTrip(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "anchors.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, errc, out := startWitness(t, ctx, file)
+
+	hw := &audit.HTTPWitness{URL: base + "/v1/witness/anchor"}
+	stored, err := hw.Anchor(audit.Anchor{Batch: 0, Records: 2, SealHash: "aa", Root: "bb"})
+	if err != nil || stored.Hash == "" || stored.Index != 0 {
+		t.Fatalf("anchor = %+v, %v", stored, err)
+	}
+	// Idempotent re-anchor; then a contradictory history for the same
+	// batch must come back as equivocation (the daemon's 409).
+	if again, err := hw.Anchor(audit.Anchor{Batch: 0, Records: 2, SealHash: "aa", Root: "bb"}); err != nil || again.Hash != stored.Hash {
+		t.Fatalf("re-anchor = %+v, %v", again, err)
+	}
+	if _, err := hw.Anchor(audit.Anchor{Batch: 0, Records: 2, SealHash: "cc", Root: "bb"}); !errors.Is(err, audit.ErrWitnessEquivocation) {
+		t.Fatalf("forked anchor = %v, want ErrWitnessEquivocation", err)
+	}
+
+	resp, err := http.Get(base + "/v1/witness/anchors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anchors []audit.Anchor
+	if err := json.NewDecoder(resp.Body).Decode(&anchors); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(anchors) != 1 || anchors[0].Hash != stored.Hash {
+		t.Fatalf("anchors = %+v", anchors)
+	}
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Anchors int    `json:"anchors"`
+		Head    string `json:"head"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Anchors != 1 || health.Head != stored.Hash {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run = %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("run never exited; output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "witness: exiting") {
+		t.Fatalf("missing farewell; output: %s", out.String())
+	}
+
+	// The file the daemon left behind is a verifying chain: -list prints
+	// it, and a fresh daemon resumes from it.
+	lout := &syncWriter{}
+	if err := run(context.Background(), []string{"-file", file, "-list"}, lout); err != nil {
+		t.Fatalf("-list = %v", err)
+	}
+	if !strings.Contains(lout.String(), "verifies: 1 anchors") || !strings.Contains(lout.String(), "batch 0") {
+		t.Fatalf("-list output: %s", lout.String())
+	}
+}
+
+// TestWitnessListExitContract pins the offline modes: a missing file is
+// ErrNoLedger (exit 2 — nothing to verify), a tampered file is a chain
+// violation (exit 1), and -file is required.
+func TestWitnessListExitContract(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "never-created.jsonl")
+	if err := run(context.Background(), []string{"-file", missing, "-list"}, &syncWriter{}); !errors.Is(err, audit.ErrNoLedger) {
+		t.Fatalf("-list on missing file = %v, want ErrNoLedger", err)
+	}
+	if err := run(context.Background(), []string{"-list"}, &syncWriter{}); err == nil {
+		t.Fatal("-list without -file succeeded")
+	}
+
+	file := filepath.Join(t.TempDir(), "anchors.jsonl")
+	w, err := audit.OpenFileWitness(file, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Anchor(audit.Anchor{Batch: uint64(i), Records: uint64(2 * (i + 1)), SealHash: fmt.Sprintf("s%d", i), Root: "r"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := &syncWriter{}
+	if err := run(context.Background(), []string{"-file", file, "-list"}, out); err != nil {
+		t.Fatalf("-list = %v", err)
+	}
+	if !strings.Contains(out.String(), "verifies: 3 anchors") {
+		t.Fatalf("-list output: %s", out.String())
+	}
+
+	// One flipped byte breaks the chain: exit 1, not 2.
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[15] ^= 0x01
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(context.Background(), []string{"-file", file, "-list"}, &syncWriter{})
+	if err == nil || errors.Is(err, audit.ErrNoLedger) {
+		t.Fatalf("-list on tampered file = %v, want a chain violation", err)
+	}
+}

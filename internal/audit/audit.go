@@ -57,6 +57,19 @@ var ErrUnsealed = errors.New("audit: record not sealed yet")
 // and self-heals the file).
 var ErrLedgerFailed = errors.New("audit: ledger failed")
 
+// ErrCompacted is returned by Proof for a record whose segment was
+// compacted into a checkpoint stub: the record bytes (and its batch's
+// leaves) are gone, summarized by the stub's retained seal. Clients that
+// need replayable proofs must fetch them before the retention window
+// closes.
+var ErrCompacted = errors.New("audit: record compacted away")
+
+// ErrNoLedger distinguishes "this directory has never held a ledger"
+// from an empty-but-valid one. Verification tools surface it as its own
+// exit code: verifying a path that was never a ledger is almost always a
+// typo, not a clean bill of health.
+var ErrNoLedger = errors.New("audit: no ledger found")
+
 // Record is one served attack result. Request fields identify what was
 // asked, outcome fields what was answered, and Prev/Hash chain the record
 // into the ledger. The JSON field order is the canonical hashing order —
@@ -93,6 +106,10 @@ type Record struct {
 	// result, so still audited.
 	Cached   bool   `json:"cached,omitempty"`
 	FailKind string `json:"fail_kind,omitempty"`
+	// Shed counts records dropped under the shed-on-disk-full policy just
+	// before this one; set only on Kind "audit-gap" records, which the
+	// ledger writes on recovery so the gap itself is chained and signed.
+	Shed uint64 `json:"shed,omitempty"`
 
 	// Prev is the Hash of the previous record (recordGenesis for the
 	// first), and Hash is the SHA-256 of this record's canonical JSON
@@ -158,8 +175,9 @@ func genesis(tag string) string {
 }
 
 var (
-	recordGenesis = genesis("records")
-	sealGenesis   = genesis("seals")
+	recordGenesis  = genesis("records")
+	sealGenesis    = genesis("seals")
+	witnessGenesis = genesis("witness")
 )
 
 // ChainError pinpoints the first integrity violation found in a ledger.
@@ -168,13 +186,19 @@ type ChainError struct {
 	// Seq is the sequence number of the offending record (or the first
 	// sequence of the offending seal's batch).
 	Seq uint64
-	// Line is the 1-based JSONL line number of the offending entry.
+	// File names the segment file holding the offending entry ("" for a
+	// single-file ledger or when the violation spans files).
+	File string
+	// Line is the 1-based JSONL line number inside File.
 	Line int
 	// Reason says which invariant failed.
 	Reason string
 }
 
 func (e *ChainError) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("audit: hash chain broken at seq %d (%s line %d): %s", e.Seq, e.File, e.Line, e.Reason)
+	}
 	return fmt.Sprintf("audit: hash chain broken at seq %d (line %d): %s", e.Seq, e.Line, e.Reason)
 }
 

@@ -151,13 +151,41 @@ func TestLedgerChaosKillMidFlushResumesBitIdentical(t *testing.T) {
 	}
 }
 
-// TestLedgerChaosFsyncFaultPoisonsButKeepsIntegrity fails the group
-// commit's fsync after the seal line reached the OS: durability is in
-// doubt, so the ledger fails closed — but nothing was torn, so a reopen
-// finds a fully intact, verifiable chain including the seal.
-func TestLedgerChaosFsyncFaultPoisonsButKeepsIntegrity(t *testing.T) {
+// TestLedgerChaosFsyncTransientFaultHealsByRetry fails the group
+// commit's fsync exactly once: the supervisor's retry-with-backoff must
+// absorb it — no poison, the flush succeeds, and the healed retry is
+// visible in Stats.
+func TestLedgerChaosFsyncTransientFaultHealsByRetry(t *testing.T) {
 	dir := t.TempDir()
 	inj := faultinject.New(1).Arm(faultinject.PointAuditFsync, faultinject.Rule{OnHit: 1})
+	l := openTest(t, dir, func(c *Config) { c.Injector = inj })
+	appendN(t, l, 0, 3)
+	if err := l.Flush(); err != nil {
+		t.Fatalf("flush with transient fsync fault = %v, want healed by retry", err)
+	}
+	st := l.Stats()
+	if st.FsyncRetries == 0 {
+		t.Fatalf("stats = %+v, want FsyncRetries > 0", st)
+	}
+	if st.Error != "" {
+		t.Fatalf("transient fsync fault left sticky error %q", st.Error)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := VerifyDir(dir); err != nil {
+		t.Fatalf("VerifyDir: %v", err)
+	}
+}
+
+// TestLedgerChaosFsyncFaultPoisonsButKeepsIntegrity fails the group
+// commit's fsync persistently — every attempt, retries included:
+// durability is in doubt, so the ledger fails closed — but nothing was
+// torn, so a reopen finds a fully intact, verifiable chain including
+// the seal.
+func TestLedgerChaosFsyncFaultPoisonsButKeepsIntegrity(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(1).Arm(faultinject.PointAuditFsync, faultinject.Rule{Every: 1})
 	l := openTest(t, dir, func(c *Config) { c.Injector = inj })
 	appendN(t, l, 0, 3)
 	if err := l.Flush(); !errors.Is(err, faultinject.ErrInjected) || !errors.Is(err, ErrLedgerFailed) {

@@ -1,0 +1,106 @@
+package audit
+
+// Durable file-system primitives shared by the ledger's segment rotation
+// and compaction, and by the experiment checkpoint journal. Each helper
+// pairs the mutating syscall with the fsync that makes it crash-durable:
+// a rename without a directory sync, or a truncate without a file sync,
+// is exactly the half-step an unlucky power cut turns into the "interrupted
+// rotation" and "interrupted compaction" states the chaos matrix heals.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SyncDir fsyncs a directory, persisting renames, creates, and removes of
+// its entries. On filesystems where directories cannot be fsynced the
+// error is returned as-is for the caller to classify.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("audit: sync dir: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("audit: sync dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("audit: sync dir: %w", cerr)
+	}
+	return nil
+}
+
+// RenameSynced renames oldPath to newPath and fsyncs the containing
+// directory, so the rename survives a crash. Both paths must live in the
+// same directory (the ledger's segments all do).
+func RenameSynced(oldPath, newPath string) error {
+	if err := os.Rename(oldPath, newPath); err != nil {
+		return fmt.Errorf("audit: rename: %w", err)
+	}
+	return SyncDir(filepath.Dir(newPath))
+}
+
+// WriteFileSynced atomically replaces path with data: write to a
+// same-directory temp file, fsync it, rename over path, fsync the
+// directory. A crash anywhere leaves either the old file or the new one,
+// never a torn mixture — the property the compaction stub depends on.
+func WriteFileSynced(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("audit: write %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("audit: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("audit: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("audit: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("audit: rename %s: %w", tmp, err)
+	}
+	return SyncDir(dir)
+}
+
+// TruncateSynced truncates path to n bytes and fsyncs it, so a healed
+// torn tail cannot reappear after a crash. The ledger and the checkpoint
+// journal both heal with it.
+func TruncateSynced(path string, n int64) error {
+	if err := os.Truncate(path, n); err != nil {
+		return fmt.Errorf("audit: truncate: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("audit: truncate sync: %w", err)
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return fmt.Errorf("audit: truncate sync: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("audit: truncate sync: %w", cerr)
+	}
+	return nil
+}
+
+// RemoveSynced removes path and fsyncs the containing directory. Used by
+// compaction to drop segment files it has summarized into the stub.
+func RemoveSynced(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("audit: remove: %w", err)
+	}
+	return SyncDir(filepath.Dir(path))
+}

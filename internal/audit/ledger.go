@@ -11,19 +11,40 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"altroute/internal/faultinject"
 )
 
-// ledgerFile is the JSONL file name inside the ledger directory.
+// ledgerFile is the active JSONL file name inside the ledger directory.
+// Rotation renames it into numbered sealed segments (see segment.go).
 const ledgerFile = "ledger.jsonl"
+
+// DiskFullPolicy declares what Append does when the disk is full.
+type DiskFullPolicy int
+
+const (
+	// DiskFullFailClosed (the default) poisons the ledger on ENOSPC:
+	// no record may be served unaudited, so the service refuses requests
+	// until an operator makes room and the ledger reopens. Chooses audit
+	// completeness over availability.
+	DiskFullFailClosed DiskFullPolicy = iota
+	// DiskFullShed keeps serving: the failed write is truncated away,
+	// the record is dropped, the receipt and /readyz report degraded,
+	// and a chained "audit-gap" record counting the dropped records is
+	// written once the disk recovers. Chooses availability over
+	// completeness — but the gap itself is signed, so the shed window is
+	// part of the verifiable history, never silent.
+	DiskFullShed
+)
 
 // Config configures a Ledger. Dir is required; every other field has a
 // default noted on it.
 type Config struct {
-	// Dir is the ledger directory (created if missing). The ledger lives
-	// in Dir/ledger.jsonl.
+	// Dir is the ledger directory (created if missing). The active file
+	// is Dir/ledger.jsonl; rotation and compaction add segment-*.jsonl
+	// and compact.jsonl next to it.
 	Dir string
 	// FlushEvery is the group-commit time bound: pending records are
 	// sealed and fsynced at least this often. Default 100ms.
@@ -37,10 +58,34 @@ type Config struct {
 	// the benchmark baseline and for operators who want zero crash-loss
 	// at full fsync cost.
 	SyncEachRecord bool
+	// RotateBytes rotates the active file into an immutable sealed
+	// segment at the first seal boundary at or past this size. 0 (the
+	// default) never rotates — the single-file ledger.
+	RotateBytes int64
+	// CompactKeep bounds disk and memory for unbounded uptime: when more
+	// than this many sealed segments exist, the oldest are compacted
+	// into the Merkle-checkpoint stub. 0 (the default) never compacts.
+	CompactKeep int
+	// OnDiskFull picks the ENOSPC policy. Default DiskFullFailClosed.
+	OnDiskFull DiskFullPolicy
+	// FsyncRetries is how many times a failed fsync is retried (with
+	// backoff) before the failure goes sticky — transient EINTR-class
+	// faults heal invisibly. Default 2; -1 disables retries.
+	FsyncRetries int
+	// FsyncRetryBackoff is the first retry's delay, doubled per retry.
+	// Default 5ms.
+	FsyncRetryBackoff time.Duration
+	// Witness, when non-nil, receives periodic anchors of the latest
+	// seal, making tail rollback detectable (see witness.go).
+	Witness Witness
+	// AnchorEvery anchors at least every this many seal batches.
+	// Default 8.
+	AnchorEvery int
 	// Clock stamps records and measures flush latency. Default time.Now.
 	Clock func() time.Time
 	// Injector, when non-nil, arms the audit disk-fault points
-	// (PointAuditWrite, PointAuditFsync) for chaos tests.
+	// (PointAuditWrite, PointAuditFsync, PointAuditFull,
+	// PointAuditRotate, PointAuditCompact) for chaos tests.
 	Injector *faultinject.Injector
 }
 
@@ -51,16 +96,32 @@ func (c *Config) fill() {
 	if c.FlushRecords <= 0 {
 		c.FlushRecords = 64
 	}
+	if c.FsyncRetries == 0 {
+		c.FsyncRetries = 2
+	}
+	if c.FsyncRetries < 0 {
+		c.FsyncRetries = 0
+	}
+	if c.FsyncRetryBackoff <= 0 {
+		c.FsyncRetryBackoff = 5 * time.Millisecond
+	}
+	if c.AnchorEvery <= 0 {
+		c.AnchorEvery = 8
+	}
 	if c.Clock == nil {
 		c.Clock = func() time.Time { return time.Now() } //lint:allow wallclock audit records carry real timestamps; tests inject fixed clocks
 	}
 }
 
 // Receipt identifies an appended record: its ledger position and chain
-// hash. Clients quote the Seq back at GET /v1/audit/{seq}/proof.
+// hash. Clients quote the Seq back at GET /v1/audit/{seq}/proof. A
+// Degraded receipt means the record was shed under DiskFullShed — it
+// has no ledger position and will be represented only by the audit-gap
+// record written on recovery.
 type Receipt struct {
-	Seq  uint64 `json:"seq"`
-	Hash string `json:"hash"`
+	Seq      uint64 `json:"seq"`
+	Hash     string `json:"hash"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
 // sealedBatch pairs a seal with its leaf hashes, kept for proof building.
@@ -68,6 +129,11 @@ type sealedBatch struct {
 	seal   Seal
 	leaves [][sha256.Size]byte
 }
+
+// errShedDropped is writeRecordLocked's signal that the record was
+// dropped by the shed policy after a successful truncate-heal: the
+// ledger is healthy but degraded. Never escapes the package.
+var errShedDropped = errors.New("audit: record shed (disk full)")
 
 // Stats is a point-in-time snapshot of the ledger, exported on /healthz.
 type Stats struct {
@@ -81,6 +147,34 @@ type Stats struct {
 	SealedBatches uint64 `json:"sealed_batches"`
 	SealedRecords uint64 `json:"sealed_records"`
 	Pending       int    `json:"pending_records"`
+	// Segments counts live sealed segment files; the Compacted* fields
+	// bound the stub-summarized range (records [0, CompactedRecords)).
+	Segments          int    `json:"segments"`
+	CompactedSegments int    `json:"compacted_segments,omitempty"`
+	CompactedRecords  uint64 `json:"compacted_records,omitempty"`
+	CompactedBatches  uint64 `json:"compacted_batches,omitempty"`
+	Rotations         uint64 `json:"rotations,omitempty"`
+	Compactions       uint64 `json:"compactions,omitempty"`
+	// RotateErrors and CompactErrors count deferred (retried) rotation
+	// and compaction attempts — degradations, not failures: the data
+	// stays intact and oversized until a retry lands.
+	RotateErrors  uint64 `json:"rotate_errors,omitempty"`
+	CompactErrors uint64 `json:"compact_errors,omitempty"`
+	// Degraded is the shed-policy state: records are (or recently were)
+	// being dropped on ENOSPC and the gap record has not landed yet.
+	// ShedRecords is the lifetime count of dropped records.
+	Degraded    bool   `json:"degraded,omitempty"`
+	ShedRecords uint64 `json:"shed_records,omitempty"`
+	// FsyncRetries counts transient fsync faults healed by retry.
+	FsyncRetries uint64 `json:"fsync_retries,omitempty"`
+	// Anchored/LastAnchorBatch/LastAnchorAgeS describe witness anchoring
+	// (absent when no witness is configured); WitnessErrors counts
+	// failed anchor submissions and WitnessError holds the latest one.
+	Anchored        bool    `json:"anchored,omitempty"`
+	LastAnchorBatch uint64  `json:"last_anchor_batch,omitempty"`
+	LastAnchorAgeS  float64 `json:"last_anchor_age_s,omitempty"`
+	WitnessErrors   uint64  `json:"witness_errors,omitempty"`
+	WitnessError    string  `json:"witness_error,omitempty"`
 	// Appended and Fsyncs count this process's work; their ratio
 	// (RecordsPerFsync) is the group-commit win over per-record fsync,
 	// which would pin it at 1.
@@ -94,28 +188,54 @@ type Stats struct {
 }
 
 // Ledger is the tamper-evident result ledger. Open it with Open; Append
-// is safe for concurrent use. A background flusher group-commits pending
-// records on the Config bounds; Close flushes the tail and stops it.
+// is safe for concurrent use. A background supervisor group-commits
+// pending records on the Config bounds and also drives rotation
+// follow-up work (compaction, witness anchoring); Close flushes the
+// tail and stops it.
 type Ledger struct {
-	cfg  Config
-	path string
+	cfg        Config
+	dir        string
+	activePath string
+	stubPath   string
 
-	mu       sync.Mutex
-	f        *os.File
-	w        *bufio.Writer
-	seq      uint64 // next record seq
-	recHead  string
-	sealHead string
-	records  []Record
-	batches  []sealedBatch
-	pending  [][sha256.Size]byte // leaves since the last seal
-	dirty    bool                // sealed bytes not yet fsynced
-	failed   error               // sticky ErrLedgerFailed
-	closed   bool
+	mu          sync.Mutex
+	f           *os.File
+	w           *bufio.Writer
+	activeBytes int64 // bytes durably line-complete in the active file
+	nextSeg     int   // index the active file takes at the next rotation
+	baseSeq     uint64
+	baseBatch   uint64
+	stub        *CompactStub
+	segs        []segmentInfo
+	seq         uint64 // next record seq
+	recHead     string
+	sealHead    string
+	records     []Record            // records[seq-baseSeq]
+	batches     []sealedBatch       // batches[batch-baseBatch]
+	pending     [][sha256.Size]byte // leaves since the last seal
+	dirty       bool                // sealed bytes not yet fsynced
+	failed      error               // sticky ErrLedgerFailed
+	closed      bool
+	compacting  bool
 
-	appended  uint64
-	fsyncs    uint64
-	lastFlush time.Duration
+	degraded    bool   // shed mode: records being dropped on ENOSPC
+	shedTotal   uint64 // lifetime dropped records
+	shedPending uint64 // dropped records not yet covered by a gap record
+
+	appended     uint64
+	fsyncs       uint64
+	fsyncRetried uint64
+	rotations    uint64
+	compactions  uint64
+	rotateErrs   uint64
+	compactErrs  uint64
+	lastFlush    time.Duration
+
+	anchored        bool
+	lastAnchorBatch uint64
+	lastAnchorTime  time.Time
+	witnessErrs     uint64
+	lastWitnessErr  error
 
 	// syncMu serializes fsyncs; they deliberately run OUTSIDE mu so the
 	// append hot path never waits on the disk, even mid group commit.
@@ -126,11 +246,14 @@ type Ledger struct {
 }
 
 // Open opens (or creates) the ledger in cfg.Dir, replaying and verifying
-// the whole chain. A torn final line — the signature of a mid-write kill
-// — is self-healed by truncating it (the lost record is part of the
-// unsealed tail the crash window may cost); any other violation returns a
-// *ChainError wrapping ErrChainBroken, and the caller must refuse to
-// build on the directory.
+// the whole stream — compaction stub, sealed segments, active file — as
+// one chain. Crash artifacts self-heal: a torn final line is truncated
+// (the lost record is part of the unsealed tail the crash window may
+// cost), stray temp files and stub-covered segments from an interrupted
+// compaction are removed, and a truncation that left the stream tail in
+// a sealed segment un-rotates it back into the active file. Any other
+// violation returns a *ChainError wrapping ErrChainBroken, and the
+// caller must refuse to build on the directory.
 func Open(cfg Config) (*Ledger, error) { //lint:allow ctxflow replay is linear in the on-disk ledger and runs once at open; recovery is not cancellable mid-verification
 	cfg.fill()
 	if cfg.Dir == "" {
@@ -139,39 +262,97 @@ func Open(cfg Config) (*Ledger, error) { //lint:allow ctxflow replay is linear i
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("audit: %w", err)
 	}
-	path := filepath.Join(cfg.Dir, ledgerFile)
-	data, err := os.ReadFile(path)
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("audit: %w", err)
+	ds, err := replayDir(cfg.Dir)
+	if err != nil {
+		return nil, err
 	}
-	st, cerr := replay(data)
-	if cerr != nil {
-		return nil, cerr
+	// Heal crash artifacts, least- to most-entangled. Stray .tmp files
+	// are an interrupted atomic write (pre-rename, so contentless);
+	// stub-covered segments are an interrupted compaction whose stub
+	// already became authoritative.
+	for _, p := range ds.lay.leftover {
+		if err := os.Remove(p); err != nil {
+			return nil, fmt.Errorf("audit: healing temp file: %w", err)
+		}
 	}
-	if st.tornStart >= 0 {
+	for _, p := range ds.covered {
+		if err := os.Remove(p); err != nil {
+			return nil, fmt.Errorf("audit: finishing interrupted compaction: %w", err)
+		}
+	}
+	if len(ds.lay.leftover)+len(ds.covered) > 0 {
+		if err := SyncDir(cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+	if ds.tornPath != "" {
 		// Self-heal: drop the torn fragment so the next record starts on
 		// a clean line. Only the unsealed tail can be lost this way.
-		if err := os.Truncate(path, st.tornStart); err != nil {
+		if err := TruncateSynced(ds.tornPath, ds.tornStart); err != nil {
 			return nil, fmt.Errorf("audit: healing torn tail: %w", err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	activePath := filepath.Join(cfg.Dir, ledgerFile)
+	activeBytes := ds.activeBytes
+	segs := ds.segEnds
+	unrotated := false
+	if len(segs) > 0 && activeBytes == 0 && len(ds.pendingLeaves) > 0 {
+		// The stream's unsealed tail lives in the last sealed segment —
+		// a truncation (torn or clean) cut it mid-batch and the active
+		// file holds nothing. Segments must stay immutable and end at
+		// seal boundaries, so the segment becomes the active file again;
+		// the next rotation re-seals it under the same index.
+		last := segs[len(segs)-1]
+		if err := os.Rename(last.path, activePath); err != nil {
+			return nil, fmt.Errorf("audit: un-rotating truncated segment: %w", err)
+		}
+		if err := SyncDir(cfg.Dir); err != nil {
+			return nil, err
+		}
+		fi, err := os.Stat(activePath)
+		if err != nil {
+			return nil, fmt.Errorf("audit: %w", err)
+		}
+		activeBytes = fi.Size()
+		segs = segs[:len(segs)-1]
+		unrotated = true
+	}
+	nextSeg := 0
+	if ds.stub != nil {
+		nextSeg = ds.stub.Segments
+	}
+	if len(segs) > 0 {
+		nextSeg = segs[len(segs)-1].index + 1
+	}
+	if unrotated {
+		// The un-rotated file reclaims its old index.
+		nextSeg = ds.segEnds[len(ds.segEnds)-1].index
+	}
+	f, err := os.OpenFile(activePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("audit: %w", err)
 	}
 	l := &Ledger{
-		cfg:      cfg,
-		path:     path,
-		f:        f,
-		w:        bufio.NewWriter(f),
-		seq:      uint64(len(st.records)),
-		recHead:  st.recHead,
-		sealHead: st.sealHead,
-		records:  st.records,
-		batches:  st.batches,
-		pending:  st.pendingLeaves,
-		kick:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
+		cfg:         cfg,
+		dir:         cfg.Dir,
+		activePath:  activePath,
+		stubPath:    filepath.Join(cfg.Dir, stubFile),
+		f:           f,
+		w:           bufio.NewWriter(f),
+		activeBytes: activeBytes,
+		nextSeg:     nextSeg,
+		baseSeq:     ds.baseSeq,
+		baseBatch:   ds.baseBatch,
+		stub:        ds.stub,
+		segs:        segs,
+		seq:         ds.totalRecords(),
+		recHead:     ds.recHead,
+		sealHead:    ds.sealHead,
+		records:     ds.records,
+		batches:     ds.batches,
+		pending:     ds.pendingLeaves,
+		kick:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
 	}
 	if !cfg.SyncEachRecord {
 		l.flusher.Add(1)
@@ -180,11 +361,13 @@ func Open(cfg Config) (*Ledger, error) { //lint:allow ctxflow replay is linear i
 	return l, nil
 }
 
-// flushLoop is the group-commit worker: it seals whatever is pending
-// every FlushEvery (bounding the crash-loss window in time the same way
-// FlushRecords bounds it in count) and runs every fsync the append path
-// deferred. Errors are sticky in l.failed; the loop keeps draining so a
-// poisoned ledger still reports through Err rather than wedging.
+// flushLoop is the durability supervisor: every FlushEvery (or kick) it
+// seals whatever is pending — bounding the crash-loss window in time the
+// same way FlushRecords bounds it in count — runs every fsync the append
+// path deferred, compacts when rotation has built up enough sealed
+// segments, and anchors the latest seal to the witness. Errors are
+// sticky in l.failed; the loop keeps draining so a poisoned ledger still
+// reports through Err rather than wedging.
 func (l *Ledger) flushLoop() {
 	defer l.flusher.Done()
 	t := time.NewTicker(l.cfg.FlushEvery)
@@ -198,8 +381,13 @@ func (l *Ledger) flushLoop() {
 		}
 		l.mu.Lock()
 		_ = l.sealLocked()
+		wantCompact := l.cfg.CompactKeep > 0 && len(l.segs) > l.cfg.CompactKeep && l.failed == nil
 		l.mu.Unlock()
 		_ = l.syncDirty()
+		if wantCompact {
+			_ = l.compactOnce(l.cfg.CompactKeep)
+		}
+		l.maybeAnchor(false)
 	}
 }
 
@@ -209,7 +397,8 @@ func (l *Ledger) flushLoop() {
 // path never waits on the disk. A record that fills the batch seals it
 // inline (batch boundaries stay deterministic) and hands the fsync to the
 // background flusher. With SyncEachRecord the record is sealed and
-// fsynced before Append returns.
+// fsynced before Append returns. Under DiskFullShed a full disk yields
+// a Degraded receipt instead of an error.
 func (l *Ledger) Append(rec Record) (Receipt, error) {
 	r, sealed, err := l.appendLocked(rec)
 	if err != nil {
@@ -242,6 +431,39 @@ func (l *Ledger) appendLocked(rec Record) (Receipt, bool, error) {
 	if l.failed != nil {
 		return Receipt{}, false, l.failed
 	}
+	sealedAny := false
+	if l.shedPending > 0 {
+		// The disk shed records earlier; before the next real record,
+		// write the chained gap record so the hole is part of the signed
+		// history. If the disk is still full the gap write sheds too (the
+		// pending count is untouched) and we stay degraded.
+		gap := Record{Kind: "audit-gap", Shed: l.shedPending}
+		if _, gs, err := l.writeRecordLocked(gap); err == nil {
+			l.shedPending = 0
+			l.degraded = false
+			sealedAny = gs
+		} else if !errors.Is(err, errShedDropped) {
+			return Receipt{}, false, err
+		}
+	}
+	r, sealed, err := l.writeRecordLocked(rec)
+	if err != nil {
+		if errors.Is(err, errShedDropped) {
+			l.degraded = true
+			l.shedTotal++
+			l.shedPending++
+			return Receipt{Degraded: true}, sealedAny, nil
+		}
+		return Receipt{}, false, err
+	}
+	return r, sealed || sealedAny, nil
+}
+
+// writeRecordLocked chains and writes one record under l.mu, sealing at
+// a batch boundary. On a disk-full failure under the shed policy it
+// truncate-heals the active file and returns errShedDropped (the caller
+// does the shed accounting); every other write failure poisons.
+func (l *Ledger) writeRecordLocked(rec Record) (Receipt, bool, error) {
 	rec.Seq = l.seq
 	rec.TimeNS = l.cfg.Clock().UnixNano()
 	rec.Prev = l.recHead
@@ -259,7 +481,10 @@ func (l *Ledger) appendLocked(rec Record) (Receipt, bool, error) {
 		return Receipt{}, false, fmt.Errorf("audit: %w", err)
 	}
 	if err := l.writeLine(b); err != nil {
-		return Receipt{}, false, err
+		if serr := l.shedHealLocked(err); serr != nil {
+			return Receipt{}, false, serr
+		}
+		return Receipt{}, false, errShedDropped
 	}
 	l.seq++
 	l.recHead = h
@@ -276,22 +501,49 @@ func (l *Ledger) appendLocked(rec Record) (Receipt, bool, error) {
 	return Receipt{Seq: rec.Seq, Hash: h}, sealed, nil
 }
 
-// writeLine writes one JSONL line through the write-fault probe and
-// flushes it to the OS. A failure (injected faults emit a torn prefix
-// first, the shape a real kill leaves) poisons the ledger: the in-memory
-// chain can no longer be trusted to mirror the file.
+// writeLine writes one JSONL line through the disk-fault probes and
+// flushes it to the OS, advancing activeBytes on success. Errors are
+// returned raw — stickiness is the caller's decision, because a
+// disk-full failure under the shed policy heals instead of poisoning.
 func (l *Ledger) writeLine(b []byte) error {
 	b = append(b, '\n')
+	if err := l.cfg.Injector.Probe(faultinject.PointAuditFull); err != nil {
+		// Model a real full disk: a prefix of the line lands, the rest
+		// does not.
+		_, _ = l.w.Write(b[:len(b)/2])
+		_ = l.w.Flush()
+		return fmt.Errorf("%w: %w", syscall.ENOSPC, err)
+	}
 	if err := l.cfg.Injector.Probe(faultinject.PointAuditWrite); err != nil {
 		_, _ = l.w.Write(b[:len(b)/2])
 		_ = l.w.Flush()
-		return l.fail(err)
+		return err
 	}
 	if _, err := l.w.Write(b); err != nil {
-		return l.fail(err)
+		return err
 	}
 	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	l.activeBytes += int64(len(b))
+	return nil
+}
+
+// shedHealLocked classifies a write failure. Disk-full under the shed
+// policy: truncate the active file back to the last complete line
+// (discarding any torn prefix the failed write left), reset the writer,
+// and return nil — the caller drops the record and marks degradation.
+// Anything else (or a failed heal): poison and return the sticky error.
+func (l *Ledger) shedHealLocked(err error) error {
+	if l.cfg.OnDiskFull != DiskFullShed || !errors.Is(err, syscall.ENOSPC) {
 		return l.fail(err)
+	}
+	// A fresh writer drops bytes stuck in the failed one's buffer; the
+	// truncate drops any torn prefix that reached the file. O_APPEND
+	// repositions the next write at the new end.
+	l.w = bufio.NewWriter(l.f)
+	if terr := os.Truncate(l.activePath, l.activeBytes); terr != nil {
+		return l.fail(fmt.Errorf("shed heal: %w (after %w)", terr, err))
 	}
 	return nil
 }
@@ -319,8 +571,9 @@ func (l *Ledger) Flush() error {
 // sealLocked is the group commit's first half: Merkle root and seal line,
 // written through to the OS. The batch becomes provable immediately — its
 // durability is OS-level until syncDirty lands the fsync, the same
-// guarantee a record's receipt carries between group commits. Callers
-// hold l.mu.
+// guarantee a record's receipt carries between group commits. When the
+// active file has outgrown RotateBytes the fresh seal boundary is also
+// the rotation point. Callers hold l.mu.
 func (l *Ledger) sealLocked() error {
 	if l.failed != nil {
 		return l.failed
@@ -330,7 +583,7 @@ func (l *Ledger) sealLocked() error {
 	}
 	root := merkleRoot(l.pending)
 	seal := Seal{
-		Batch:    uint64(len(l.batches)),
+		Batch:    l.baseBatch + uint64(len(l.batches)),
 		FirstSeq: l.seq - uint64(len(l.pending)),
 		Count:    len(l.pending),
 		Root:     hex.EncodeToString(root[:]),
@@ -346,7 +599,19 @@ func (l *Ledger) sealLocked() error {
 		return fmt.Errorf("audit: %w", err)
 	}
 	if err := l.writeLine(b); err != nil {
-		return err
+		if l.cfg.OnDiskFull == DiskFullShed && errors.Is(err, syscall.ENOSPC) {
+			// The seal line itself hit the full disk. The pending records
+			// are already on disk and stay pending; heal the torn seal
+			// prefix and retry the seal at the next tick. Degraded, not
+			// poisoned — no record was lost.
+			l.degraded = true
+			l.w = bufio.NewWriter(l.f)
+			if terr := os.Truncate(l.activePath, l.activeBytes); terr != nil {
+				return l.fail(fmt.Errorf("shed heal: %w (after %w)", terr, err))
+			}
+			return nil
+		}
+		return l.fail(err)
 	}
 	leaves := make([][sha256.Size]byte, len(l.pending))
 	copy(leaves, l.pending)
@@ -354,13 +619,76 @@ func (l *Ledger) sealLocked() error {
 	l.sealHead = seal.Hash
 	l.pending = l.pending[:0]
 	l.dirty = true
+	if l.shedPending == 0 {
+		// A deferred seal (its line hit the full disk earlier) has now
+		// landed and no shed records await their gap record: the shed
+		// window is over.
+		l.degraded = false
+	}
+	if l.cfg.RotateBytes > 0 && l.activeBytes >= l.cfg.RotateBytes {
+		return l.rotateLocked()
+	}
+	return nil
+}
+
+// rotateLocked retires the active file into an immutable sealed segment:
+// fsync it (everything in it must be durable before it is declared
+// immutable), rename it to its segment name with a directory sync, and
+// open a fresh active file. Runs only at a seal boundary, under l.mu. A
+// rename refusal (including the injected rotate fault) is a declared
+// degrade, not a failure: the oversized file simply stays active and
+// rotation retries at the next seal.
+func (l *Ledger) rotateLocked() error {
+	if err := l.cfg.Injector.Probe(faultinject.PointAuditRotate); err != nil {
+		l.rotateErrs++
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.fail(err)
+	}
+	l.fsyncs++
+	segPath := filepath.Join(l.dir, segmentName(l.nextSeg))
+	if err := os.Rename(l.activePath, segPath); err != nil {
+		l.rotateErrs++
+		return nil
+	}
+	if err := SyncDir(l.dir); err != nil {
+		// The rename happened but may not be durable, and the in-memory
+		// layout can no longer assume either name. Poison; reopen
+		// replays whichever layout the disk kept.
+		return l.fail(err)
+	}
+	old := l.f
+	f, err := os.OpenFile(l.activePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The tail is sealed away and appends have nowhere to go.
+		_ = old.Close()
+		return l.fail(err)
+	}
+	_ = old.Close()
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.segs = append(l.segs, segmentInfo{
+		index:   l.nextSeg,
+		path:    segPath,
+		records: l.seq,
+		batches: l.baseBatch + uint64(len(l.batches)),
+		recHead: l.recHead,
+	})
+	l.nextSeg++
+	l.rotations++
+	l.dirty = false // the old file was fsynced; the new one is empty
+	l.activeBytes = 0
 	return nil
 }
 
 // syncDirty is the group commit's second half: one fsync covering every
 // sealed-but-unsynced byte. It runs under syncMu only, so appends (and
 // further seals) proceed while the disk works; a seal that lands mid-sync
-// keeps dirty set for the next round.
+// keeps dirty set for the next round. Transient fsync faults are retried
+// with exponential backoff before the failure goes sticky; a rotation
+// landing mid-sync makes the outcome moot (rotation fsyncs the old file
+// before renaming it).
 func (l *Ledger) syncDirty() error {
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
@@ -375,20 +703,39 @@ func (l *Ledger) syncDirty() error {
 		return nil
 	}
 	synced := len(l.batches)
+	f := l.f
+	rotGen := l.rotations
 	l.mu.Unlock()
 
 	start := l.cfg.Clock()
-	serr := l.cfg.Injector.Probe(faultinject.PointAuditFsync)
-	if serr == nil {
-		serr = l.f.Sync()
+	var serr error
+	for attempt := 0; ; attempt++ {
+		serr = l.cfg.Injector.Probe(faultinject.PointAuditFsync)
+		if serr == nil {
+			serr = f.Sync()
+		}
+		if serr == nil || attempt >= l.cfg.FsyncRetries {
+			break
+		}
+		time.Sleep(l.cfg.FsyncRetryBackoff << attempt)
+		l.mu.Lock()
+		l.fsyncRetried++
+		l.mu.Unlock()
 	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if serr != nil {
+		if l.rotations != rotGen {
+			// The file we were syncing was rotated away mid-sync; the
+			// rotation fsynced it before renaming, so those bytes are
+			// durable and this error (often "file already closed") says
+			// nothing about the new active file.
+			return nil
+		}
 		return l.fail(serr)
 	}
-	if len(l.batches) == synced {
+	if len(l.batches) == synced && l.rotations == rotGen {
 		l.dirty = false
 	}
 	l.fsyncs++
@@ -396,8 +743,159 @@ func (l *Ledger) syncDirty() error {
 	return nil
 }
 
-// Close seals the tail, stops the flusher, syncs, and closes the file. A
-// failed ledger still closes its file; the sticky error is returned.
+// compactOnce summarizes all but the keep newest sealed segments into
+// the checkpoint stub and deletes their files. The protocol is
+// stub-first (write+rename, then remove segments), so a crash at any
+// point leaves either the old state or a healable leftover — never a
+// range with neither bytes nor summary. IO runs outside l.mu: segments
+// are immutable and only one compaction runs at a time. A compaction
+// failure is a declared degrade (data intact, disk not yet reclaimed),
+// counted and retried at the next trigger — never sticky.
+func (l *Ledger) compactOnce(keep int) error {
+	l.mu.Lock()
+	if l.closed || l.failed != nil || l.compacting {
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	n := len(l.segs) - keep
+	if n <= 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	last := l.segs[n-1]
+	if last.batches == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	stub := CompactStub{
+		Segments:   last.index + 1,
+		Records:    last.records,
+		Batches:    last.batches,
+		RecordHead: last.recHead,
+		Seal:       l.batches[last.batches-1-l.baseBatch].seal,
+	}
+	h, err := stubHash(stub)
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	stub.Hash = h
+	drop := make([]string, n)
+	for i := range drop {
+		drop[i] = l.segs[i].path
+	}
+	l.compacting = true
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.compacting = false
+		l.mu.Unlock()
+	}()
+
+	if err := l.cfg.Injector.Probe(faultinject.PointAuditCompact); err != nil {
+		return l.noteCompactErr(err)
+	}
+	if err := writeStub(l.stubPath, stub); err != nil {
+		return l.noteCompactErr(err)
+	}
+	for _, p := range drop {
+		if err := os.Remove(p); err != nil {
+			// The stub is already authoritative; the leftover segment is
+			// redundant and the next Open (or retry) removes it.
+			return l.noteCompactErr(err)
+		}
+	}
+	if err := SyncDir(l.dir); err != nil {
+		return l.noteCompactErr(err)
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stub = &stub
+	l.records = append([]Record(nil), l.records[stub.Records-l.baseSeq:]...)
+	l.batches = append([]sealedBatch(nil), l.batches[stub.Batches-l.baseBatch:]...)
+	l.baseSeq = stub.Records
+	l.baseBatch = stub.Batches
+	l.segs = append([]segmentInfo(nil), l.segs[n:]...)
+	l.compactions++
+	return nil
+}
+
+// Compact forces a compaction pass now, keeping the keep newest sealed
+// segments (0 compacts every sealed segment). The active file is never
+// compacted. Exposed for operators and tests; the supervisor normally
+// compacts automatically past Config.CompactKeep.
+func (l *Ledger) Compact(keep int) error {
+	if keep < 0 {
+		keep = 0
+	}
+	return l.compactOnce(keep)
+}
+
+func (l *Ledger) noteCompactErr(err error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.compactErrs++
+	return fmt.Errorf("audit: compaction deferred: %w", err)
+}
+
+// maybeAnchor submits the newest seal to the configured witness when it
+// is AnchorEvery batches past the last anchor (final forces the submit,
+// used by Close so shutdown never strands unanchored seals). Witness
+// failures are counted and surfaced in Stats, never sticky: the ledger
+// itself is consistent, only the rollback-detection horizon lags.
+func (l *Ledger) maybeAnchor(final bool) {
+	if l.cfg.Witness == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.failed != nil {
+		l.mu.Unlock()
+		return
+	}
+	var seal Seal
+	switch {
+	case len(l.batches) > 0:
+		seal = l.batches[len(l.batches)-1].seal
+	case l.stub != nil:
+		seal = l.stub.Seal
+	default:
+		l.mu.Unlock()
+		return
+	}
+	if l.anchored && seal.Batch <= l.lastAnchorBatch {
+		l.mu.Unlock()
+		return
+	}
+	if l.anchored && !final && seal.Batch-l.lastAnchorBatch < uint64(l.cfg.AnchorEvery) {
+		l.mu.Unlock()
+		return
+	}
+	sub := Anchor{
+		Batch:    seal.Batch,
+		Records:  seal.FirstSeq + uint64(seal.Count),
+		SealHash: seal.Hash,
+		Root:     seal.Root,
+	}
+	l.mu.Unlock()
+
+	stored, err := l.cfg.Witness.Anchor(sub)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err != nil {
+		l.witnessErrs++
+		l.lastWitnessErr = err
+		return
+	}
+	l.anchored = true
+	l.lastAnchorBatch = stored.Batch
+	l.lastAnchorTime = l.cfg.Clock()
+}
+
+// Close seals the tail, stops the supervisor, syncs, anchors the final
+// seal, and closes the file. A failed ledger still closes its file; the
+// sticky error is returned.
 func (l *Ledger) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -415,6 +913,7 @@ func (l *Ledger) Close() error {
 	if serr := l.syncDirty(); ferr == nil {
 		ferr = serr
 	}
+	l.maybeAnchor(true)
 	l.mu.Lock()
 	cerr := l.f.Close()
 	l.mu.Unlock()
@@ -443,38 +942,44 @@ func (l *Ledger) Head() (uint64, string) {
 	return l.seq, l.recHead
 }
 
-// Record returns the record at seq, if it exists.
+// Record returns the record at seq, if its bytes are still held (a
+// compacted record is not).
 func (l *Ledger) Record(seq uint64) (Record, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if seq >= uint64(len(l.records)) {
+	if seq < l.baseSeq || seq >= l.seq {
 		return Record{}, false
 	}
-	return l.records[seq], true
+	return l.records[seq-l.baseSeq], true
 }
 
-// Proof builds the inclusion proof for a sealed record. ErrNotFound for a
-// never-assigned seq; ErrUnsealed for a record still waiting for its
-// group commit (retry after the flush interval).
+// Proof builds the inclusion proof for a sealed record. ErrNotFound for
+// a never-assigned seq; ErrUnsealed for a record still waiting for its
+// group commit (retry after the flush interval); ErrCompacted for a
+// record whose batch was compacted into the stub — its leaves are gone,
+// vouched for only by the retained seal and any witness anchors.
 func (l *Ledger) Proof(seq uint64) (Proof, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if seq >= l.seq {
 		return Proof{}, fmt.Errorf("%w: seq %d (head %d)", ErrNotFound, seq, l.seq)
 	}
+	if seq < l.baseSeq {
+		return Proof{}, fmt.Errorf("%w: seq %d (compacted through %d)", ErrCompacted, seq, l.baseSeq)
+	}
 	sealed := l.seq - uint64(len(l.pending))
 	if seq >= sealed {
 		return Proof{}, fmt.Errorf("%w: seq %d is in the pending tail (sealed through %d)", ErrUnsealed, seq, sealed)
 	}
-	// Batches cover contiguous ranges from 0, so the owning batch is the
-	// first whose range ends past seq.
+	// Batches cover contiguous ranges, so the owning batch is the first
+	// whose range ends past seq.
 	i := sort.Search(len(l.batches), func(i int) bool {
 		s := l.batches[i].seal
 		return s.FirstSeq+uint64(s.Count) > seq
 	})
 	batch := l.batches[i]
 	idx := int(seq - batch.seal.FirstSeq)
-	rec := l.records[seq]
+	rec := l.records[seq-l.baseSeq]
 	leaf, err := leafHash(rec.Hash)
 	if err != nil {
 		return Proof{}, err
@@ -497,12 +1002,34 @@ func (l *Ledger) Stats() Stats {
 		Records:       l.seq,
 		RecordHead:    l.recHead,
 		SealHead:      l.sealHead,
-		SealedBatches: uint64(len(l.batches)),
+		SealedBatches: l.baseBatch + uint64(len(l.batches)),
 		SealedRecords: l.seq - uint64(len(l.pending)),
 		Pending:       len(l.pending),
+		Segments:      len(l.segs),
+		Rotations:     l.rotations,
+		Compactions:   l.compactions,
+		RotateErrors:  l.rotateErrs,
+		CompactErrors: l.compactErrs,
+		Degraded:      l.degraded,
+		ShedRecords:   l.shedTotal,
+		FsyncRetries:  l.fsyncRetried,
+		WitnessErrors: l.witnessErrs,
 		Appended:      l.appended,
 		Fsyncs:        l.fsyncs,
 		LastFlushMS:   float64(l.lastFlush) / float64(time.Millisecond),
+	}
+	if l.stub != nil {
+		st.CompactedSegments = l.stub.Segments
+		st.CompactedRecords = l.stub.Records
+		st.CompactedBatches = l.stub.Batches
+	}
+	if l.anchored {
+		st.Anchored = true
+		st.LastAnchorBatch = l.lastAnchorBatch
+		st.LastAnchorAgeS = l.cfg.Clock().Sub(l.lastAnchorTime).Seconds()
+	}
+	if l.lastWitnessErr != nil {
+		st.WitnessError = l.lastWitnessErr.Error()
 	}
 	if l.fsyncs > 0 {
 		st.RecordsPerFsync = float64(l.appended) / float64(l.fsyncs)

@@ -1,0 +1,154 @@
+package audit
+
+// Segmented storage. The active file is always Dir/ledger.jsonl — the
+// same name the single-file ledger used, so pre-rotation directories
+// replay unchanged. When the active file crosses Config.RotateBytes the
+// ledger rotates at the next seal boundary: the active file is fsynced,
+// renamed to segment-%08d.jsonl (rename + directory fsync, so a crash
+// leaves either the old name or the new one), and a fresh active file is
+// opened. Sealed segments are immutable from that moment on.
+//
+// Rotation only ever happens immediately after a seal, under the same
+// critical section, so every segment ends exactly at a seal boundary
+// with no pending (unsealed) records spilling across files. Compaction
+// depends on that invariant: a prefix of segments can be summarized by
+// its final seal without any Merkle root spanning dropped leaves.
+//
+// Replay treats the directory as one logical stream:
+//
+//	compact.jsonl (stub, optional) → segment-*.jsonl (ascending) → ledger.jsonl
+//
+// A torn final line is legitimate only at the very end of the stream —
+// the unsealed tail a mid-write kill may cost. Torn bytes in any earlier
+// file, a gap in segment numbering, or entries after a tear are chain
+// violations, not crash artifacts.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	segmentPrefix = "segment-"
+	segmentSuffix = ".jsonl"
+	stubFile      = "compact.jsonl"
+)
+
+// segmentName returns the file name of sealed segment index i.
+func segmentName(i int) string {
+	return fmt.Sprintf("%s%08d%s", segmentPrefix, i, segmentSuffix)
+}
+
+// parseSegmentName extracts the index from a segment file name.
+func parseSegmentName(name string) (int, bool) {
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+	if len(digits) == 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// segmentInfo is the in-memory bookkeeping for one sealed segment: the
+// cumulative chain position at its end. Because rotation happens right
+// after a seal, the end of every segment is a seal boundary.
+type segmentInfo struct {
+	index   int
+	path    string
+	records uint64 // total records through this segment's end
+	batches uint64 // total seal batches through this segment's end
+	recHead string // record-chain head at this segment's end
+}
+
+// dirLayout is one scan of a ledger directory: the stub (if any), the
+// sealed segments in index order, leftover temp files from an
+// interrupted compaction, and segments the stub already covers (the
+// other interrupted-compaction shape).
+type dirLayout struct {
+	dir      string
+	stubPath string   // "" when no stub exists
+	segments []string // sealed segment paths, ascending index
+	indices  []int    // matching indices
+	active   string   // Dir/ledger.jsonl (may not exist)
+	hasAny   bool     // any ledger artifact present at all
+	leftover []string // *.tmp files from an interrupted atomic write
+}
+
+// scanDir inspects dir without modifying it. Missing dir is not an
+// error — it simply has no artifacts (hasAny false).
+func scanDir(dir string) (dirLayout, error) {
+	lay := dirLayout{dir: dir, active: filepath.Join(dir, ledgerFile)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return lay, nil
+		}
+		return lay, fmt.Errorf("audit: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case name == ledgerFile:
+			lay.hasAny = true
+		case name == stubFile:
+			lay.stubPath = filepath.Join(dir, name)
+			lay.hasAny = true
+		case strings.HasSuffix(name, ".tmp"):
+			lay.leftover = append(lay.leftover, filepath.Join(dir, name))
+		default:
+			if idx, ok := parseSegmentName(name); ok {
+				lay.segments = append(lay.segments, filepath.Join(dir, name))
+				lay.indices = append(lay.indices, idx)
+				lay.hasAny = true
+			}
+		}
+	}
+	sort.Sort(&segmentSorter{lay.segments, lay.indices})
+	return lay, nil
+}
+
+// segmentSorter orders segment paths by index.
+type segmentSorter struct {
+	paths   []string
+	indices []int
+}
+
+func (s *segmentSorter) Len() int           { return len(s.indices) }
+func (s *segmentSorter) Less(i, j int) bool { return s.indices[i] < s.indices[j] }
+func (s *segmentSorter) Swap(i, j int) {
+	s.paths[i], s.paths[j] = s.paths[j], s.paths[i]
+	s.indices[i], s.indices[j] = s.indices[j], s.indices[i]
+}
+
+// replayFiles lists the layout's files in logical-stream order, split
+// into the segments the stub covers (already summarized; on disk only if
+// compaction was interrupted between stub write and segment removal) and
+// the live tail that must replay. firstLive is the first non-covered
+// segment index expected; a numbering gap among live segments is a chain
+// violation reported by the caller.
+func (lay *dirLayout) split(stub *CompactStub) (covered, live []string, liveIdx []int) {
+	firstLive := 0
+	if stub != nil {
+		firstLive = stub.Segments
+	}
+	for i, idx := range lay.indices {
+		if idx < firstLive {
+			covered = append(covered, lay.segments[i])
+		} else {
+			live = append(live, lay.segments[i])
+			liveIdx = append(liveIdx, idx)
+		}
+	}
+	return covered, live, liveIdx
+}

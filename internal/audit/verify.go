@@ -11,35 +11,151 @@ import (
 	"path/filepath"
 )
 
-// chainState is the result of replaying a ledger file: the verified
-// records and seals, the two chain heads, the leaves still awaiting a
-// seal, and the byte offset of a torn final line (-1 when the file ends
-// cleanly).
+// chainState is the verified chain as replay builds it: the in-memory
+// records and seals of the live (non-compacted) suffix, the two chain
+// heads, and the leaves still awaiting a seal. baseSeq/baseBatch offset
+// the slices when a compaction stub summarized the prefix: records[i]
+// holds seq baseSeq+i, batches[i] holds batch baseBatch+i.
 type chainState struct {
+	baseSeq       uint64
+	baseBatch     uint64
 	records       []Record
 	batches       []sealedBatch
 	pendingLeaves [][sha256.Size]byte
 	recHead       string
 	sealHead      string
-	tornStart     int64
 }
 
-// replay parses and verifies a whole ledger file. It returns a
-// *ChainError (wrapping ErrChainBroken) at the first interior violation;
-// a torn FINAL line is not a violation — a kill mid-write is the one way
-// it legitimately appears, so it is reported via tornStart for the caller
-// to heal or count.
-func replay(data []byte) (*chainState, error) {
-	st := &chainState{recHead: recordGenesis, sealHead: sealGenesis, tornStart: -1}
+// totalRecords is the next seq to be assigned; totalBatches the next
+// batch number.
+func (st *chainState) totalRecords() uint64 { return st.baseSeq + uint64(len(st.records)) }
+func (st *chainState) totalBatches() uint64 { return st.baseBatch + uint64(len(st.batches)) }
+
+// dirState is the result of replaying a whole ledger directory as one
+// logical stream: stub → sealed segments → active file.
+type dirState struct {
+	chainState
+	lay  dirLayout
+	stub *CompactStub
+	// segEnds records the cumulative chain position at the end of each
+	// live sealed segment (ascending index) — the bookkeeping rotation
+	// and compaction need.
+	segEnds []segmentInfo
+	// tornPath/tornStart/tornBytes locate a torn final line: legitimate
+	// only in the last file holding any content (every later file empty
+	// or absent). tornPath == "" when the stream ends cleanly.
+	tornPath  string
+	tornStart int64
+	tornBytes int64
+	// activeBytes is the active file's post-heal length.
+	activeBytes int64
+	// covered lists stub-covered segment files still on disk — the
+	// signature of a compaction interrupted between stub write and
+	// segment removal. Open deletes them; VerifyDir only counts them.
+	covered []string
+}
+
+// replayDir replays and verifies the ledger directory at dir without
+// modifying anything. It returns a *ChainError (wrapping ErrChainBroken)
+// at the first violation anywhere in the stream.
+func replayDir(dir string) (*dirState, error) {
+	lay, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ds := &dirState{lay: lay, tornStart: -1}
+	ds.recHead, ds.sealHead = recordGenesis, sealGenesis
+	if lay.stubPath != "" {
+		stub, err := readStub(lay.stubPath)
+		if err != nil {
+			return nil, err
+		}
+		ds.stub = stub
+		ds.baseSeq = stub.Records
+		ds.baseBatch = stub.Batches
+		ds.recHead = stub.RecordHead
+		ds.sealHead = stub.Seal.Hash
+	}
+	covered, live, liveIdx := lay.split(ds.stub)
+	ds.covered = covered
+	first := 0
+	if ds.stub != nil {
+		first = ds.stub.Segments
+	}
+	for i, idx := range liveIdx {
+		if idx != first+i {
+			return nil, &ChainError{Seq: ds.totalRecords(), File: filepath.Base(live[i]),
+				Reason: fmt.Sprintf("segment %d missing (found %d) — deleted interior segment", first+i, idx)}
+		}
+	}
+	files := append(append([]string{}, live...), lay.active)
+	for i, p := range files {
+		isActive := p == lay.active
+		data, err := os.ReadFile(p)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) && isActive {
+				// A crash between rotation's rename and the new active
+				// file's creation legitimately leaves no active file.
+				break
+			}
+			return nil, fmt.Errorf("audit: %w", err)
+		}
+		if len(data) > 0 {
+			if ds.tornPath != "" {
+				return nil, &ChainError{Seq: ds.totalRecords(), File: filepath.Base(ds.tornPath),
+					Reason: "torn line followed by later entries (interior truncation)"}
+			}
+			if i > 0 && len(ds.pendingLeaves) > 0 {
+				// Only the writer partitions the stream into files, and it
+				// rotates strictly at seal boundaries; unsealed records
+				// crossing a segment boundary mean the files were
+				// rearranged. (A segment holding the pending tail with
+				// nothing after it is different — that is a healable
+				// truncation, and Open un-rotates it back to the active
+				// file.)
+				return nil, &ChainError{Seq: ds.totalRecords(), File: filepath.Base(files[i-1]),
+					Reason: "segment does not end at a seal boundary"}
+			}
+		}
+		torn, err := ds.replayFile(data, filepath.Base(p))
+		if err != nil {
+			return nil, err
+		}
+		if torn >= 0 {
+			ds.tornPath = p
+			ds.tornStart = torn
+			ds.tornBytes = int64(len(data)) - torn
+		}
+		if isActive {
+			ds.activeBytes = int64(len(data))
+			if torn >= 0 {
+				ds.activeBytes = torn
+			}
+		} else {
+			ds.segEnds = append(ds.segEnds, segmentInfo{
+				index:   liveIdx[i],
+				path:    p,
+				records: ds.totalRecords(),
+				batches: ds.totalBatches(),
+				recHead: ds.recHead,
+			})
+		}
+	}
+	return ds, nil
+}
+
+// replayFile parses and verifies one file of the stream, mutating st.
+// The returned offset marks a torn final line (-1 for a clean end);
+// interior violations are *ChainError.
+func (st *chainState) replayFile(data []byte, file string) (int64, error) {
 	lineNo := 0
 	for off := int64(0); off < int64(len(data)); {
 		nl := bytes.IndexByte(data[off:], '\n')
 		if nl < 0 {
 			// Bytes past the final newline: a torn write. Writes always
 			// end with '\n', so only a kill (or fault) mid-write leaves
-			// this shape, and only as the very last line.
-			st.tornStart = off
-			return st, nil
+			// this shape, and only as the very last line of the stream.
+			return off, nil
 		}
 		lineNo++
 		line := data[off : off+int64(nl)]
@@ -49,7 +165,7 @@ func replay(data []byte) (*chainState, error) {
 			// A complete line that is not exactly one record or seal can
 			// only be corruption: resume truncates tears, so no scars
 			// accumulate mid-file.
-			return nil, &ChainError{Seq: uint64(len(st.records)), Line: lineNo, Reason: "unparseable entry"}
+			return -1, &ChainError{Seq: st.totalRecords(), File: file, Line: lineNo, Reason: "unparseable entry"}
 		}
 		// Lines are only ever written as canonical json.Marshal output, so a
 		// stored line must be bit-identical to the re-marshaling of what it
@@ -58,29 +174,29 @@ func replay(data []byte) (*chainState, error) {
 		// zero value) leaves the content hash intact but can never reproduce
 		// the canonical bytes.
 		if canon, err := json.Marshal(e); err != nil || !bytes.Equal(canon, line) {
-			return nil, &ChainError{Seq: uint64(len(st.records)), Line: lineNo, Reason: "non-canonical line encoding"}
+			return -1, &ChainError{Seq: st.totalRecords(), File: file, Line: lineNo, Reason: "non-canonical line encoding"}
 		}
 		if e.Record != nil {
-			if err := st.verifyRecord(*e.Record, lineNo); err != nil {
-				return nil, err
+			if err := st.verifyRecord(*e.Record, file, lineNo); err != nil {
+				return -1, err
 			}
 			continue
 		}
-		if err := st.verifySeal(*e.Seal, lineNo); err != nil {
-			return nil, err
+		if err := st.verifySeal(*e.Seal, file, lineNo); err != nil {
+			return -1, err
 		}
 	}
-	return st, nil
+	return -1, nil
 }
 
 // verifyRecord checks one record against the chain and absorbs it.
-func (st *chainState) verifyRecord(rec Record, lineNo int) error {
-	if want := uint64(len(st.records)); rec.Seq != want {
-		return &ChainError{Seq: rec.Seq, Line: lineNo,
+func (st *chainState) verifyRecord(rec Record, file string, lineNo int) error {
+	if want := st.totalRecords(); rec.Seq != want {
+		return &ChainError{Seq: rec.Seq, File: file, Line: lineNo,
 			Reason: fmt.Sprintf("record seq %d, want %d (insertion or deletion)", rec.Seq, want)}
 	}
 	if rec.Prev != st.recHead {
-		return &ChainError{Seq: rec.Seq, Line: lineNo,
+		return &ChainError{Seq: rec.Seq, File: file, Line: lineNo,
 			Reason: "prev hash does not match the preceding record"}
 	}
 	h, err := recordHash(rec)
@@ -88,7 +204,7 @@ func (st *chainState) verifyRecord(rec Record, lineNo int) error {
 		return err
 	}
 	if h != rec.Hash {
-		return &ChainError{Seq: rec.Seq, Line: lineNo,
+		return &ChainError{Seq: rec.Seq, File: file, Line: lineNo,
 			Reason: "record content does not match its hash (altered record)"}
 	}
 	leaf, err := leafHash(h)
@@ -102,24 +218,24 @@ func (st *chainState) verifyRecord(rec Record, lineNo int) error {
 }
 
 // verifySeal checks one seal against the pending records and absorbs it.
-func (st *chainState) verifySeal(seal Seal, lineNo int) error {
-	if want := uint64(len(st.batches)); seal.Batch != want {
-		return &ChainError{Seq: seal.FirstSeq, Line: lineNo,
+func (st *chainState) verifySeal(seal Seal, file string, lineNo int) error {
+	if want := st.totalBatches(); seal.Batch != want {
+		return &ChainError{Seq: seal.FirstSeq, File: file, Line: lineNo,
 			Reason: fmt.Sprintf("seal batch %d, want %d", seal.Batch, want)}
 	}
-	sealedThrough := uint64(len(st.records)) - uint64(len(st.pendingLeaves))
+	sealedThrough := st.totalRecords() - uint64(len(st.pendingLeaves))
 	if seal.FirstSeq != sealedThrough || seal.Count != len(st.pendingLeaves) || seal.Count == 0 {
-		return &ChainError{Seq: seal.FirstSeq, Line: lineNo,
+		return &ChainError{Seq: seal.FirstSeq, File: file, Line: lineNo,
 			Reason: fmt.Sprintf("seal covers [%d,+%d), want [%d,+%d)",
 				seal.FirstSeq, seal.Count, sealedThrough, len(st.pendingLeaves))}
 	}
 	if seal.Prev != st.sealHead {
-		return &ChainError{Seq: seal.FirstSeq, Line: lineNo,
+		return &ChainError{Seq: seal.FirstSeq, File: file, Line: lineNo,
 			Reason: "seal prev hash does not match the preceding seal"}
 	}
 	root := merkleRoot(st.pendingLeaves)
 	if hex.EncodeToString(root[:]) != seal.Root {
-		return &ChainError{Seq: seal.FirstSeq, Line: lineNo,
+		return &ChainError{Seq: seal.FirstSeq, File: file, Line: lineNo,
 			Reason: "merkle root does not match the sealed records"}
 	}
 	h, err := sealHash(seal)
@@ -127,7 +243,7 @@ func (st *chainState) verifySeal(seal Seal, lineNo int) error {
 		return err
 	}
 	if h != seal.Hash {
-		return &ChainError{Seq: seal.FirstSeq, Line: lineNo,
+		return &ChainError{Seq: seal.FirstSeq, File: file, Line: lineNo,
 			Reason: "seal content does not match its hash (altered seal)"}
 	}
 	leaves := make([][sha256.Size]byte, len(st.pendingLeaves))
@@ -140,45 +256,137 @@ func (st *chainState) verifySeal(seal Seal, lineNo int) error {
 
 // Report summarizes an offline chain verification.
 type Report struct {
-	// Records is the number of chain-verified records.
+	// Records is the number of chain-verified records, including the
+	// compacted prefix vouched for by the stub.
 	Records uint64 `json:"records"`
 	// SealedBatches and SealedRecords count the proof-carrying history.
 	SealedBatches uint64 `json:"sealed_batches"`
 	SealedRecords uint64 `json:"sealed_records"`
 	// Pending counts verified records not yet covered by a seal.
 	Pending int `json:"pending_records"`
+	// Segments counts the live sealed segment files; the Compacted*
+	// fields describe the stub-summarized prefix (zero when no stub).
+	Segments          int    `json:"segments"`
+	CompactedSegments int    `json:"compacted_segments,omitempty"`
+	CompactedRecords  uint64 `json:"compacted_records,omitempty"`
+	CompactedBatches  uint64 `json:"compacted_batches,omitempty"`
+	// LeftoverSegments counts stub-covered segment files still on disk —
+	// an interrupted compaction the next Open will finish.
+	LeftoverSegments int `json:"leftover_segments,omitempty"`
 	// TornBytes is the length of a torn final line that a reopen would
-	// truncate (0 for a cleanly-ended file).
-	TornBytes int64 `json:"torn_bytes"`
+	// truncate (0 for a cleanly-ended stream); TornFile names the file
+	// holding it.
+	TornBytes int64  `json:"torn_bytes"`
+	TornFile  string `json:"torn_file,omitempty"`
 	// RecordHead and SealHead are the verified chain heads.
 	RecordHead string `json:"record_head"`
 	SealHead   string `json:"seal_head"`
 }
 
+func (ds *dirState) report() Report {
+	rep := Report{
+		Records:          ds.totalRecords(),
+		SealedBatches:    ds.totalBatches(),
+		SealedRecords:    ds.totalRecords() - uint64(len(ds.pendingLeaves)),
+		Pending:          len(ds.pendingLeaves),
+		Segments:         len(ds.segEnds),
+		LeftoverSegments: len(ds.covered),
+		RecordHead:       ds.recHead,
+		SealHead:         ds.sealHead,
+	}
+	if ds.stub != nil {
+		rep.CompactedSegments = ds.stub.Segments
+		rep.CompactedRecords = ds.stub.Records
+		rep.CompactedBatches = ds.stub.Batches
+	}
+	if ds.tornPath != "" {
+		rep.TornBytes = ds.tornBytes
+		rep.TornFile = filepath.Base(ds.tornPath)
+	}
+	return rep
+}
+
 // VerifyDir replays and verifies the ledger in dir without touching it.
 // On a broken chain the error is a *ChainError (wrapping ErrChainBroken)
-// naming the first bad record; the report still describes the verified
-// prefix. A missing ledger file verifies as empty — an absent ledger is
-// not a tampered one.
+// naming the first bad record. A directory holding no ledger artifact at
+// all returns ErrNoLedger — an absent ledger is neither tampered nor a
+// clean bill of health, and verification tools give it its own exit
+// code.
 func VerifyDir(dir string) (Report, error) { //lint:allow ctxflow offline verification is linear in the ledger file; partial verification has no value, so it runs to completion
-	data, err := os.ReadFile(filepath.Join(dir, ledgerFile))
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return Report{}, fmt.Errorf("audit: %w", err)
+	ds, err := replayDir(dir)
+	if err != nil {
+		return Report{}, err
 	}
-	st, cerr := replay(data)
-	if cerr != nil {
-		return Report{}, cerr
+	if !ds.lay.hasAny {
+		return Report{}, fmt.Errorf("%s: %w", dir, ErrNoLedger)
 	}
-	rep := Report{
-		Records:       uint64(len(st.records)),
-		SealedBatches: uint64(len(st.batches)),
-		SealedRecords: uint64(len(st.records) - len(st.pendingLeaves)),
-		Pending:       len(st.pendingLeaves),
-		RecordHead:    st.recHead,
-		SealHead:      st.sealHead,
+	return ds.report(), nil
+}
+
+// WitnessReport summarizes the cross-check of a ledger against a
+// witness file.
+type WitnessReport struct {
+	// Anchors is the witness chain length; Checked of those matched a
+	// seal the ledger still holds (live, or the stub's retained seal);
+	// Uncheckable anchors point into the compacted range whose seal
+	// bytes are gone — they vouch for history the stub summarizes.
+	Anchors     int `json:"anchors"`
+	Checked     int `json:"checked"`
+	Uncheckable int `json:"uncheckable"`
+	// LatestBatch is the newest witnessed batch.
+	LatestBatch uint64 `json:"latest_batch"`
+	// Torn marks a torn final witness line (healed at next witness open).
+	Torn bool `json:"torn"`
+}
+
+// VerifyDirWitness verifies the ledger in dir AND cross-checks it
+// against the anchors in witnessPath. Beyond VerifyDir it detects the
+// one tamper class the chain alone cannot: rolling the ledger tail back
+// past an anchored seal, or rewriting history under an anchored batch
+// number. Both come back as errors wrapping ErrChainBroken.
+func VerifyDirWitness(dir, witnessPath string) (Report, WitnessReport, error) { //lint:allow ctxflow offline verification is linear in the ledger and witness files and runs to completion
+	ds, err := replayDir(dir)
+	if err != nil {
+		return Report{}, WitnessReport{}, err
 	}
-	if st.tornStart >= 0 {
-		rep.TornBytes = int64(len(data)) - st.tornStart
+	if !ds.lay.hasAny {
+		return Report{}, WitnessReport{}, fmt.Errorf("%s: %w", dir, ErrNoLedger)
 	}
-	return rep, nil
+	rep := ds.report()
+	anchors, torn, err := LoadWitnessFile(witnessPath)
+	if err != nil {
+		return rep, WitnessReport{}, err
+	}
+	wr := WitnessReport{Anchors: len(anchors), Torn: torn}
+	for _, a := range anchors {
+		wr.LatestBatch = a.Batch
+		switch {
+		case a.Batch >= ds.totalBatches():
+			return rep, wr, fmt.Errorf(
+				"%w: witness holds anchor for batch %d (%d sealed records) but the ledger has only %d batches — tail rolled back past the last anchor",
+				ErrChainBroken, a.Batch, a.Records, ds.totalBatches())
+		case a.Batch >= ds.baseBatch:
+			seal := ds.batches[a.Batch-ds.baseBatch].seal
+			if seal.Hash != a.SealHash || seal.Root != a.Root || seal.FirstSeq+uint64(seal.Count) != a.Records {
+				return rep, wr, fmt.Errorf(
+					"%w: batch %d was witnessed as %s but the ledger now seals it as %s — history rewritten under an anchored seal",
+					ErrChainBroken, a.Batch, a.SealHash, seal.Hash)
+			}
+			wr.Checked++
+		case ds.stub != nil && a.Batch == ds.stub.Seal.Batch:
+			seal := ds.stub.Seal
+			if seal.Hash != a.SealHash || seal.Root != a.Root || seal.FirstSeq+uint64(seal.Count) != a.Records {
+				return rep, wr, fmt.Errorf(
+					"%w: batch %d was witnessed as %s but the compaction stub retains it as %s — stub forged under an anchored seal",
+					ErrChainBroken, a.Batch, a.SealHash, seal.Hash)
+			}
+			wr.Checked++
+		default:
+			// The anchored seal's bytes were compacted away; the anchor
+			// still vouches for the summarized prefix but there is
+			// nothing left to compare it to byte-for-byte.
+			wr.Uncheckable++
+		}
+	}
+	return rep, wr, nil
 }

@@ -1,0 +1,293 @@
+package audit
+
+// Witness anchoring. The ledger's detectability boundary is its tail:
+// dropping everything after the last seal a client holds a receipt for
+// is indistinguishable from a crash. An external witness closes that
+// hole without client cooperation — the ledger periodically submits its
+// latest seal (batch number, sealed-record count, seal hash, Merkle
+// root) to a witness that chains the anchors in its own append-only
+// file. Rolling the ledger back past an anchored seal is then caught by
+// the offline oracle (VerifyDirWitness): the witness remembers a batch
+// the ledger no longer has, or has with a different hash.
+//
+// The witness is deliberately dumb: it stores what it is shown and
+// refuses contradictions (two anchors for the same batch with different
+// hashes — equivocation, the signature of a forked ledger). It may be a
+// local file (FileWitness, via cmd/witness) or another serve instance's
+// POST /v1/witness/anchor endpoint (HTTPWitness), which is just a
+// FileWitness behind HTTP on a different failure domain.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrWitnessEquivocation reports two anchors for the same seal batch
+// with different hashes: the ledger (or someone holding its directory)
+// presented two incompatible histories. Unlike a crash artifact this is
+// never healable — it is the detection the witness exists for.
+var ErrWitnessEquivocation = errors.New("audit: witness equivocation")
+
+// Anchor is one witnessed seal. The submitter fills Batch, Records,
+// SealHash, and Root; the witness assigns Index, TimeNS, Prev, and Hash
+// when it chains the anchor into its file. The JSON field order is the
+// canonical hashing order — do not reorder fields.
+type Anchor struct {
+	// Index is the anchor's position in the witness chain.
+	Index uint64 `json:"index"`
+	// TimeNS is the witness clock's unix-nanosecond stamp.
+	TimeNS int64 `json:"time_ns"`
+	// Batch, Records, SealHash, Root describe the anchored seal: its
+	// batch number, the sealed-record count through it (FirstSeq+Count),
+	// its chain hash, and its Merkle root.
+	Batch    uint64 `json:"batch"`
+	Records  uint64 `json:"records"`
+	SealHash string `json:"seal_hash"`
+	Root     string `json:"root"`
+	// Prev chains anchors (witnessGenesis for the first); Hash is the
+	// SHA-256 of the canonical JSON with this field blanked.
+	Prev string `json:"prev"`
+	Hash string `json:"hash"`
+}
+
+func anchorHash(a Anchor) (string, error) {
+	a.Hash = ""
+	return HashJSON(a)
+}
+
+// anchorLine is the witness file's JSONL wire form.
+type anchorLine struct {
+	Anchor *Anchor `json:"anchor"`
+}
+
+// Witness is anywhere a seal can be anchored. Anchor submits the seal
+// described by a (Batch/Records/SealHash/Root) and returns the anchor as
+// the witness chained it.
+type Witness interface {
+	Anchor(a Anchor) (Anchor, error)
+}
+
+// FileWitness is an append-only, hash-chained anchor file. Every append
+// is fsynced — anchors are rare (one per AnchorEvery seals), so the
+// group-commit machinery would be overkill.
+type FileWitness struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	clock   func() time.Time
+	anchors []Anchor
+	head    string
+}
+
+// OpenFileWitness opens (or creates) the witness file at path, replaying
+// and verifying its anchor chain. A torn final line self-heals by
+// truncation, same contract as the ledger. clock may be nil (time.Now).
+func OpenFileWitness(path string, clock func() time.Time) (*FileWitness, error) {
+	if clock == nil {
+		clock = func() time.Time { return time.Now() } //lint:allow wallclock anchors carry real timestamps; tests inject fixed clocks
+	}
+	anchors, tornStart, err := loadAnchors(path)
+	if err != nil {
+		return nil, err
+	}
+	if tornStart >= 0 {
+		if err := TruncateSynced(path, tornStart); err != nil {
+			return nil, fmt.Errorf("audit: healing witness tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	w := &FileWitness{path: path, f: f, clock: clock, anchors: anchors, head: witnessGenesis}
+	if n := len(anchors); n > 0 {
+		w.head = anchors[n-1].Hash
+	}
+	return w, nil
+}
+
+// loadAnchors replays a witness file. tornStart is the byte offset of a
+// torn final line (-1 when none). Interior violations are *ChainError.
+func loadAnchors(path string) ([]Anchor, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, -1, nil
+		}
+		return nil, -1, fmt.Errorf("audit: %w", err)
+	}
+	var anchors []Anchor
+	head := witnessGenesis
+	offset := int64(0)
+	lineNo := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// Bytes past the last newline: a torn append, healable only
+			// because nothing follows it.
+			return anchors, offset, nil
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		lineNo++
+		fail := func(reason string) error {
+			seq := uint64(len(anchors))
+			return &ChainError{Seq: seq, File: path, Line: lineNo, Reason: reason}
+		}
+		var al anchorLine
+		if err := json.Unmarshal(line, &al); err != nil || al.Anchor == nil {
+			return nil, -1, fail("witness line does not parse")
+		}
+		canon, err := json.Marshal(al)
+		if err != nil {
+			return nil, -1, err
+		}
+		if !bytes.Equal(canon, line) {
+			return nil, -1, fail("witness line is not in canonical form")
+		}
+		a := *al.Anchor
+		if a.Index != uint64(len(anchors)) {
+			return nil, -1, fail("anchor index out of order")
+		}
+		if a.Prev != head {
+			return nil, -1, fail("anchor chain link mismatch")
+		}
+		h, err := anchorHash(a)
+		if err != nil {
+			return nil, -1, err
+		}
+		if h != a.Hash {
+			return nil, -1, fail("anchor hash mismatch")
+		}
+		anchors = append(anchors, a)
+		head = a.Hash
+		offset += int64(nl) + 1
+	}
+	return anchors, -1, nil
+}
+
+// Anchor chains and persists one anchor. Re-anchoring a batch already
+// witnessed with the same hash is idempotent (the stored anchor is
+// returned); the same batch with a different hash or record count is
+// ErrWitnessEquivocation. Batches must not regress below the newest
+// witnessed batch with a different history.
+func (w *FileWitness) Anchor(a Anchor) (Anchor, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := len(w.anchors) - 1; i >= 0; i-- {
+		prev := w.anchors[i]
+		if prev.Batch == a.Batch {
+			if prev.SealHash == a.SealHash && prev.Records == a.Records && prev.Root == a.Root {
+				return prev, nil
+			}
+			return Anchor{}, fmt.Errorf("%w: batch %d witnessed as %s, submitted as %s",
+				ErrWitnessEquivocation, a.Batch, prev.SealHash, a.SealHash)
+		}
+		if prev.Batch < a.Batch {
+			break
+		}
+	}
+	a.Index = uint64(len(w.anchors))
+	a.TimeNS = w.clock().UnixNano()
+	a.Prev = w.head
+	h, err := anchorHash(a)
+	if err != nil {
+		return Anchor{}, err
+	}
+	a.Hash = h
+	b, err := json.Marshal(anchorLine{Anchor: &a})
+	if err != nil {
+		return Anchor{}, fmt.Errorf("audit: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.f.Write(b); err != nil {
+		return Anchor{}, fmt.Errorf("audit: witness write: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return Anchor{}, fmt.Errorf("audit: witness sync: %w", err)
+	}
+	w.anchors = append(w.anchors, a)
+	w.head = a.Hash
+	return a, nil
+}
+
+// Anchors snapshots the witnessed chain.
+func (w *FileWitness) Anchors() []Anchor {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Anchor, len(w.anchors))
+	copy(out, w.anchors)
+	return out
+}
+
+// Close closes the witness file.
+func (w *FileWitness) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// LoadWitnessFile verifies a witness file read-only and returns its
+// anchors. A torn final line is reported as healable, not a violation —
+// matching VerifyDir's read-only contract.
+func LoadWitnessFile(path string) (anchors []Anchor, torn bool, err error) {
+	if _, serr := os.Stat(path); serr != nil {
+		if os.IsNotExist(serr) {
+			return nil, false, fmt.Errorf("%s: %w", path, ErrNoLedger)
+		}
+		return nil, false, fmt.Errorf("audit: %w", serr)
+	}
+	anchors, tornStart, err := loadAnchors(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return anchors, tornStart >= 0, nil
+}
+
+// HTTPWitness anchors against another serve instance's
+// POST /v1/witness/anchor endpoint. The zero Client uses
+// http.DefaultClient.
+type HTTPWitness struct {
+	URL    string
+	Client *http.Client
+}
+
+// Anchor submits a to the remote witness and returns the anchor as the
+// witness chained it. A 409 is surfaced as ErrWitnessEquivocation.
+func (hw *HTTPWitness) Anchor(a Anchor) (Anchor, error) {
+	body, err := json.Marshal(a)
+	if err != nil {
+		return Anchor{}, fmt.Errorf("audit: %w", err)
+	}
+	client := hw.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(hw.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Anchor{}, fmt.Errorf("audit: witness post: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Anchor{}, fmt.Errorf("audit: witness response: %w", err)
+	}
+	if resp.StatusCode == http.StatusConflict {
+		return Anchor{}, fmt.Errorf("%w: %s", ErrWitnessEquivocation, bytes.TrimSpace(data))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Anchor{}, fmt.Errorf("audit: witness status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var stored Anchor
+	if err := json.Unmarshal(data, &stored); err != nil {
+		return Anchor{}, fmt.Errorf("audit: witness response: %w", err)
+	}
+	return stored, nil
+}

@@ -1,0 +1,309 @@
+package audit
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFileWitnessChainsAnchorsAndSurvivesReopen anchors a few seals,
+// reopens the witness file, and asserts the chain persisted, stayed
+// verifiable, and keeps accepting anchors.
+func TestFileWitnessChainsAnchorsAndSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "witness.jsonl")
+	w, err := OpenFileWitness(path, testClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a, err := w.Anchor(Anchor{Batch: uint64(i), Records: uint64(i + 1), SealHash: fmt.Sprintf("seal-%d", i), Root: fmt.Sprintf("root-%d", i)})
+		if err != nil {
+			t.Fatalf("anchor %d: %v", i, err)
+		}
+		if a.Index != uint64(i) || a.Hash == "" {
+			t.Fatalf("anchor %d = %+v", i, a)
+		}
+	}
+	// Idempotent re-anchor: same batch, same content → the stored anchor.
+	again, err := w.Anchor(Anchor{Batch: 1, Records: 2, SealHash: "seal-1", Root: "root-1"})
+	if err != nil || again.Index != 1 {
+		t.Fatalf("re-anchor = %+v, %v; want the stored anchor back", again, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenFileWitness(path, testClock())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	anchors := w2.Anchors()
+	if len(anchors) != 3 {
+		t.Fatalf("reopened with %d anchors, want 3", len(anchors))
+	}
+	if _, err := w2.Anchor(Anchor{Batch: 7, Records: 20, SealHash: "seal-7", Root: "root-7"}); err != nil {
+		t.Fatalf("anchor after reopen: %v", err)
+	}
+}
+
+// TestFileWitnessEquivocationRefused submits the same batch with a
+// different hash — the forked-ledger signature — and asserts the witness
+// refuses loudly and keeps its original anchor.
+func TestFileWitnessEquivocationRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "witness.jsonl")
+	w, err := OpenFileWitness(path, testClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Anchor(Anchor{Batch: 2, Records: 6, SealHash: "honest", Root: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Anchor(Anchor{Batch: 2, Records: 6, SealHash: "forged", Root: "r"}); !errors.Is(err, ErrWitnessEquivocation) {
+		t.Fatalf("equivocation = %v, want ErrWitnessEquivocation", err)
+	}
+	anchors := w.Anchors()
+	if len(anchors) != 1 || anchors[0].SealHash != "honest" {
+		t.Fatalf("anchors after refused equivocation = %+v", anchors)
+	}
+}
+
+// TestFileWitnessTornTailHealsAndTamperRefused tears the witness file's
+// final line (heals at open) and flips an interior byte (refused).
+func TestFileWitnessTornTailHealsAndTamperRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "witness.jsonl")
+	w, err := OpenFileWitness(path, testClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := w.Anchor(Anchor{Batch: uint64(i), Records: uint64(i + 1), SealHash: fmt.Sprintf("s%d", i), Root: "r"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn tail: read-only load reports it, open heals it.
+	if err := os.WriteFile(path, base[:len(base)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	anchors, torn, err := LoadWitnessFile(path)
+	if err != nil || !torn || len(anchors) != 1 {
+		t.Fatalf("LoadWitnessFile(torn) = %d anchors, torn %v, err %v", len(anchors), torn, err)
+	}
+	w2, err := OpenFileWitness(path, testClock())
+	if err != nil {
+		t.Fatalf("open over torn witness: %v", err)
+	}
+	if got := len(w2.Anchors()); got != 1 {
+		t.Fatalf("healed witness has %d anchors, want 1", got)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interior tamper: flip one byte of the first line.
+	doctored := append([]byte{}, base...)
+	doctored[10] ^= 1
+	if err := os.WriteFile(path, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadWitnessFile(path); !errors.Is(err, ErrChainBroken) {
+		t.Fatalf("tampered witness load = %v, want ErrChainBroken", err)
+	}
+	if _, err := OpenFileWitness(path, testClock()); !errors.Is(err, ErrChainBroken) {
+		t.Fatalf("tampered witness open = %v, want refusal", err)
+	}
+
+	// Missing file is ErrNoLedger for the offline oracle.
+	if _, _, err := LoadWitnessFile(filepath.Join(t.TempDir(), "absent.jsonl")); !errors.Is(err, ErrNoLedger) {
+		t.Fatalf("missing witness = %v, want ErrNoLedger", err)
+	}
+}
+
+// TestLedgerAnchorsToWitnessAndVerifies runs a ledger with a file
+// witness, asserts anchors land on the AnchorEvery cadence plus a final
+// one at Close, and that the offline witness oracle agrees with the
+// intact directory.
+func TestLedgerAnchorsToWitnessAndVerifies(t *testing.T) {
+	dir := t.TempDir()
+	wpath := filepath.Join(t.TempDir(), "witness.jsonl")
+	w, err := OpenFileWitness(wpath, testClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	l := openRotating(t, dir, func(c *Config) { c.Witness = w; c.AnchorEvery = 2 })
+	appendN(t, l, 0, 10)
+	waitFor(t, func() bool { return l.Stats().Anchored })
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	anchors := w.Anchors()
+	if len(anchors) == 0 {
+		t.Fatal("no anchors landed")
+	}
+	if last := anchors[len(anchors)-1]; last.Batch != 4 || last.Records != 10 {
+		t.Fatalf("final anchor = %+v, want the close-time seal (batch 4, 10 records)", last)
+	}
+	rep, wr, err := VerifyDirWitness(dir, wpath)
+	if err != nil {
+		t.Fatalf("VerifyDirWitness: %v", err)
+	}
+	if rep.Records != 10 || wr.Checked == 0 || wr.Anchors != len(anchors) {
+		t.Fatalf("reports = %+v / %+v", rep, wr)
+	}
+}
+
+// TestVerifyDirWitnessDetectsTailRollback is the attack the witness
+// exists for: the ledger directory is rolled back to an earlier,
+// internally-consistent state (every chain check passes), but the
+// witness remembers a later seal. Plain VerifyDir accepts the rollback;
+// the witness oracle refuses it.
+func TestVerifyDirWitnessDetectsTailRollback(t *testing.T) {
+	dir := t.TempDir()
+	wpath := filepath.Join(t.TempDir(), "witness.jsonl")
+	w, err := OpenFileWitness(wpath, testClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	l := openTest(t, dir, func(c *Config) { c.FlushRecords = 2; c.Witness = w; c.AnchorEvery = 1 })
+	appendN(t, l, 0, 4) // two sealed batches, single file
+	waitFor(t, func() bool { return l.Stats().LastAnchorBatch == 1 })
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Roll the ledger back to just after the FIRST seal line — a
+	// truncation at a line boundary, indistinguishable from a crash that
+	// never wrote batch 1.
+	data, err := os.ReadFile(filepath.Join(dir, ledgerFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealOff := bytes.Index(data, []byte(`{"seal":`))
+	lineEnd := sealOff + bytes.IndexByte(data[sealOff:], '\n') + 1
+	if err := os.WriteFile(filepath.Join(dir, ledgerFile), data[:lineEnd], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := VerifyDir(dir); err != nil {
+		t.Fatalf("the chain alone must accept the rollback, got %v", err)
+	}
+	_, _, err = VerifyDirWitness(dir, wpath)
+	if !errors.Is(err, ErrChainBroken) || !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("witness oracle = %v, want a tail-rollback refusal", err)
+	}
+}
+
+// TestVerifyDirWitnessDetectsRewrittenHistory verifies against a witness
+// that anchored a DIFFERENT ledger's seals: same shape, same batch
+// numbers, different content. The chain verifies; the witness refuses.
+func TestVerifyDirWitnessDetectsRewrittenHistory(t *testing.T) {
+	honest := t.TempDir()
+	wpath := filepath.Join(t.TempDir(), "witness.jsonl")
+	w, err := OpenFileWitness(wpath, testClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	lh := openTest(t, honest, func(c *Config) { c.FlushRecords = 2; c.Witness = w; c.AnchorEvery = 1 })
+	appendN(t, lh, 0, 4)
+	if err := lh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rewritten ledger: same batch count, different record contents.
+	forged := t.TempDir()
+	lf := openTest(t, forged, func(c *Config) { c.FlushRecords = 2 })
+	for i := 0; i < 4; i++ {
+		rec := testRecord(i)
+		rec.Seed = 999 // the doctored field
+		if _, err := lf.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := VerifyDir(forged); err != nil {
+		t.Fatalf("forged ledger must be internally consistent, got %v", err)
+	}
+	_, _, err = VerifyDirWitness(forged, wpath)
+	if !errors.Is(err, ErrChainBroken) || !strings.Contains(err.Error(), "rewritten") {
+		t.Fatalf("witness oracle on rewritten history = %v, want refusal", err)
+	}
+}
+
+// TestVerifyDirWitnessByteFlipSweep is the acceptance sweep: flip every
+// byte of every file in a rotated-and-compacted, witness-anchored ledger
+// directory — segments, active file, compaction stub — and assert the
+// offline oracle (chain verification plus witness cross-check) refuses
+// every single mutation. The final line of the stream is an anchored
+// seal, so even tearing it (flipping its newline) is caught as rollback.
+func TestVerifyDirWitnessByteFlipSweep(t *testing.T) {
+	dir := t.TempDir()
+	wpath := filepath.Join(t.TempDir(), "witness.jsonl")
+	w, err := OpenFileWitness(wpath, testClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	l := openRotating(t, dir, func(c *Config) { c.Witness = w; c.AnchorEvery = 1 })
+	appendN(t, l, 0, 10)
+	if err := l.Compact(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := VerifyDirWitness(dir, wpath); err != nil {
+		t.Fatalf("intact directory: %v", err)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := 0
+	for _, e := range ents {
+		path := filepath.Join(dir, e.Name())
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			doctored := append([]byte{}, orig...)
+			doctored[i] ^= 1
+			if err := os.WriteFile(path, doctored, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := VerifyDirWitness(dir, wpath); err == nil {
+				t.Fatalf("flipping byte %d of %s went undetected", i, e.Name())
+			}
+			flips++
+		}
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if flips == 0 {
+		t.Fatal("sweep flipped nothing")
+	}
+	if _, _, err := VerifyDirWitness(dir, wpath); err != nil {
+		t.Fatalf("restored directory no longer verifies: %v", err)
+	}
+}

@@ -78,17 +78,23 @@ type line struct {
 // weight type too). A nil *Checkpoint is valid and disables journaling.
 //
 // The file tolerates a truncated final line (the run was killed mid-write):
-// that record is dropped and recomputed. Records are flushed per append, not
-// fsynced — a power failure may cost the tail, never the file's integrity.
+// the torn line is truncated off — fsynced, via the audit package's shared
+// durable-FS helpers — at the next open and that record is recomputed. A
+// tear in the very first line (killed mid-header) heals the same way: the
+// file truncates to empty and a fresh header is written. Records are
+// flushed per append, not fsynced — a power failure may cost the tail,
+// never the file's integrity.
 //
 // Records are hash-chained behind the fingerprint header (the chain genesis
 // is the Header's hash), so an altered, deleted, or reordered journal record
 // is detected on reopen with an error wrapping audit.ErrChainBroken. Two
 // tolerated gaps, both documented limitations rather than accidents: records
 // written before chaining existed verify as legacy (no Hash), and a torn
-// tear-scar line mid-file is skipped — in both cases the chain resumes at
-// the next chained record, so stripping the final records of a journal is
-// indistinguishable from a crash that never wrote them.
+// tear-scar line mid-file (left by journals healed before truncation
+// existed, which terminated the fragment in place) is skipped — in both
+// cases the chain resumes at the next chained record, so stripping the
+// final records of a journal is indistinguishable from a crash that never
+// wrote them.
 type Checkpoint struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -115,6 +121,20 @@ func OpenCheckpoint(path string, h Header) (*Checkpoint, error) {
 	case err != nil:
 		return nil, fmt.Errorf("experiment: checkpoint: %w", err)
 	default:
+	}
+	if n := len(data); n > 0 && data[n-1] != '\n' {
+		// The previous run was killed mid-write, leaving a torn final line.
+		// Truncate it off — fsynced — before the append handle opens, so the
+		// journal carries no tear scar. When the tear is in the very first
+		// line the header itself never landed: the file truncates to empty
+		// and is re-seeded with a fresh header below.
+		keep := int64(bytes.LastIndexByte(data, '\n') + 1)
+		if err := audit.TruncateSynced(path, keep); err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint: healing torn tail: %w", err)
+		}
+		data = data[:keep]
+	}
+	if len(data) > 0 {
 		if err := c.load(data, h); err != nil {
 			return nil, err
 		}
@@ -129,14 +149,6 @@ func OpenCheckpoint(path string, h Header) (*Checkpoint, error) {
 		if err := c.append(line{Header: &h}); err != nil {
 			f.Close()
 			return nil, err
-		}
-	} else if data[len(data)-1] != '\n' {
-		// The previous run was killed mid-write, leaving a torn final line.
-		// Terminate it so the next record starts on a line of its own
-		// instead of riding on (and corrupting itself with) the fragment.
-		if _, err := c.w.WriteString("\n"); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("experiment: checkpoint: %w", err)
 		}
 	}
 	return c, nil

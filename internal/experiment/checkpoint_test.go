@@ -3,6 +3,7 @@ package experiment
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -223,6 +224,79 @@ func TestCheckpointTruncatedTailTolerated(t *testing.T) {
 	defer final.Close()
 	if got, ok := final.Lookup("Boston", "TIME", "GreedyEdge", "UNIFORM", 1); !ok || unchain(got) != rec2 {
 		t.Errorf("post-tear append lost on reopen: %+v, %v", got, ok)
+	}
+}
+
+// TestCheckpointTornHeaderHeals kills the journal mid-write of its very
+// first line — the header itself is torn, so nothing in the file is
+// usable. Open must truncate-heal to empty and re-seed a fresh header
+// rather than refuse with ErrCheckpointMismatch.
+func TestCheckpointTornHeaderHeals(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := os.WriteFile(path, []byte(`{"header":{"seed":1,"sc`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatalf("open over torn header = %v, want heal", err)
+	}
+	rec := Record{City: "Boston", Weight: "TIME", Algorithm: "GreedyEdge", CostType: "UNIFORM", Unit: 0, OK: true, Edges: 2, Cost: 2}
+	if err := ckpt.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatalf("reopen after heal: %v", err)
+	}
+	defer reopened.Close()
+	if got, ok := reopened.Lookup("Boston", "TIME", "GreedyEdge", "UNIFORM", 0); !ok || unchain(got) != rec {
+		t.Errorf("Lookup after heal = %+v, %v; want the appended record", got, ok)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ln := range bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n")) {
+		if !json.Valid(ln) {
+			t.Errorf("line %d is not valid JSON after the heal: %q", i+1, ln)
+		}
+	}
+}
+
+// TestCheckpointTornTailTruncated asserts the heal truncates the torn
+// final line off the file instead of leaving a tear scar in place.
+func TestCheckpointTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ckpt, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(append([]byte{}, clean...), `{"record":{"city":"Bos`...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenCheckpoint(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healed, clean) {
+		t.Errorf("healed journal = %q, want the pre-tear bytes %q", healed, clean)
 	}
 }
 

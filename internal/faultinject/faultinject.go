@@ -51,8 +51,19 @@ const (
 	PointAuditWrite Point = "audit/write"
 	// PointAuditFsync fails the audit ledger's group-commit fsync after
 	// the batch's seal line reached the OS, so the batch's durability (not
-	// its integrity) is in doubt on the next open.
+	// its integrity) is in doubt on the next open. The ledger retries
+	// transient fsync faults with backoff before the failure goes sticky.
 	PointAuditFsync Point = "audit/fsync"
+	// PointAuditFull fails an audit-ledger line write the way a full disk
+	// does: a prefix of the line lands, the rest returns ENOSPC. Exercises
+	// the DiskFullFailClosed vs DiskFullShed policy split.
+	PointAuditFull Point = "audit/disk-full"
+	// PointAuditRotate refuses the segment-rotation rename, leaving the
+	// oversized file active; rotation must retry at the next seal.
+	PointAuditRotate Point = "audit/rotate"
+	// PointAuditCompact fails a compaction pass before any IO; compaction
+	// must defer (data intact, disk not reclaimed) and retry later.
+	PointAuditCompact Point = "audit/compact"
 )
 
 // ErrInjected marks a failure manufactured by an Injector.
