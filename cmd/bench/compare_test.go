@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSnaps writes a snapshot-array file and returns its path.
+func writeSnaps(t *testing.T, dir, name string, snaps []Snapshot) string {
+	t.Helper()
+	raw, err := json.Marshal(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLatestResultsPicksNewestPerName(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnaps(t, dir, "old.json", []Snapshot{
+		{Date: "2026-01-01", Results: []Result{
+			{Name: "BenchmarkA", NsPerOp: 100},
+			{Name: "BenchmarkB", NsPerOp: 50},
+		}},
+		{Date: "2026-01-02", Results: []Result{
+			{Name: "BenchmarkA", NsPerOp: 80}, // newer snapshot wins
+		}},
+	})
+	latest, err := LatestResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := latest["BenchmarkA"].NsPerOp; got != 80 {
+		t.Errorf("BenchmarkA latest ns/op = %v, want 80", got)
+	}
+	if got := latest["BenchmarkB"].NsPerOp; got != 50 {
+		t.Errorf("BenchmarkB latest ns/op = %v, want 50", got)
+	}
+}
+
+func TestCompareResultsClassification(t *testing.T) {
+	oldR := map[string]Result{
+		"BenchmarkSteady":  {Name: "BenchmarkSteady", NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkSlower":  {Name: "BenchmarkSlower", NsPerOp: 100},
+		"BenchmarkFaster":  {Name: "BenchmarkFaster", NsPerOp: 100},
+		"BenchmarkRemoved": {Name: "BenchmarkRemoved", NsPerOp: 100},
+	}
+	newR := map[string]Result{
+		"BenchmarkSteady": {Name: "BenchmarkSteady", NsPerOp: 105, AllocsPerOp: 12},
+		"BenchmarkSlower": {Name: "BenchmarkSlower", NsPerOp: 130},
+		"BenchmarkFaster": {Name: "BenchmarkFaster", NsPerOp: 40},
+		"BenchmarkAdded":  {Name: "BenchmarkAdded", NsPerOp: 7},
+	}
+	rows := CompareResults(oldR, newR, 15)
+	status := map[string]string{}
+	for _, r := range rows {
+		status[r.Name] = r.Status
+	}
+	want := map[string]string{
+		"BenchmarkSteady":  "ok",
+		"BenchmarkSlower":  "regression",
+		"BenchmarkFaster":  "improvement",
+		"BenchmarkRemoved": "gone",
+		"BenchmarkAdded":   "new",
+	}
+	for name, w := range want {
+		if status[name] != w {
+			t.Errorf("%s status = %q, want %q", name, status[name], w)
+		}
+	}
+	for _, r := range rows {
+		if r.Name == "BenchmarkSteady" {
+			if r.NsDeltaPct != 5 {
+				t.Errorf("Steady ns delta = %v, want 5", r.NsDeltaPct)
+			}
+			if r.AllocsDelta != 20 {
+				t.Errorf("Steady allocs delta = %v, want 20", r.AllocsDelta)
+			}
+		}
+	}
+}
+
+func TestRunCompareExitsNonzeroOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnaps(t, dir, "old.json", []Snapshot{
+		{Results: []Result{{Name: "BenchmarkHot", NsPerOp: 100}}},
+	})
+	newPath := writeSnaps(t, dir, "new.json", []Snapshot{
+		{Results: []Result{{Name: "BenchmarkHot", NsPerOp: 200}}},
+	})
+	var out strings.Builder
+	err := runCompare(oldPath, newPath, 15, &out)
+	if err == nil {
+		t.Fatalf("want regression error, got nil; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkHot") {
+		t.Errorf("error %q does not name the regressed benchmark", err)
+	}
+	if !strings.Contains(out.String(), "regression") {
+		t.Errorf("table does not mark the regression:\n%s", out.String())
+	}
+}
+
+func TestRunCompareOKWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnaps(t, dir, "old.json", []Snapshot{
+		{Results: []Result{{Name: "BenchmarkHot", NsPerOp: 100}}},
+	})
+	newPath := writeSnaps(t, dir, "new.json", []Snapshot{
+		{Results: []Result{{Name: "BenchmarkHot", NsPerOp: 110}}},
+	})
+	var out strings.Builder
+	if err := runCompare(oldPath, newPath, 15, &out); err != nil {
+		t.Fatalf("within-threshold compare failed: %v\n%s", err, out.String())
+	}
+}

@@ -7,6 +7,12 @@
 //
 //	go run ./cmd/bench -bench 'Yen|Dijkstra' -label after-astar
 //	go run ./cmd/bench -bench BenchmarkTableII -benchtime 3x
+//	go run ./cmd/bench -compare BENCH_2026-07-01.json BENCH_2026-08-07.json
+//
+// -compare diffs the latest result per benchmark between two snapshot
+// files (ns/op and allocs/op deltas) and exits nonzero when any ns/op
+// regression exceeds -threshold percent (default 15), so CI can gate or
+// warn on committed baselines.
 //
 // Each invocation appends one snapshot (an entry in the file's JSON array)
 // recording go/test environment, the benchmark filter, and per-benchmark
@@ -77,9 +83,18 @@ func run(args []string, stdout *os.File) error {
 		label     = fs.String("label", "", "free-form label stored with the snapshot")
 		date      = fs.String("date", "", "override snapshot date (YYYY-MM-DD; default today)")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit (passed through to go test)")
+		compare   = fs.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of running benchmarks; exits nonzero on regression")
+		threshold = fs.Float64("threshold", 15, "with -compare: ns/op regression tolerance in percent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		rest := fs.Args()
+		if len(rest) != 2 {
+			return fmt.Errorf("-compare wants exactly two files: old.json new.json")
+		}
+		return runCompare(rest[0], rest[1], *threshold, stdout)
 	}
 
 	cmd := exec.Command("go", goTestArgs(*bench, *benchtime, *count, *memProf, *pkg)...)

@@ -63,11 +63,12 @@ func pathCoverLoop(ctx context.Context, p Problem, opts Options, solve coverSolv
 	r := p.router(ctx)
 	pstarSet := p.PStar.EdgeSet()
 	budget := p.budgetOrInf()
-	// One reverse Dijkstra on the unmodified graph (or the problem's
-	// cached potential) serves every oracle round: each round only
-	// disables edges, so the potential stays admissible for the
-	// goal-directed alternative search.
-	pot := p.potential(r)
+	// Built on the unmodified graph, before the first constraint round:
+	// rounds only disable edges, so the bounds the oracle caches here (a
+	// reverse potential for the baseline, the overlay target labels when
+	// the problem carries a metric) stay admissible for every round,
+	// which each rollback restores to this same base state.
+	orc := p.newOracle(ctx, r)
 
 	var pool []graph.Path
 	var cut []graph.EdgeID
@@ -78,8 +79,10 @@ func pathCoverLoop(ctx context.Context, p Problem, opts Options, solve coverSolv
 		for _, e := range cut {
 			tx.Disable(e)
 		}
-		viol, violated := p.violating(r, pot)
+		orc.cut(cut...)
+		viol, violated := orc.violating()
 		tx.Rollback()
+		orc.uncut(cut)
 		// A cancelled oracle can report "no violation" spuriously (its spur
 		// round was cut short), so the context check must come before the
 		// success test.

@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"altroute/internal/graph"
+	"altroute/internal/overlay"
 	"altroute/internal/roadnet"
 )
 
@@ -101,6 +102,17 @@ type Problem struct {
 	// supplied, its table is bit-identical to what that Dijkstra would
 	// produce, so results are unchanged.
 	Potential *graph.Potential
+	// Overlay optionally carries a CRP partition-overlay metric built over
+	// a snapshot of G under Weight (overlay.Build + overlay.NewMetric).
+	// When set and still valid, the oracle loops run their exclusivity
+	// checks through corridor-pruned overlay searches instead of unbounded
+	// A* spur searches, and report each cut to the metric so its cliques
+	// are repaired (per affected cell, coalesced) before the next clique
+	// read. Verdicts and witness lengths are identical to the baseline
+	// oracle; witness edges match except on exact float-length ties (see
+	// overlay.Querier.Violating). Nil, foreign, or stale overlays fall
+	// back to the baseline oracle silently.
+	Overlay *overlay.Metric
 }
 
 // router returns a context-attached Router running on the problem's frozen

@@ -1,6 +1,9 @@
 package graph
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // This file is the frozen-snapshot query layer: an immutable CSR
 // (compressed sparse row) image of the graph with materialized edge
@@ -58,6 +61,31 @@ type Snapshot struct {
 	// AddEdge may reallocate the underlying array, but it also bumps the
 	// generation, which invalidates this snapshot first.
 	disabled []bool
+
+	// freezeNS is the wall-clock duration of the Freeze pass, surfaced in
+	// registry shard stats next to overlay build/customize timings.
+	freezeNS int64
+}
+
+// fillCSRSide flattens one direction's adjacency lists into CSR arrays.
+// Freeze calls it twice (forward over out-lists with arc heads, reverse
+// over in-lists with arc tails); it is the single copy of the build loop
+// both Snapshot.Refresh and the registry shard preload previously
+// duplicated through Freeze's twin inline loops. Slot order within a node
+// is list order — the live kernels' relaxation order — which is what
+// keeps frozen outputs bit-identical.
+func fillCSRSide(lists [][]EdgeID, w []float64, off, node, edge []int32, slotW []float64, endpoint func(Arc) NodeID, arcs []Arc) {
+	pos := 0
+	for u := range lists {
+		off[u] = int32(pos)
+		for _, e := range lists[u] {
+			edge[pos] = int32(e)
+			node[pos] = int32(endpoint(arcs[e]))
+			slotW[pos] = w[e]
+			pos++
+		}
+	}
+	off[len(lists)] = int32(pos)
 }
 
 // Freeze builds a frozen CSR snapshot of g with the weights of w
@@ -68,6 +96,7 @@ type Snapshot struct {
 // weight model in this repository is a pure table lookup, which
 // satisfies both.
 func Freeze(g *Graph, w WeightFunc) *Snapshot {
+	start := time.Now() //lint:allow wallclock freeze duration feeds shard stats observability, never results
 	n, m := g.NumNodes(), g.NumEdges()
 	c := &Snapshot{
 		g: g, gen: g.gen, wf: w, n: n, m: m,
@@ -84,31 +113,16 @@ func Freeze(g *Graph, w WeightFunc) *Snapshot {
 	for e := 0; e < m; e++ {
 		c.w[e] = w(EdgeID(e))
 	}
-	pos := 0
-	for u := 0; u < n; u++ {
-		c.fwdOff[u] = int32(pos)
-		for _, e := range g.out[u] {
-			c.fwdEdge[pos] = int32(e)
-			c.fwdTo[pos] = int32(g.arcs[e].To)
-			c.fwdW[pos] = c.w[e]
-			pos++
-		}
-	}
-	c.fwdOff[n] = int32(pos)
-	pos = 0
-	for u := 0; u < n; u++ {
-		c.revOff[u] = int32(pos)
-		for _, e := range g.in[u] {
-			c.revEdge[pos] = int32(e)
-			c.revFrom[pos] = int32(g.arcs[e].From)
-			c.revW[pos] = c.w[e]
-			pos++
-		}
-	}
-	c.revOff[n] = int32(pos)
+	fillCSRSide(g.out[:n], c.w, c.fwdOff, c.fwdTo, c.fwdEdge, c.fwdW, func(a Arc) NodeID { return a.To }, g.arcs)
+	fillCSRSide(g.in[:n], c.w, c.revOff, c.revFrom, c.revEdge, c.revW, func(a Arc) NodeID { return a.From }, g.arcs)
 	c.disabled = g.disabled
+	c.freezeNS = time.Since(start).Nanoseconds() //lint:allow wallclock freeze duration feeds shard stats observability, never results
 	return c
 }
+
+// FreezeNanos returns the wall-clock nanoseconds the Freeze pass took —
+// observability only (healthz shard stats), never part of any result.
+func (c *Snapshot) FreezeNanos() int64 { return c.freezeNS }
 
 // Graph returns the graph the snapshot was frozen from.
 func (c *Snapshot) Graph() *Graph { return c.g }
@@ -126,6 +140,37 @@ func (c *Snapshot) NumEdges() int { return c.m }
 
 // Weight returns the materialized weight of edge e.
 func (c *Snapshot) Weight(e EdgeID) float64 { return c.w[e] }
+
+// CSRView exposes a snapshot's flat CSR arrays to sibling packages that
+// build derived read-only structures over them (internal/overlay). Every
+// slice aliases the snapshot's backing arrays: callers MUST treat them as
+// immutable. Disabled aliases the graph's live disabled flags, exactly as
+// the frozen kernels see them.
+type CSRView struct {
+	N, M    int
+	FwdOff  []int32
+	FwdTo   []int32
+	FwdEdge []int32
+	FwdW    []float64
+	RevOff  []int32
+	RevFrom []int32
+	RevEdge []int32
+	RevW    []float64
+	W       []float64
+
+	Disabled []bool
+}
+
+// View returns the read-only CSR view of the snapshot.
+func (c *Snapshot) View() CSRView {
+	return CSRView{
+		N: c.n, M: c.m,
+		FwdOff: c.fwdOff, FwdTo: c.fwdTo, FwdEdge: c.fwdEdge, FwdW: c.fwdW,
+		RevOff: c.revOff, RevFrom: c.revFrom, RevEdge: c.revEdge, RevW: c.revW,
+		W:        c.w,
+		Disabled: c.disabled,
+	}
+}
 
 // Refresh returns c when it is still valid, or a fresh snapshot of the
 // same graph under the same weight function when topology moved on.

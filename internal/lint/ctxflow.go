@@ -36,11 +36,11 @@ type ctxFlow2 struct {
 }
 
 // ctxFlowPackages is the cancellation contract's package set: the attack
-// pipeline (core, graph, lp), the serving stack (server, registry,
-// audit), and the scenario layer whose sweeps ride on the same budget
-// (defense, sim, traffic, partition, metrics).
+// pipeline (core, graph, lp, overlay), the serving stack (server,
+// registry, audit), and the scenario layer whose sweeps ride on the same
+// budget (defense, sim, traffic, partition, metrics).
 var ctxFlowPackages = []string{
-	"core", "graph", "lp", "server", "registry", "audit",
+	"core", "graph", "lp", "overlay", "server", "registry", "audit",
 	"defense", "sim", "traffic", "partition", "metrics",
 }
 

@@ -27,6 +27,7 @@ var golden = []struct {
 	{dir: "floateq", pick: func(*Program) []Analyzer { return []Analyzer{NewFloatEq()} }},
 	{dir: "errcmp", pick: func(*Program) []Analyzer { return []Analyzer{NewErrCmp()} }},
 	{dir: "ctxflow", typed: true, pick: func(p *Program) []Analyzer { return []Analyzer{NewCtxFlow(p)} }},
+	{dir: "ctxflowoverlay", typed: true, pick: func(p *Program) []Analyzer { return []Analyzer{NewCtxFlow(p)} }},
 	{dir: "lockorder", typed: true, pick: func(p *Program) []Analyzer { return []Analyzer{NewLockOrder(p)} }},
 	{dir: "snapgen", typed: true, pick: func(p *Program) []Analyzer { return []Analyzer{NewSnapGen(p)} }},
 	{dir: "goroleak", typed: true, pick: func(p *Program) []Analyzer { return []Analyzer{NewGoroLeak(p)} }},

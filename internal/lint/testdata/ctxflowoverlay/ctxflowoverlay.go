@@ -1,0 +1,124 @@
+// Fixture for the ctxflow analyzer over the overlay package shapes: the
+// CRP query layer's Dijkstra sweeps push onto a loopy binary heap from a
+// worklist loop, which carries loop evidence even though the lexical
+// nesting depth is 1. The package is named "overlay" so the contract
+// set applies, as it does to the real internal/overlay. It type-checks
+// standalone (stdlib imports only).
+package overlay
+
+import "context"
+
+// miniHeap mirrors the overlay's bheap: push and pop both loop (sift),
+// so any call to them from a loop is loop evidence.
+type miniHeap []int
+
+func (h *miniHeap) push(v int) {
+	*h = append(*h, v)
+	for i := len(*h) - 1; i > 0 && (*h)[i] < (*h)[i-1]; i-- {
+		(*h)[i], (*h)[i-1] = (*h)[i-1], (*h)[i]
+	}
+}
+
+func (h *miniHeap) pop() int {
+	v := (*h)[0]
+	for i := 1; i < len(*h); i++ {
+		(*h)[i-1] = (*h)[i]
+	}
+	*h = (*h)[:len(*h)-1]
+	return v
+}
+
+// Sweep is the undischarged Dijkstra shape: the worklist loop itself is
+// pruned, but pushing onto the loopy heap from inside it is evidence,
+// and no cancellation check is reachable: flagged.
+func Sweep(starts []int) int { // want "calls push from a loop"
+	var h miniHeap
+	for _, s := range starts {
+		h.push(s)
+	}
+	settled := 0
+	for len(h) > 0 {
+		_ = h.pop()
+		settled++
+	}
+	return settled
+}
+
+// SweepChecked is the real Querier.BuildTargetLabels shape: the same
+// sweep, discharged by polling ctx.Err per pop.
+func SweepChecked(ctx context.Context, starts []int) int {
+	var h miniHeap
+	for _, s := range starts {
+		h.push(s)
+	}
+	settled := 0
+	for len(h) > 0 {
+		if ctx.Err() != nil {
+			break
+		}
+		_ = h.pop()
+		settled++
+	}
+	return settled
+}
+
+// querier mirrors the real Querier: cancellation is carried on the
+// receiver and checked through an unexported helper.
+type querier struct {
+	ctx context.Context
+	h   miniHeap
+}
+
+func (q *querier) interrupted() bool { return q.ctx != nil && q.ctx.Err() != nil }
+
+// Corridor is the real Querier.corridor shape: discharged through the
+// receiver's interrupted helper, which the call graph resolves.
+func (q *querier) Corridor(starts []int) int {
+	if q.interrupted() {
+		return 0
+	}
+	for _, s := range starts {
+		q.h.push(s)
+	}
+	n := 0
+	for len(q.h) > 0 {
+		_ = q.h.pop()
+		n++
+	}
+	return n
+}
+
+// Customize is the undischarged metric-repair shape: per-cell recompute
+// reached through an unexported drain helper, with no context anywhere.
+func Customize(cells [][]int) int { // want "reaches drain"
+	return drain(cells)
+}
+
+func drain(cells [][]int) int {
+	total := 0
+	for _, cell := range cells {
+		var h miniHeap
+		for _, v := range cell {
+			h.push(v)
+		}
+		total += len(h)
+	}
+	return total
+}
+
+// CustomizeChecked is the real Metric.Customize shape: the same drain,
+// discharged by a per-cell ctx.Err poll.
+func CustomizeChecked(ctx context.Context, cells [][]int) int {
+	total := 0
+	for _, cell := range cells {
+		if ctx.Err() != nil {
+			break
+		}
+		var h miniHeap
+		for _, v := range cell {
+			h.push(v)
+		}
+		total += len(h)
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+// Overlay-shaped goroutine patterns: the customize-vs-query race suite
+// spawns query workers against a shared metric while a writer toggles
+// edges. Workers must carry a join signal.
+package gorofix
+
+import (
+	"context"
+	"sync"
+)
+
+type fakeMetric struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (m *fakeMetric) query() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.n
+}
+
+func (m *fakeMetric) customize() {
+	m.mu.Lock()
+	m.n++
+	m.mu.Unlock()
+}
+
+// QueryWorkersJoined is the race-suite shape: reader goroutines joined
+// through a WaitGroup while the writer customizes: clean.
+func QueryWorkersJoined(m *fakeMetric) int {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = m.query()
+		}()
+	}
+	m.customize()
+	wg.Wait()
+	return m.query()
+}
+
+// QueryWorkerLeaked spawns a reader with no join signal anywhere — the
+// metric's own locks are not a join path: flagged.
+func QueryWorkerLeaked(m *fakeMetric) {
+	go func() { // want "no join path"
+		for i := 0; i < 1000; i++ {
+			_ = m.query()
+		}
+	}()
+}
+
+// BuilderCancelled runs a background overlay build that selects on the
+// context: clean (the context check is the join signal).
+func BuilderCancelled(ctx context.Context, m *fakeMetric) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				m.customize()
+			}
+		}
+	}()
+}
